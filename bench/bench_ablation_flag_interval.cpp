@@ -1,0 +1,57 @@
+// §4.4 ablation: seeds iterated between early-exit flag checks.
+//
+// "We increased the number of seeds iterated between checks from 1 up to 64
+// and found that increasing the iterations did not have any performance
+// impact. Thus, we check if the client's hash has been found after every
+// seed iteration." Reproduced on the host with the real search engine.
+#include "bench_util.hpp"
+#include "combinatorics/chase382.hpp"
+#include "common/rng.hpp"
+#include "rbc/search.hpp"
+
+int main() {
+  using namespace rbc;
+  using namespace rbc::bench;
+
+  print_title("Ablation §4.4 — early-exit flag polling interval (host, d=2)");
+
+  Xoshiro256 rng(1);
+  const Seed256 base = Seed256::random(rng);
+  // Target outside the ball: every run hashes the full 32,897-seed ball, so
+  // times are comparable across intervals.
+  const Seed256 unrelated = Seed256::random(rng);
+  const hash::Sha3SeedHash hash;
+  const auto target = hash(unrelated);
+
+  par::ThreadPool pool(par::ThreadPool::default_threads());
+
+  Table table({"check interval", "seeds hashed", "host time (s)",
+               "vs interval=1"});
+  double base_time = 0.0;
+  for (u32 interval : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    comb::ChaseFactory factory;
+    SearchOptions opts;
+    opts.max_distance = 2;
+    opts.num_threads = pool.size();
+    opts.check_interval = interval;
+    // Warm + best-of-3 to de-noise the small workload.
+    double best = 1e30;
+    SearchResult result;
+    for (int rep = 0; rep < 3; ++rep) {
+      result = rbc_search<hash::Sha3SeedHash>(base, target, factory, pool,
+                                              opts, hash);
+      best = std::min(best, result.host_seconds);
+    }
+    if (interval == 1) base_time = best;
+    table.add_row({std::to_string(interval),
+                   std::to_string(result.seeds_hashed), fmt(best, 4),
+                   fmt(best / base_time, 2) + "x"});
+  }
+  table.print();
+
+  std::printf(
+      "\nPaper finding: no measurable impact across 1..64 — the flag is a\n"
+      "cached read that almost never invalidates. Expect ratios ~1.0x above\n"
+      "(small workload noise aside), so the engine defaults to interval 1.\n");
+  return 0;
+}

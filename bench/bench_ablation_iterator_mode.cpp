@@ -1,0 +1,96 @@
+// Iterator-mode ablation: Algorithm 515 can produce each combination by a
+// full independent unrank (the GPU-friendly mode the paper evaluates in
+// Table 4) or by unranking once and stepping with the cheap lexicographic
+// successor (the natural CPU mode). DESIGN.md calls the mode split out as a
+// design choice; this bench quantifies it on the host with the real SHA-3
+// hash in the loop, alongside the other two iterator families.
+#include "bench_util.hpp"
+#include "combinatorics/algorithm515.hpp"
+#include "combinatorics/chase382.hpp"
+#include "combinatorics/gosper.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "hash/keccak.hpp"
+
+namespace {
+
+using namespace rbc;
+
+template <typename Iterator>
+double time_iterate_hash(Iterator it, const Seed256& base, u64& hashed) {
+  WallTimer timer;
+  Seed256 mask;
+  u8 sink = 0;
+  while (it.next(mask)) {
+    sink ^= hash::sha3_256_seed(base ^ mask).bytes[0];
+    ++hashed;
+  }
+  const double t = timer.elapsed_s();
+  return sink == 0xa5 ? t + 1e-12 : t;  // keep the loop observable
+}
+
+}  // namespace
+
+int main() {
+  using namespace rbc::bench;
+
+  print_title("Ablation — Algorithm 515 stepping mode (host, k = 3, SHA-3)");
+
+  Xoshiro256 rng(21);
+  const Seed256 base = Seed256::random(rng);
+  const u64 sample = 300000;
+
+  Table table({"iterator", "mode", "seeds", "ns/seed", "vs best"});
+  struct Row {
+    std::string name, mode;
+    double ns;
+  };
+  std::vector<Row> rows;
+
+  {
+    u64 hashed = 0;
+    const double t = time_iterate_hash(
+        comb::Algorithm515Iterator(3, 0, sample, comb::Alg515Mode::kUnrankEach),
+        base, hashed);
+    rows.push_back({"Algorithm 515", "unrank each (GPU mode)",
+                    t * 1e9 / static_cast<double>(hashed)});
+  }
+  {
+    u64 hashed = 0;
+    const double t = time_iterate_hash(
+        comb::Algorithm515Iterator(3, 0, sample, comb::Alg515Mode::kSuccessor),
+        base, hashed);
+    rows.push_back({"Algorithm 515", "successor (CPU mode)",
+                    t * 1e9 / static_cast<double>(hashed)});
+  }
+  {
+    u64 hashed = 0;
+    comb::ChaseSequence seq(3);
+    const double t = time_iterate_hash(comb::ChaseIterator(seq.state(), sample),
+                                       base, hashed);
+    rows.push_back({"Chase's Alg. 382", "gray code",
+                    t * 1e9 / static_cast<double>(hashed)});
+  }
+  {
+    u64 hashed = 0;
+    const double t = time_iterate_hash(comb::GosperIterator(3, 0, sample),
+                                       base, hashed);
+    rows.push_back({"Gosper's hack", "256-bit arithmetic",
+                    t * 1e9 / static_cast<double>(hashed)});
+  }
+
+  double best = 1e300;
+  for (const auto& r : rows) best = std::min(best, r.ns);
+  for (const auto& r : rows) {
+    table.add_row({r.name, r.mode, std::to_string(sample), fmt(r.ns, 1),
+                   fmt(r.ns / best, 2) + "x"});
+  }
+  table.print();
+
+  std::printf(
+      "\nOn a scalar CPU the successor mode closes most of Algorithm 515's\n"
+      "gap to Chase; the unrank-each mode pays the binomial-table walk per\n"
+      "seed — the cost Table 4 measures on the GPU, where the independence\n"
+      "is what buys parallelism. Trade-off, quantified.\n");
+  return 0;
+}

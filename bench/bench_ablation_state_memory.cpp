@@ -1,0 +1,39 @@
+// §3.2.3 ablation: storing the Chase Algorithm-382 per-thread state in
+// shared vs global memory.
+//
+// "This results in 1.20x and 1.01x speedups for SHA-1 and SHA-3,
+// respectively." Reproduced through the GPU execution model's state-access
+// penalty.
+#include "bench_util.hpp"
+#include "sim/gpu_model.hpp"
+
+int main() {
+  using namespace rbc;
+  using namespace rbc::bench;
+
+  print_title("Ablation §3.2.3 — Chase state in shared vs global memory");
+
+  sim::GpuModel gpu;
+  Table table({"hash", "shared-mem (s)", "global-mem (s)", "speedup",
+               "paper"});
+  for (auto algo : {hash::HashAlgo::kSha1, hash::HashAlgo::kSha3_256}) {
+    auto time_with = [&](bool shared) {
+      sim::GpuSearchConfig proto;
+      proto.hash = algo;
+      proto.state_in_shared_memory = shared;
+      return gpu.ball_time_s(5, proto);
+    };
+    const double with_shared = time_with(true);
+    const double with_global = time_with(false);
+    table.add_row({std::string(hash::to_string(algo)), fmt(with_shared),
+                   fmt(with_global), fmt(with_global / with_shared, 2) + "x",
+                   algo == hash::HashAlgo::kSha1 ? "1.20x" : "1.01x"});
+  }
+  table.print();
+
+  std::printf(
+      "\nMechanism: the cheaper the hash, the larger the share of kernel time\n"
+      "spent touching iterator state, so SHA-1 benefits 20%% while SHA-3 is\n"
+      "nearly insensitive. This optimization is on in all other experiments.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// TAPKI ablation (§2.1): "TAPKI will ignore the cells in the PUF that have a
+// high error rate by masking them. This ensures that the RBC search is
+// generally tractable."
+//
+// Sweeps device quality (erratic-cell fraction) with TAPKI on and off and
+// measures, over real protocol sessions: authentication rate, mean raw and
+// masked bit error rate, and mean search effort. The design choice DESIGN.md
+// calls out — mask calibration during enrollment — is what keeps the noisy
+// tail of a fleet inside the Hamming-distance budget.
+#include "bench_util.hpp"
+#include "rbc/protocol.hpp"
+#include "rbc/trial.hpp"
+
+int main() {
+  using namespace rbc;
+  using namespace rbc::bench;
+
+  print_title("Ablation §2.1 — TAPKI masking vs raw PUF streams (d <= 2)");
+
+  Table table({"erratic cells", "TAPKI", "masked cells", "mean BER (bits)",
+               "auth rate", "mean seeds hashed"});
+
+  for (double erratic : {0.00, 0.04, 0.08, 0.15}) {
+    for (bool tapki : {true, false}) {
+      puf::SramPufModel::Params params;
+      params.num_addresses = 2;
+      params.erratic_cell_fraction = erratic;
+      params.stable_flip_probability = 0.002;
+      params.erratic_flip_probability = 0.35;
+      puf::SramPufModel device(params, 4242);
+
+      EnrollmentDatabase db(crypto::Aes128::Key{0x07});
+      Xoshiro256 rng(11);
+      db.enroll(1, device, 150, 0.05, rng);
+      const auto record = db.load(1);
+      const int masked = record.masks[0].num_unstable();
+
+      // Effective BER after optional masking, over repeated reads.
+      Xoshiro256 ber_rng(13);
+      double ber = 0;
+      const int reads = 200;
+      for (int i = 0; i < reads; ++i) {
+        Seed256 r = device.read(0, ber_rng);
+        Seed256 e = device.enrolled_word(0);
+        if (tapki) {
+          r &= record.masks[0].stable_bits();
+          e &= record.masks[0].stable_bits();
+        }
+        ber += hamming_distance(r, e);
+      }
+      ber /= reads;
+
+      RegistrationAuthority ra;
+      CaConfig cfg;
+      cfg.max_distance = 2;
+      cfg.tapki_enabled = tapki;
+      EngineConfig ecfg;
+      CertificateAuthority ca(cfg, std::move(db), make_backend("gpu", ecfg),
+                              &ra);
+      ClientConfig ccfg;
+      ccfg.device_id = 1;
+      ccfg.injected_distance = -1;  // submit the true noisy reading
+      Client client(ccfg, &device, 17);
+      const TrialStats stats = run_trials(client, ca, ra, 10);
+
+      table.add_row({fmt(erratic * 100, 0) + "%", tapki ? "on" : "off",
+                     std::to_string(masked), fmt(ber, 2),
+                     fmt(stats.auth_rate(), 2),
+                     fmt(stats.mean_seeds_hashed(), 0)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nWithout TAPKI, raw bit error rates scale with the erratic-cell\n"
+      "fraction and quickly exceed any tractable search budget; with TAPKI\n"
+      "the masked error rate stays near the stable-cell floor and the\n"
+      "authentication rate holds — §2.1's tractability argument.\n");
+  return 0;
+}

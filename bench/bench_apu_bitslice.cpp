@@ -1,0 +1,117 @@
+// APU execution-model bench: column-cycle accounting of the bit-sliced
+// SHA-1/SHA-3 kernels and the associative match, grounding the PE-cycle
+// constants calibrated from Table 5, plus host throughput of the bit-sliced
+// path versus the scalar path.
+#include "apu/search_kernel.hpp"
+#include "bench_util.hpp"
+#include "combinatorics/chase382.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "hash/keccak.hpp"
+#include "hash/sha1.hpp"
+#include "sim/calibration.hpp"
+
+int main() {
+  using namespace rbc;
+  using namespace rbc::bench;
+  using namespace rbc::apu;
+
+  print_title("APU execution model — column cycles per 64-lane hash batch");
+
+  Xoshiro256 rng(0xa9);
+  std::array<Seed256, kLanes> seeds;
+  for (auto& s : seeds) s = Seed256::random(rng);
+
+  VectorUnit sha1_vu, sha3_vu;
+  std::array<hash::Digest160, kLanes> d1;
+  std::array<hash::Digest256, kLanes> d3;
+  sha1_seed_x64(seeds, d1, sha1_vu);
+  sha3_256_seed_x64(seeds, d3, sha3_vu);
+
+  const auto& calib = sim::default_calibration();
+  Table table({"kernel", "column ops/batch", "PE datapath (BPs)",
+               "compute PE-cycles/hash", "calibrated PE-cycles/hash",
+               "compute share"});
+  const double c1 = static_cast<double>(sha1_vu.counts().total());
+  const double c3 = static_cast<double>(sha3_vu.counts().total());
+  table.add_row({"SHA-1 x64", fmt(c1, 0), "32", fmt(c1 / 32.0, 0),
+                 fmt(calib.apu_cycles_sha1, 0),
+                 fmt(100.0 * c1 / 32.0 / calib.apu_cycles_sha1, 1) + "%"});
+  table.add_row({"SHA3-256 x64", fmt(c3, 0), "80", fmt(c3 / 80.0, 0),
+                 fmt(calib.apu_cycles_sha3, 0),
+                 fmt(100.0 * c3 / 80.0 / calib.apu_cycles_sha3, 1) + "%"});
+  table.print();
+
+  std::printf(
+      "\nOp mix (SHA-1): xor=%llu and=%llu or=%llu not=%llu broadcast=%llu\n",
+      static_cast<unsigned long long>(sha1_vu.counts().xor_ops),
+      static_cast<unsigned long long>(sha1_vu.counts().and_ops),
+      static_cast<unsigned long long>(sha1_vu.counts().or_ops),
+      static_cast<unsigned long long>(sha1_vu.counts().not_ops),
+      static_cast<unsigned long long>(sha1_vu.counts().broadcasts));
+  std::printf(
+      "Op mix (SHA-3): xor=%llu and=%llu or=%llu not=%llu broadcast=%llu\n",
+      static_cast<unsigned long long>(sha3_vu.counts().xor_ops),
+      static_cast<unsigned long long>(sha3_vu.counts().and_ops),
+      static_cast<unsigned long long>(sha3_vu.counts().or_ops),
+      static_cast<unsigned long long>(sha3_vu.counts().not_ops),
+      static_cast<unsigned long long>(sha3_vu.counts().broadcasts));
+  std::printf(
+      "\nThe boolean-compute floor sits well inside the calibrated budgets;\n"
+      "the remainder is operand staging and control — consistent with §3.3's\n"
+      "note that active BPs are limited by state memory, not ALU work.\n");
+
+  print_title("Associative match detection (the APU's native operation)");
+  {
+    VectorUnit vu;
+    const Plane m = associative_match(d3, d3[5], vu);
+    std::printf("match mask over 64 lanes: lane %d hit; %llu column ops for "
+                "a 256-bit compare\n",
+                std::countr_zero(m),
+                static_cast<unsigned long long>(vu.counts().total()));
+  }
+
+  print_title("Host throughput — bit-sliced (64 lanes/word) vs scalar");
+  Table host({"path", "hashes", "ns/hash"});
+  const int reps = 200;
+  {
+    VectorUnit vu;
+    WallTimer t;
+    for (int r = 0; r < reps; ++r) sha1_seed_x64(seeds, d1, vu);
+    host.add_row({"SHA-1 bit-sliced x64", std::to_string(reps * kLanes),
+                  fmt(t.elapsed_s() * 1e9 / (reps * kLanes), 1)});
+  }
+  {
+    WallTimer t;
+    u8 sink = 0;
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& s : seeds) sink ^= hash::sha1_seed(s).bytes[0];
+    }
+    host.add_row({std::string("SHA-1 scalar x64") + (sink == 77 ? " " : ""),
+                  std::to_string(reps * kLanes),
+                  fmt(t.elapsed_s() * 1e9 / (reps * kLanes), 1)});
+  }
+  {
+    VectorUnit vu;
+    WallTimer t;
+    for (int r = 0; r < reps; ++r) sha3_256_seed_x64(seeds, d3, vu);
+    host.add_row({"SHA-3 bit-sliced x64", std::to_string(reps * kLanes),
+                  fmt(t.elapsed_s() * 1e9 / (reps * kLanes), 1)});
+  }
+  {
+    WallTimer t;
+    u8 sink = 0;
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& s : seeds) sink ^= hash::sha3_256_seed(s).bytes[0];
+    }
+    host.add_row({std::string("SHA-3 scalar x64") + (sink == 77 ? " " : ""),
+                  std::to_string(reps * kLanes),
+                  fmt(t.elapsed_s() * 1e9 / (reps * kLanes), 1)});
+  }
+  host.print();
+  std::printf(
+      "\n(The host bit-sliced path pays the op-counting wrapper and the\n"
+      "transpositions; on the physical array those are free/parallel. The\n"
+      "point of this bench is the cycle accounting, not host speed.)\n");
+  return 0;
+}

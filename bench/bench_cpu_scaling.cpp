@@ -1,0 +1,64 @@
+// §4.3: SALTED-CPU strong scaling — "we achieve speedups of 59x and 63x on
+// 64xCPU cores using SHA-1 and SHA-3, respectively."
+//
+// Section 1 projects the scaling curve from the calibrated CPU model
+// (PlatformA, 64 cores). Section 2 measures real strong scaling of this
+// repo's search engine on the host across its available cores.
+#include "bench_util.hpp"
+#include "combinatorics/chase382.hpp"
+#include "common/rng.hpp"
+#include "rbc/search.hpp"
+#include "sim/cpu_model.hpp"
+
+int main() {
+  using namespace rbc;
+  using namespace rbc::bench;
+  using hash::HashAlgo;
+
+  print_title("§4.3 — CPU strong scaling (model, PlatformA 64 cores)");
+
+  sim::CpuModel cpu;
+  Table model({"threads", "SHA-1 speedup", "SHA-3 speedup"});
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    model.add_row({std::to_string(p), fmt(cpu.speedup(HashAlgo::kSha1, p)),
+                   fmt(cpu.speedup(HashAlgo::kSha3_256, p))});
+  }
+  model.print();
+  std::printf("Paper: 59x (SHA-1) and 63x (SHA-3) at 64 cores. Model: %.1fx "
+              "and %.1fx.\n",
+              cpu.speedup(HashAlgo::kSha1, 64),
+              cpu.speedup(HashAlgo::kSha3_256, 64));
+
+  print_title("Host measurement — real engine strong scaling (d = 2, SHA-3)");
+  const int max_threads = par::ThreadPool::default_threads();
+  Xoshiro256 rng(3);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 unrelated = Seed256::random(rng);
+  const hash::Sha3SeedHash hash;
+  const auto target = hash(unrelated);  // full-ball workload
+
+  Table host({"threads", "host time (s)", "speedup", "efficiency"});
+  double t1 = 0.0;
+  for (int p = 1; p <= max_threads; p *= 2) {
+    par::ThreadPool pool(p);
+    comb::ChaseFactory factory;
+    SearchOptions opts;
+    opts.max_distance = 2;
+    opts.num_threads = p;
+    double best = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto r = rbc_search<hash::Sha3SeedHash>(base, target, factory,
+                                                    pool, opts, hash);
+      best = std::min(best, r.host_seconds);
+    }
+    if (p == 1) t1 = best;
+    host.add_row({std::to_string(p), fmt(best, 4), fmt(t1 / best, 2),
+                  fmt(t1 / best / p, 2)});
+  }
+  host.print();
+  if (max_threads == 1) {
+    std::printf("(host has a single hardware thread; scaling is visible only "
+                "in the model section)\n");
+  }
+  return 0;
+}

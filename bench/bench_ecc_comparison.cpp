@@ -1,0 +1,128 @@
+// RBC versus client-side error correction — quantifying §1's motivating
+// claim: "low-powered IoT devices often do not have the computational power
+// to carry out error correction, and if they were able to ... it may leak
+// information to an opponent."
+//
+// Compares, for the same PUF noise levels:
+//   * client-side work per authentication (fuzzy-commitment decode vs one
+//     hash for RBC),
+//   * effective secret entropy (repetition helper data divides it by r;
+//     RBC keeps all 256 bits),
+//   * success rate (majority decode vs server search with budget d).
+#include "bench_util.hpp"
+#include "puf/fuzzy_extractor.hpp"
+#include "puf/puf.hpp"
+#include "rbc/search.hpp"
+#include "combinatorics/chase382.hpp"
+
+int main() {
+  using namespace rbc;
+  using namespace rbc::bench;
+
+  print_title("Alternative baseline — client-side ECC vs server-side RBC");
+
+  Table design({"scheme", "client work/auth", "secret entropy",
+                "error budget", "who pays"});
+  for (int r : {8, 16, 32}) {
+    puf::RepetitionFuzzyExtractor fe(r);
+    design.add_row({"fuzzy commitment r=" + std::to_string(r),
+                    std::to_string(fe.client_ops()) + " bit-ops + decode",
+                    std::to_string(fe.secret_bits()) + " bits",
+                    "< r/2 flips per group", "client"});
+  }
+  design.add_row({"RBC-SALTED", "1 hash (one Keccak-f)", "256 bits",
+                  "any d with u(d) searchable in T", "server"});
+  design.print();
+
+  print_title("Monte-Carlo success rates vs PUF noise (200 trials each)");
+  // RBC columns use the paper's d = 5 budget; the "3 tries" column models the
+  // Fig. 1 timeout path (the CA re-challenges at a fresh address, up to 3
+  // attempts). ECC has no retry lever: the helper data is fixed at enrollment.
+  Table mc({"stable flip prob", "~bits flipped", "ECC r=8", "ECC r=16",
+            "ECC r=32", "RBC d<=5", "RBC d<=5, 3 tries"});
+
+  for (double noise : {0.002, 0.008, 0.02, 0.05, 0.10, 0.15}) {
+    puf::SramPufModel::Params params;
+    params.num_addresses = 1;
+    params.erratic_cell_fraction = 0.0;
+    params.stable_flip_probability = noise;
+    const puf::SramPufModel device(params, 99);
+    Xoshiro256 rng(31);
+
+    const int trials = 200;
+    double mean_flips = 0;
+    int ecc_ok[3] = {0, 0, 0};
+    const int rs[3] = {8, 16, 32};
+    puf::RepetitionFuzzyExtractor fes[3] = {
+        puf::RepetitionFuzzyExtractor(8), puf::RepetitionFuzzyExtractor(16),
+        puf::RepetitionFuzzyExtractor(32)};
+    puf::RepetitionFuzzyExtractor::Enrollment enrollments[3];
+    for (int i = 0; i < 3; ++i)
+      enrollments[i] = fes[i].enroll(device.enrolled_word(0), rng);
+
+    int rbc_ok = 0, rbc_retry_ok = 0;
+    for (int t = 0; t < trials; ++t) {
+      const Seed256 reading = device.read(0, rng);
+      const int flips = hamming_distance(reading, device.enrolled_word(0));
+      mean_flips += flips;
+      for (int i = 0; i < 3; ++i) {
+        ecc_ok[i] += fes[i].recover(reading, enrollments[i].helper).secret ==
+                     enrollments[i].secret;
+      }
+      // RBC succeeds iff the flip count is within the search budget (the
+      // search is deterministic — no need to actually run 200 searches).
+      rbc_ok += flips <= 5;
+      bool any = flips <= 5;
+      for (int attempt = 1; attempt < 3 && !any; ++attempt) {
+        any = hamming_distance(device.read(0, rng),
+                               device.enrolled_word(0)) <= 5;
+      }
+      rbc_retry_ok += any;
+    }
+    (void)rs;
+    mc.add_row({fmt(noise, 3), fmt(mean_flips / trials, 1),
+                fmt(100.0 * ecc_ok[0] / trials, 0) + "%",
+                fmt(100.0 * ecc_ok[1] / trials, 0) + "%",
+                fmt(100.0 * ecc_ok[2] / trials, 0) + "%",
+                fmt(100.0 * rbc_ok / trials, 0) + "%",
+                fmt(100.0 * rbc_retry_ok / trials, 0) + "%"});
+  }
+  mc.print();
+
+  std::printf(
+      "\nFunctional spot check that RBC really recovers what ECC cannot\n"
+      "protect: one search at the noise level where r=8 ECC collapses.\n");
+  {
+    puf::SramPufModel::Params params;
+    params.num_addresses = 1;
+    params.erratic_cell_fraction = 0.0;
+    params.stable_flip_probability = 0.008;  // ~2 flips
+    const puf::SramPufModel device(params, 99);
+    Xoshiro256 rng(77);
+    const Seed256 reading = device.read(0, rng);
+    par::ThreadPool pool(par::ThreadPool::default_threads());
+    comb::ChaseFactory factory;
+    const hash::Sha3SeedHash hash;
+    SearchOptions opts;
+    opts.max_distance = 3;
+    opts.num_threads = pool.size();
+    const auto r = rbc_search<hash::Sha3SeedHash>(
+        device.enrolled_word(0), hash(reading), factory, pool, opts, hash);
+    std::printf("  reading at d=%d from the image: RBC %s in %.3f s host "
+                "(%llu seeds)\n",
+                hamming_distance(reading, device.enrolled_word(0)),
+                r.found ? "recovered it" : "FAILED", r.host_seconds,
+                static_cast<unsigned long long>(r.seeds_hashed));
+  }
+
+  std::printf(
+      "\nTakeaways (the honest trade-off behind §1's motivation): repetition\n"
+      "ECC corrects iid noise well, but at a fixed price — the public helper\n"
+      "data divides the secret entropy by r (256 -> 8..32 bits here) and the\n"
+      "correction work+helper storage land on the IoT client, where §1 also\n"
+      "notes the decoder's data-dependent behaviour can leak. RBC keeps the\n"
+      "full 256-bit space, costs the client exactly one hash, and makes the\n"
+      "error tolerance a SERVER-side knob (budget d, TAPKI, re-challenge) —\n"
+      "tunable per deployment without touching deployed devices.\n");
+  return 0;
+}

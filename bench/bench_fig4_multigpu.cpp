@@ -1,0 +1,54 @@
+// Figure 4: multi-GPU scalability of the search-only time — speedup on up
+// to 3xA100 for SHA-1/SHA-3, exhaustive and early-exit searches. Extended
+// beyond the paper to 8 GPUs (the paper's §5 multi-accelerator discussion).
+#include "bench_util.hpp"
+#include "sim/multi_gpu.hpp"
+
+int main() {
+  using namespace rbc;
+  using namespace rbc::bench;
+  using hash::HashAlgo;
+
+  print_title("Figure 4 — multi-GPU speedup (model), d = 5");
+
+  sim::MultiGpuModel multi;
+  const struct {
+    HashAlgo hash;
+    bool early_exit;
+    const char* label;
+    double paper_speedup3;  // NaN-free: -1 means not reported numerically
+  } series[] = {
+      {HashAlgo::kSha1, false, "SHA-1 exhaustive", -1.0},
+      {HashAlgo::kSha1, true, "SHA-1 early-exit", -1.0},
+      {HashAlgo::kSha3_256, false, "SHA-3 exhaustive", 2.87},
+      {HashAlgo::kSha3_256, true, "SHA-3 early-exit", 2.66},
+  };
+
+  Table table({"series", "1 GPU (s)", "2 GPUs (s)", "3 GPUs (s)",
+               "speedup@3", "paper@3", "efficiency@3"});
+  for (const auto& s : series) {
+    const auto curve = multi.scaling_curve(5, s.hash, s.early_exit, 3);
+    table.add_row(
+        {s.label, fmt(curve[0].time_s), fmt(curve[1].time_s),
+         fmt(curve[2].time_s), fmt(curve[2].speedup),
+         s.paper_speedup3 > 0 ? fmt(s.paper_speedup3) : std::string("-"),
+         fmt(curve[2].parallel_efficiency, 3)});
+  }
+  table.print();
+
+  std::printf(
+      "\nPaper findings reproduced: exhaustive scales better than early-exit\n"
+      "(flag traffic + fixed exit cost do not shrink with GPU count), and\n"
+      "SHA-3 scales better than SHA-1 (more compute per byte of overhead).\n");
+
+  print_title("Extension — projected scaling to 8 GPUs (SHA-3)");
+  Table ext({"GPUs", "exhaustive speedup", "early-exit speedup"});
+  const auto ex = multi.scaling_curve(5, HashAlgo::kSha3_256, false, 8);
+  const auto ee = multi.scaling_curve(5, HashAlgo::kSha3_256, true, 8);
+  for (int g = 1; g <= 8; ++g) {
+    ext.add_row({std::to_string(g), fmt(ex[static_cast<unsigned>(g - 1)].speedup),
+                 fmt(ee[static_cast<unsigned>(g - 1)].speedup)});
+  }
+  ext.print();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Raw primitive throughput on the host (google-benchmark): seed hashing
+// (fixed and generic paths), the bare Keccak permutation, the three seed
+// iterators, and the three key generators. Supporting data for Tables 4, 5
+// and 7 — all other benches' host sections build on these primitives.
+#include <benchmark/benchmark.h>
+
+#include "combinatorics/algorithm515.hpp"
+#include "combinatorics/chase382.hpp"
+#include "combinatorics/gosper.hpp"
+#include "common/rng.hpp"
+#include "crypto/pqc_keygen.hpp"
+#include "hash/keccak.hpp"
+#include "hash/sha1.hpp"
+
+namespace {
+
+using namespace rbc;
+
+Seed256 bench_seed() {
+  Xoshiro256 rng(0xbead);
+  return Seed256::random(rng);
+}
+
+void BM_Sha1SeedFixed(benchmark::State& state) {
+  Seed256 s = bench_seed();
+  for (auto _ : state) {
+    auto d = hash::sha1_seed(s);
+    benchmark::DoNotOptimize(d);
+    s.word(0) += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sha1SeedFixed);
+
+void BM_Sha1SeedGeneric(benchmark::State& state) {
+  Seed256 s = bench_seed();
+  for (auto _ : state) {
+    auto d = hash::sha1_seed_generic(s);
+    benchmark::DoNotOptimize(d);
+    s.word(0) += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sha1SeedGeneric);
+
+void BM_Sha3SeedFixed(benchmark::State& state) {
+  Seed256 s = bench_seed();
+  for (auto _ : state) {
+    auto d = hash::sha3_256_seed(s);
+    benchmark::DoNotOptimize(d);
+    s.word(0) += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sha3SeedFixed);
+
+void BM_Sha3SeedGeneric(benchmark::State& state) {
+  Seed256 s = bench_seed();
+  for (auto _ : state) {
+    auto d = hash::sha3_256_seed_generic(s);
+    benchmark::DoNotOptimize(d);
+    s.word(0) += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sha3SeedGeneric);
+
+void BM_KeccakF1600(benchmark::State& state) {
+  u64 lanes[25] = {1, 2, 3};
+  for (auto _ : state) {
+    hash::keccak_f1600(lanes);
+    benchmark::DoNotOptimize(lanes[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeccakF1600);
+
+void BM_IterChase(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  comb::ChaseSequence seq(k);
+  Seed256 sink;
+  for (auto _ : state) {
+    if (!seq.advance()) seq = comb::ChaseSequence(k);
+    sink ^= seq.mask();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IterChase)->Arg(3)->Arg(5);
+
+void BM_IterGosper(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Seed256 mask = Seed256::low_bits(k);
+  for (auto _ : state) {
+    mask = comb::gosper_next(mask);
+    if (mask.highest_set_bit() >= 250) mask = Seed256::low_bits(k);
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IterGosper)->Arg(3)->Arg(5);
+
+void BM_IterAlg515UnrankEach(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const u64 total = comb::binomial64(256, k);
+  u64 rank = 0;
+  Seed256 sink;
+  for (auto _ : state) {
+    sink ^= comb::unrank_lexicographic(rank, k).to_mask();
+    if (++rank == total) rank = 0;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IterAlg515UnrankEach)->Arg(3)->Arg(5);
+
+void BM_KeygenAes(benchmark::State& state) {
+  const crypto::Aes128Keygen keygen;
+  Seed256 s = bench_seed();
+  for (auto _ : state) {
+    auto pk = keygen(s);
+    benchmark::DoNotOptimize(pk);
+    s.word(0) += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeygenAes);
+
+void BM_KeygenSaberLike(benchmark::State& state) {
+  const crypto::SaberLikeKeygen keygen;
+  Seed256 s = bench_seed();
+  for (auto _ : state) {
+    auto pk = keygen(s);
+    benchmark::DoNotOptimize(pk);
+    s.word(0) += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeygenSaberLike);
+
+void BM_KeygenDilithiumLike(benchmark::State& state) {
+  const crypto::DilithiumLikeKeygen keygen;
+  Seed256 s = bench_seed();
+  for (auto _ : state) {
+    auto pk = keygen(s);
+    benchmark::DoNotOptimize(pk);
+    s.word(0) += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeygenDilithiumLike);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 4: exhaustive search-only time (s) for the three seed-iterator
+// methods (Chase's Algorithm 382, Algorithm 515, Gosper's hack), GPU, SHA-3,
+// d = 5.
+//
+// Two sections:
+//   1. model — the calibrated GPU model's projection for each iterator,
+//      versus the paper's 4.67 / 7.53 / 6.04 s.
+//   2. host  — the REAL iterators from this repo driven with the REAL SHA-3,
+//      measured per-seed on this machine (shell k = 3 sample). The paper's
+//      ordering (Chase < Gosper < Alg 515 for unrank-per-seed generation)
+//      must emerge from the measurement, not the calibration.
+#include "bench_util.hpp"
+#include "sim/gpu_model.hpp"
+#include "sim/probe.hpp"
+
+int main() {
+  using namespace rbc;
+  using namespace rbc::bench;
+  using sim::IterAlgo;
+
+  print_title("Table 4 — seed iterators, GPU SHA-3 exhaustive d = 5");
+
+  sim::GpuModel gpu;
+  const struct {
+    IterAlgo iter;
+    double paper;
+  } rows[] = {
+      {IterAlgo::kChase382, 4.67},
+      {IterAlgo::kAlg515, 7.53},
+      {IterAlgo::kGosper, 6.04},
+  };
+
+  Table table({"algorithm", "paper (s)", "model (s)", "dev"});
+  for (const auto& row : rows) {
+    const double model =
+        gpu.exhaustive_time_s(5, hash::HashAlgo::kSha3_256, row.iter);
+    table.add_row({std::string(sim::to_string(row.iter)), fmt(row.paper),
+                   fmt(model), deviation(model, row.paper)});
+  }
+  table.print();
+
+  std::printf(
+      "\nNote: §4.5's prose claims 5.89x/6.77x speedups for Alg 382 over\n"
+      "Alg 515/Gosper, inconsistent with Table 4's own 1.61x/1.29x ratios;\n"
+      "this reproduction follows Table 4 (see EXPERIMENTS.md).\n");
+
+  print_title("Host measurement — real iterator + real SHA-3 (shell k = 3)");
+  const u64 sample = 400000;
+  Table host({"algorithm", "seeds", "ns/seed", "vs Chase"});
+  double chase_ns = 0.0;
+  for (IterAlgo it :
+       {IterAlgo::kChase382, IterAlgo::kGosper, IterAlgo::kAlg515}) {
+    const auto r =
+        sim::probe_iterate_and_hash(it, hash::HashAlgo::kSha3_256, 3, sample);
+    if (it == IterAlgo::kChase382) chase_ns = r.ns_per_op();
+    host.add_row({std::string(sim::to_string(it)),
+                  std::to_string(r.operations), fmt(r.ns_per_op(), 1),
+                  fmt(r.ns_per_op() / chase_ns, 2) + "x"});
+  }
+  host.print();
+  std::printf(
+      "\nExpected ordering on the host: Chase (O(1) Gray step) <= Gosper\n"
+      "(256-bit arithmetic per step) < Alg 515 in unrank-each mode (binomial\n"
+      "table walk per seed) — the same ordering Table 4 reports on the GPU.\n");
+  return 0;
+}

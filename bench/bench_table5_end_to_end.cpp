@@ -1,0 +1,132 @@
+// Table 5: end-to-end response time (comm + search) of SALTED-GPU,
+// SALTED-APU and SALTED-CPU for d = 5, SHA-1 and SHA-3, exhaustive and
+// average-case searches.
+//
+// Columns: the paper's published value, the calibrated model's projection
+// (paper platform, d = 5), and the deviation. A second section runs REAL
+// functional searches end-to-end through the protocol stack at a host-scale
+// d (= 3 exhaustive-equivalent effort) and reports measured host times plus
+// each backend's modeled device time for the same visited-seed count.
+#include "bench_util.hpp"
+#include "rbc/protocol.hpp"
+#include "rbc/trial.hpp"
+#include "sim/apu_model.hpp"
+#include "sim/cpu_model.hpp"
+#include "sim/gpu_model.hpp"
+
+namespace {
+
+using namespace rbc;
+using namespace rbc::bench;
+using hash::HashAlgo;
+
+struct PaperRow {
+  const char* algo;
+  const char* type;
+  double comm, search, total;
+};
+
+// Table 5 as published.
+constexpr PaperRow kPaper[] = {
+    {"SALTED-GPU", "Exhaustive", 0.90, 1.56, 2.46},
+    {"SALTED-APU", "Exhaustive", 0.90, 1.62, 2.52},
+    {"SALTED-CPU", "Exhaustive", 0.90, 12.09, 12.99},
+    {"SALTED-GPU", "Average", 0.90, 0.85, 1.75},
+    {"SALTED-APU", "Average", 0.90, 0.83, 1.73},
+    {"SALTED-CPU", "Average", 0.90, 6.04, 6.94},
+    {"SALTED-GPU", "Exhaustive", 0.90, 4.67, 5.57},
+    {"SALTED-APU", "Exhaustive", 0.90, 13.95, 14.85},
+    {"SALTED-CPU", "Exhaustive", 0.90, 60.68, 61.58},
+    {"SALTED-GPU", "Average", 0.90, 2.42, 3.32},
+    {"SALTED-APU", "Average", 0.90, 7.05, 7.95},
+    {"SALTED-CPU", "Average", 0.90, 30.52, 31.42},
+};
+
+double model_search_time(int row, int d) {
+  const HashAlgo h = row < 6 ? HashAlgo::kSha1 : HashAlgo::kSha3_256;
+  const bool average = std::string(kPaper[row].type) == "Average";
+  const int idx = row % 3;  // row order within each block: GPU, APU, CPU
+  if (idx == 0) {  // GPU
+    sim::GpuModel gpu;
+    return average ? gpu.average_time_s(d, h) : gpu.exhaustive_time_s(d, h);
+  }
+  if (idx == 1) {  // APU
+    sim::ApuModel apu;
+    return average ? apu.average_time_s(d, h) : apu.exhaustive_time_s(d, h);
+  }
+  sim::CpuModel cpu;  // CPU, 64 cores
+  return average ? cpu.average_time_s(d, h, 64)
+                 : cpu.exhaustive_time_s(d, h, 64);
+}
+
+void functional_section() {
+  print_title(
+      "Functional cross-check — real protocol sessions on this host (d = 2)");
+  Table table({"backend", "hash", "auth", "found d", "seeds hashed",
+               "host search (s)", "modeled device (s)"});
+  for (const char* backend : {"gpu", "apu", "cpu"}) {
+    for (HashAlgo h : {HashAlgo::kSha1, HashAlgo::kSha3_256}) {
+      puf::SramPufModel::Params params;
+      params.num_addresses = 2;
+      puf::SramPufModel device(params, 42);
+      EnrollmentDatabase db(crypto::Aes128::Key{0x11});
+      Xoshiro256 rng(7);
+      db.enroll(1, device, 60, 0.05, rng);
+      RegistrationAuthority ra;
+      CaConfig cfg;
+      cfg.max_distance = 2;
+      EngineConfig ecfg;
+      ecfg.host_threads = par::ThreadPool::default_threads();
+      CertificateAuthority ca(cfg, std::move(db),
+                              make_backend(backend, ecfg), &ra);
+      ClientConfig ccfg;
+      ccfg.device_id = 1;
+      ccfg.hash_algo = h;
+      ccfg.injected_distance = 2;
+      Client client(ccfg, &device, 99);
+      const auto session = run_authentication(client, ca, ra);
+      table.add_row({std::string("SALTED-") + (backend[0] == 'g'   ? "GPU"
+                                               : backend[0] == 'a' ? "APU"
+                                                                   : "CPU"),
+                     std::string(hash::to_string(h)),
+                     session.result.authenticated ? "yes" : "NO",
+                     std::to_string(session.result.found_distance),
+                     std::to_string(session.engine.result.seeds_hashed),
+                     fmt(session.result.search_seconds, 4),
+                     fmt_sci(session.engine.modeled_device_seconds, 2)});
+    }
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  print_title("Table 5 — end-to-end response time (s), d = 5");
+  const double comm = sim::default_calibration().comm_time_s;
+
+  Table table({"algorithm", "search type", "hash", "paper search", "model search",
+               "dev", "paper total", "model total"});
+  for (int row = 0; row < 12; ++row) {
+    const char* hash_name = row < 6 ? "SHA-1" : "SHA-3";
+    const double model = model_search_time(row, 5);
+    table.add_row({kPaper[row].algo, kPaper[row].type, hash_name,
+                   fmt(kPaper[row].search), fmt(model),
+                   deviation(model, kPaper[row].search),
+                   fmt(kPaper[row].total), fmt(comm + model)});
+  }
+  table.print();
+
+  std::printf(
+      "\nT = 20 s threshold check (paper: only SALTED-CPU with SHA-3 "
+      "misses it):\n");
+  for (int row : {6, 7, 8}) {
+    const double total = comm + model_search_time(row, 5);
+    std::printf("  %-11s SHA-3 exhaustive total %6.2f s -> %s\n",
+                kPaper[row].algo, total,
+                total <= 20.0 ? "within T" : "EXCEEDS T");
+  }
+
+  functional_section();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Table 7: comparison with prior algorithm-aware RBC work — AES-128 [39],
+// LightSABER [29], Dilithium3 [40] — versus this work's SHA-3 RBC-SALTED.
+//
+// Three sections:
+//   1. the paper's table side by side with the calibrated models,
+//   2. REAL per-candidate costs of this repo's implementations (AES /
+//      SABER-like / Dilithium-like keygens vs SHA-3 hashing) measured on the
+//      host — the keygen-vs-hash gap that motivates RBC-SALTED must emerge
+//      from real code,
+//   3. a functional legacy-vs-salted search race at small d on the host.
+#include "bench_util.hpp"
+#include "combinatorics/chase382.hpp"
+#include "common/rng.hpp"
+#include "rbc/legacy.hpp"
+#include "rbc/search.hpp"
+#include "sim/cpu_model.hpp"
+#include "sim/gpu_model.hpp"
+#include "sim/apu_model.hpp"
+#include "sim/probe.hpp"
+
+namespace {
+
+using namespace rbc;
+using namespace rbc::bench;
+
+void model_section() {
+  print_title("Table 7 — prior RBC work vs RBC-SALTED (d as in paper)");
+
+  sim::CpuModel cpu;
+  sim::GpuLegacyModel gpu_legacy;
+  sim::GpuModel gpu;
+  sim::ApuModel apu;
+
+  const u64 n5 = static_cast<u64>(comb::exhaustive_search_count(5));
+  const u64 n4 = static_cast<u64>(comb::exhaustive_search_count(4));
+
+  Table table({"ref", "algorithm", "d", "paper CPU (s)", "model CPU",
+               "paper GPU (s)", "model GPU", "APU (s)"});
+  table.add_row({"[39]", "AES-128", "5", "44.70",
+                 fmt(cpu.legacy_time_for_seeds_s(n5, crypto::KeygenAlgo::kAes128, 64)),
+                 "2.56",
+                 fmt(gpu_legacy.time_for_seeds_s(n5, crypto::KeygenAlgo::kAes128)),
+                 "-"});
+  table.add_row({"[29]", "LightSABER", "4", "44.58",
+                 fmt(cpu.legacy_time_for_seeds_s(n4, crypto::KeygenAlgo::kSaberLike, 64)),
+                 "14.03",
+                 fmt(gpu_legacy.time_for_seeds_s(n4, crypto::KeygenAlgo::kSaberLike)),
+                 "-"});
+  table.add_row({"[40]", "Dilithium3", "4", "204.92",
+                 fmt(cpu.legacy_time_for_seeds_s(n4, crypto::KeygenAlgo::kDilithiumLike, 64)),
+                 "27.91",
+                 fmt(gpu_legacy.time_for_seeds_s(n4, crypto::KeygenAlgo::kDilithiumLike)),
+                 "-"});
+  table.add_row({"This work", "SHA-3 (salted)", "5", "60.68",
+                 fmt(cpu.exhaustive_time_s(5, hash::HashAlgo::kSha3_256, 64)),
+                 "4.67",
+                 fmt(gpu.exhaustive_time_s(5, hash::HashAlgo::kSha3_256)),
+                 fmt(apu.exhaustive_time_s(5, hash::HashAlgo::kSha3_256))});
+  table.print();
+  std::printf(
+      "\nPaper conclusions reproduced: SALTED-GPU searches d=5 faster than\n"
+      "either PQC baseline searches d=4; only the symmetric AES baseline is\n"
+      "faster, at the cost of no one-way/asymmetric structure (§4.9).\n");
+}
+
+void host_cost_section() {
+  print_title("Host measurement — per-candidate cost, real implementations");
+  const auto sha3 = sim::probe_hash(hash::HashAlgo::kSha3_256, 200000);
+  const auto sha1 = sim::probe_hash(hash::HashAlgo::kSha1, 200000);
+  const auto aes = sim::probe_keygen(crypto::KeygenAlgo::kAes128, 100000);
+  const auto saber = sim::probe_keygen(crypto::KeygenAlgo::kSaberLike, 300);
+  const auto dilithium =
+      sim::probe_keygen(crypto::KeygenAlgo::kDilithiumLike, 100);
+  // Extension: the other NIST families §3 lists as valid terminators.
+  const auto kyber = sim::probe_keygen(crypto::KeygenAlgo::kKyberLike, 100);
+  const auto wots = sim::probe_keygen(crypto::KeygenAlgo::kWots, 100);
+
+  Table table({"candidate op", "ns/op", "vs SHA-3 hash"});
+  for (const auto* r : {&sha1, &sha3, &aes, &saber, &dilithium, &kyber, &wots}) {
+    table.add_row({r->what, fmt(r->ns_per_op(), 1),
+                   fmt(r->ns_per_op() / sha3.ns_per_op(), 1) + "x"});
+  }
+  table.print();
+  std::printf(
+      "\nThe PQC keygens cost orders of magnitude more per candidate than a\n"
+      "hash — the gap RBC-SALTED exploits by hashing during the search and\n"
+      "generating the key exactly once (paper GPU-calibrated gaps: AES 0.6x,\n"
+      "SABER 159x, Dilithium 316x of SHA-3). The WOTS+ row is the extreme:\n"
+      "a hash-based keygen IS ~1,072 hashes, so an algorithm-aware search\n"
+      "would pay that factor per candidate by construction.\n");
+}
+
+void functional_race_section() {
+  print_title("Functional race on this host — legacy vs salted, d = 1");
+  Xoshiro256 rng(1);
+  const Seed256 base = Seed256::random(rng);
+  Seed256 truth = base;
+  truth.flip_bit(200);
+
+  par::ThreadPool pool(par::ThreadPool::default_threads());
+  SearchOptions opts;
+  opts.max_distance = 1;
+  opts.num_threads = pool.size();
+  opts.early_exit = false;  // full shell for a fair race
+
+  Table table({"engine", "candidate op", "host time (s)"});
+
+  {
+    comb::ChaseFactory factory;
+    const hash::Sha3SeedHash hash;
+    WallTimer t;
+    const auto r =
+        rbc_search<hash::Sha3SeedHash>(base, hash(truth), factory, pool, opts, hash);
+    table.add_row({"RBC-SALTED", "SHA-3 hash",
+                   fmt(t.elapsed_s(), 4) + (r.found ? "" : " (!)")});
+  }
+  {
+    comb::ChaseFactory factory;
+    const crypto::Aes128Keygen keygen;
+    WallTimer t;
+    const auto r = legacy_rbc_search<crypto::Aes128Keygen>(
+        base, keygen(truth), factory, pool, opts, keygen);
+    table.add_row({"Legacy RBC", "AES-128 keygen",
+                   fmt(t.elapsed_s(), 4) + (r.found ? "" : " (!)")});
+  }
+  {
+    comb::ChaseFactory factory;
+    const crypto::SaberLikeKeygen keygen;
+    WallTimer t;
+    const auto r = legacy_rbc_search<crypto::SaberLikeKeygen>(
+        base, keygen(truth), factory, pool, opts, keygen);
+    table.add_row({"Legacy RBC", "LightSABER-like keygen",
+                   fmt(t.elapsed_s(), 4) + (r.found ? "" : " (!)")});
+  }
+  {
+    comb::ChaseFactory factory;
+    const crypto::DilithiumLikeKeygen keygen;
+    WallTimer t;
+    const auto r = legacy_rbc_search<crypto::DilithiumLikeKeygen>(
+        base, keygen(truth), factory, pool, opts, keygen);
+    table.add_row({"Legacy RBC", "Dilithium3-like keygen",
+                   fmt(t.elapsed_s(), 4) + (r.found ? "" : " (!)")});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  model_section();
+  host_cost_section();
+  functional_race_section();
+  return 0;
+}

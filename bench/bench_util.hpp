@@ -1,0 +1,82 @@
+// Shared console-table formatting for the per-table/figure bench binaries.
+//
+// Every bench prints, side by side where applicable:
+//   paper     — the value published in the paper,
+//   model     — the calibrated device-model projection from this repo,
+//   host      — a number measured by actually running this repo's code on
+//               the local machine (scaled-down workload where needed).
+// EXPERIMENTS.md records the paper-vs-model comparison produced here.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rbc::bench {
+
+inline void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::putchar('\n');
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    print_rule(static_cast<int>(total));
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", decimals, v);
+  return buf;
+}
+
+/// "+3.1%" style deviation of model vs paper.
+inline std::string deviation(double model, double paper) {
+  if (paper == 0.0) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (model / paper - 1.0) * 100.0);
+  return buf;
+}
+
+}  // namespace rbc::bench

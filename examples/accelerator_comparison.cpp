@@ -1,0 +1,82 @@
+// Accelerator comparison — §4.6 in miniature, on the public API.
+//
+// Runs the SAME authentication workload against the three search backends
+// (simulated A100 GPU, simulated Gemini APU, EPYC-class CPU), for SHA-1 and
+// SHA-3, and prints the projected device times plus the paper-scale d = 5
+// projections and energy footprints. A decision-support tool for choosing a
+// server platform for an RBC deployment.
+#include <cstdio>
+
+#include "rbc/protocol.hpp"
+#include "sim/apu_model.hpp"
+#include "sim/cpu_model.hpp"
+#include "sim/energy.hpp"
+#include "sim/gpu_model.hpp"
+
+int main() {
+  using namespace rbc;
+  using hash::HashAlgo;
+
+  puf::SramPufModel::Params params;
+  params.num_addresses = 4;
+  puf::SramPufModel device(params, 90210);
+
+  std::printf("Workload: authenticate one client with 3 flipped bits "
+              "(searches the d<=3 ball)\n\n");
+  std::printf("%-12s %-7s %-7s %-9s %-13s %-18s\n", "backend", "hash",
+              "auth", "found d", "host time s", "modeled device s");
+
+  for (const char* backend : {"gpu", "apu", "cpu"}) {
+    for (HashAlgo h : {HashAlgo::kSha1, HashAlgo::kSha3_256}) {
+      EnrollmentDatabase db(crypto::Aes128::Key{0x01});
+      Xoshiro256 rng(11);
+      db.enroll(1, device, 80, 0.05, rng);
+      RegistrationAuthority ra;
+      CaConfig cfg;
+      cfg.max_distance = 3;
+      CertificateAuthority ca(cfg, std::move(db), make_backend(backend), &ra);
+
+      ClientConfig ccfg;
+      ccfg.device_id = 1;
+      ccfg.hash_algo = h;
+      ccfg.injected_distance = 3;
+      Client client(ccfg, &device, 13);
+
+      const auto session = run_authentication(client, ca, ra);
+      std::printf("%-12s %-7s %-7s %-9d %-13.4f %-18.3e\n",
+                  session.engine.device_name.c_str(),
+                  std::string(hash::to_string(h)).c_str(),
+                  session.result.authenticated ? "yes" : "NO",
+                  session.result.found_distance,
+                  session.result.search_seconds,
+                  session.engine.modeled_device_seconds);
+    }
+  }
+
+  // Paper-scale projection: what would a d = 5 deployment look like?
+  std::printf("\nPaper-scale projection (exhaustive d = 5 search):\n");
+  sim::GpuModel gpu;
+  sim::ApuModel apu;
+  sim::CpuModel cpu;
+  sim::EnergyModel energy;
+  std::printf("%-12s %-7s %-12s %-12s\n", "platform", "hash", "search s",
+              "energy J");
+  for (HashAlgo h : {HashAlgo::kSha1, HashAlgo::kSha3_256}) {
+    const double tg = gpu.exhaustive_time_s(5, h);
+    const double ta = apu.exhaustive_time_s(5, h);
+    const double tc = cpu.exhaustive_time_s(5, h, 64);
+    std::printf("%-12s %-7s %-12.2f %-12.1f\n", "A100 GPU",
+                std::string(hash::to_string(h)).c_str(), tg,
+                energy.gpu_energy(sim::a100(), h, tg).total_joules);
+    std::printf("%-12s %-7s %-12.2f %-12.1f\n", "Gemini APU",
+                std::string(hash::to_string(h)).c_str(), ta,
+                energy.apu_energy(sim::gemini_apu(), h, ta).total_joules);
+    std::printf("%-12s %-7s %-12.2f %-12s\n", "EPYC x64",
+                std::string(hash::to_string(h)).c_str(), tc, "-");
+  }
+  std::printf(
+      "\nTakeaway (paper §5): GPU ~ APU on SHA-1 with the APU ~2.5x more\n"
+      "energy-efficient; on SHA-3 the GPU is ~3x faster and energy parity\n"
+      "returns. The CPU needs SHA-1 to stay inside the T = 20 s threshold.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// IoT fleet authentication — the workload the paper's introduction
+// motivates: a CA server authenticating a fleet of low-powered devices whose
+// PUFs have heterogeneous quality.
+//
+// Enrolls a fleet of devices with varying erratic-cell fractions, runs
+// several authentication rounds per device, and reports fleet-wide
+// statistics: authentication rate, search effort, and how TAPKI masking
+// keeps poor devices usable.
+#include <cstdio>
+#include <vector>
+
+#include "rbc/protocol.hpp"
+#include "rbc/trial.hpp"
+
+int main() {
+  using namespace rbc;
+
+  constexpr int kDevices = 12;
+  constexpr int kRoundsPerDevice = 5;
+
+  // Device quality tiers: erratic-cell fraction ramps up across the fleet.
+  auto params_for = [](int i) {
+    puf::SramPufModel::Params p;
+    p.num_addresses = 8;
+    p.erratic_cell_fraction = 0.02 + 0.01 * i;  // 2% .. 13%
+    p.stable_flip_probability = 0.004;
+    p.erratic_flip_probability = 0.30;
+    return p;
+  };
+
+  // One CA serves the whole fleet.
+  EnrollmentDatabase db(crypto::Aes128::Key{0x77});
+  std::vector<puf::SramPufModel> devices;
+  devices.reserve(kDevices);
+  Xoshiro256 enrollment_rng(7);
+  for (int i = 0; i < kDevices; ++i) {
+    devices.emplace_back(params_for(i), static_cast<u64>(1000 + i));
+    db.enroll(static_cast<u64>(i), devices.back(), /*calibration_reads=*/120,
+              /*max_flip_rate=*/0.05, enrollment_rng);
+  }
+
+  RegistrationAuthority ra;
+  CaConfig ca_cfg;
+  ca_cfg.max_distance = 3;
+  CertificateAuthority ca(ca_cfg, std::move(db), make_backend("gpu"), &ra);
+
+  std::printf("%-8s %-10s %-10s %-12s %-14s %-16s %-12s\n", "device",
+              "erratic%", "masked", "auth rate", "mean seeds",
+              "mean GPU-model s", "p95 host s");
+  int fleet_auth = 0, fleet_total = 0;
+  for (int i = 0; i < kDevices; ++i) {
+    ClientConfig cfg;
+    cfg.device_id = static_cast<u64>(i);
+    cfg.injected_distance = -1;  // submit the real (masked) noisy reading
+    Client client(cfg, &devices[static_cast<unsigned>(i)],
+                  static_cast<u64>(5000 + i));
+    const TrialStats stats = run_trials(client, ca, ra, kRoundsPerDevice);
+    fleet_auth += stats.authenticated;
+    fleet_total += stats.trials;
+
+    // Peek at one TAPKI mask for reporting.
+    const auto record = ca.database().load(static_cast<u64>(i));
+    std::printf("%-8d %-10.1f %-10d %-12.2f %-14.1f %-16.3e %-12.4f\n", i,
+                100.0 * params_for(i).erratic_cell_fraction,
+                record.masks[0].num_unstable(), stats.auth_rate(),
+                stats.mean_seeds_hashed(), stats.mean_modeled_device_s(),
+                stats.host_search_percentile(0.95));
+  }
+
+  std::printf("\nfleet: %d/%d sessions authenticated (%.1f%%), %zu keys in "
+              "the RA registry\n",
+              fleet_auth, fleet_total, 100.0 * fleet_auth / fleet_total,
+              ra.size());
+  std::printf("TAPKI masks scale with device quality, keeping the masked bit\n"
+              "streams within the d <= %d search budget even for the noisy "
+              "tail of the fleet.\n",
+              ca.config().max_distance);
+  return fleet_auth == fleet_total ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Reproduce everything: build, run the full test suite, regenerate every
+# table/figure, and run the examples. Outputs land in test_output.txt and
+# bench_output.txt at the repository root (the files EXPERIMENTS.md cites).
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Examples:"
+for e in quickstart iot_fleet_authentication accelerator_comparison \
+         puf_error_study security_tuning protocol_walkthrough \
+         distributed_search rbc_ca_tool; do
+  echo "--- $e ---"
+  "build/examples/$e" > /dev/null && echo "ok"
+done

@@ -1,0 +1,93 @@
+// Bit-sliced data layout for the APU compute model.
+//
+// The Gemini APU is an associative, bit-serial architecture: an operation is
+// applied to one BIT POSITION of many processing elements at once (§3.3,
+// Fig. 2). The standard way to model (and to reason about the cost of) such
+// a machine on a commodity host is bit-slicing: 64 PEs' values are stored
+// transposed, one machine word ("plane") per bit position, so a single host
+// word-op performs the same boolean step on all 64 lanes — exactly one
+// "column cycle" of the associative array.
+//
+// This header provides the transposed word types and the lane<->plane
+// transposition routines; the kernels in sha1_kernel.hpp / keccak_kernel.hpp
+// express SHA-1 and Keccak-f[1600] purely in plane operations, which is what
+// lets bench_apu_bitslice count the boolean steps a PE actually executes per
+// hash and compare against the calibrated PE-cycle costs.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace rbc::apu {
+
+/// Number of lanes carried per plane word.
+inline constexpr int kLanes = 64;
+
+/// One bit position across all 64 lanes.
+using Plane = u64;
+
+/// A 32-bit value per lane, stored as 32 planes (plane b holds bit b).
+using Word32 = std::array<Plane, 32>;
+
+/// A 64-bit value per lane, stored as 64 planes.
+using Word64 = std::array<Plane, 64>;
+
+/// lanes[l] -> planes: plane b, bit l = (lanes[l] >> b) & 1.
+inline Word32 transpose32(const std::array<u32, kLanes>& lanes) noexcept {
+  Word32 planes{};
+  for (int l = 0; l < kLanes; ++l) {
+    const u32 v = lanes[static_cast<unsigned>(l)];
+    for (int b = 0; b < 32; ++b) {
+      planes[static_cast<unsigned>(b)] |=
+          static_cast<u64>((v >> b) & 1u) << l;
+    }
+  }
+  return planes;
+}
+
+inline std::array<u32, kLanes> untranspose32(const Word32& planes) noexcept {
+  std::array<u32, kLanes> lanes{};
+  for (int b = 0; b < 32; ++b) {
+    const Plane p = planes[static_cast<unsigned>(b)];
+    for (int l = 0; l < kLanes; ++l) {
+      lanes[static_cast<unsigned>(l)] |=
+          static_cast<u32>((p >> l) & 1u) << b;
+    }
+  }
+  return lanes;
+}
+
+inline Word64 transpose64(const std::array<u64, kLanes>& lanes) noexcept {
+  Word64 planes{};
+  for (int l = 0; l < kLanes; ++l) {
+    const u64 v = lanes[static_cast<unsigned>(l)];
+    for (int b = 0; b < 64; ++b) {
+      planes[static_cast<unsigned>(b)] |= ((v >> b) & 1u) << l;
+    }
+  }
+  return planes;
+}
+
+inline std::array<u64, kLanes> untranspose64(const Word64& planes) noexcept {
+  std::array<u64, kLanes> lanes{};
+  for (int b = 0; b < 64; ++b) {
+    const Plane p = planes[static_cast<unsigned>(b)];
+    for (int l = 0; l < kLanes; ++l) {
+      lanes[static_cast<unsigned>(l)] |= ((p >> l) & 1u) << b;
+    }
+  }
+  return lanes;
+}
+
+/// Broadcast of a scalar constant: plane b is all-ones iff bit b is set.
+/// On the real array this is a mask load, not a compute cycle.
+inline Word32 broadcast32(u32 value) noexcept {
+  Word32 planes;
+  for (int b = 0; b < 32; ++b) {
+    planes[static_cast<unsigned>(b)] = ((value >> b) & 1u) ? ~0ULL : 0ULL;
+  }
+  return planes;
+}
+
+}  // namespace rbc::apu

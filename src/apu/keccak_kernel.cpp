@@ -1,0 +1,120 @@
+#include "apu/keccak_kernel.hpp"
+
+#include <cstring>
+
+namespace rbc::apu {
+
+namespace {
+
+constexpr u64 kRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr int kRho[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                          25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+Word64 xor64(VectorUnit& vu, const Word64& a, const Word64& b) {
+  Word64 r;
+  for (int bit = 0; bit < 64; ++bit)
+    r[static_cast<unsigned>(bit)] =
+        vu.vxor(a[static_cast<unsigned>(bit)], b[static_cast<unsigned>(bit)]);
+  return r;
+}
+
+}  // namespace
+
+void keccak_f1600_x64(std::array<Word64, 25>& a, VectorUnit& vu) {
+  for (int round = 0; round < 24; ++round) {
+    // theta
+    Word64 c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = xor64(vu, a[static_cast<unsigned>(x)],
+                   a[static_cast<unsigned>(x + 5)]);
+      c[x] = xor64(vu, c[x], a[static_cast<unsigned>(x + 10)]);
+      c[x] = xor64(vu, c[x], a[static_cast<unsigned>(x + 15)]);
+      c[x] = xor64(vu, c[x], a[static_cast<unsigned>(x + 20)]);
+    }
+    Word64 d[5];
+    for (int x = 0; x < 5; ++x)
+      d[x] = xor64(vu, c[(x + 4) % 5], rotl64_planes(c[(x + 1) % 5], 1));
+    for (int i = 0; i < 25; ++i)
+      a[static_cast<unsigned>(i)] =
+          xor64(vu, a[static_cast<unsigned>(i)], d[i % 5]);
+
+    // rho + pi: pure plane/lane renaming — free on the array.
+    std::array<Word64, 25> b;
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        const int src = x + 5 * y;
+        const int dst = y + 5 * ((2 * x + 3 * y) % 5);
+        b[static_cast<unsigned>(dst)] =
+            rotl64_planes(a[static_cast<unsigned>(src)], kRho[src]);
+      }
+    }
+
+    // chi: a[x] = b[x] ^ (~b[x+1] & b[x+2]) per plane.
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        for (int bit = 0; bit < 64; ++bit) {
+          a[static_cast<unsigned>(x + 5 * y)][static_cast<unsigned>(bit)] =
+              vu.vchi(
+                  b[static_cast<unsigned>(x + 5 * y)][static_cast<unsigned>(bit)],
+                  b[static_cast<unsigned>((x + 1) % 5 + 5 * y)]
+                   [static_cast<unsigned>(bit)],
+                  b[static_cast<unsigned>((x + 2) % 5 + 5 * y)]
+                   [static_cast<unsigned>(bit)]);
+        }
+      }
+    }
+
+    // iota: XOR the round constant into lane 0 — only the set bits cost a
+    // column op (the array flips those planes against an all-ones mask).
+    const u64 rc = kRoundConstants[round];
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((rc >> bit) & 1u) {
+        a[0][static_cast<unsigned>(bit)] =
+            vu.vnot(a[0][static_cast<unsigned>(bit)]);
+      }
+    }
+  }
+}
+
+void sha3_256_seed_x64(const std::array<Seed256, kLanes>& seeds,
+                       std::array<hash::Digest256, kLanes>& digests,
+                       VectorUnit& vu) {
+  // Fixed-padding absorb (as the scalar fast path): lanes 0..3 from the
+  // seed, lane 4 = 0x06, lane 16 = 1<<63, rest zero.
+  std::array<Word64, 25> state;
+  for (int lane = 0; lane < 4; ++lane) {
+    std::array<u64, kLanes> words;
+    for (int l = 0; l < kLanes; ++l)
+      words[static_cast<unsigned>(l)] =
+          seeds[static_cast<unsigned>(l)].word(lane);
+    state[static_cast<unsigned>(lane)] = transpose64(words);
+  }
+  state[4] = Word64{};
+  state[4][1] = ~0ULL;  // 0x06 = bits 1 and 2
+  state[4][2] = ~0ULL;
+  for (int i = 5; i < 25; ++i) state[static_cast<unsigned>(i)] = Word64{};
+  state[16][63] = ~0ULL;  // final pad bit
+  vu.note_broadcast(3);
+
+  keccak_f1600_x64(state, vu);
+
+  // Digest = first 32 bytes = lanes 0..3, little-endian.
+  for (int lane = 0; lane < 4; ++lane) {
+    const auto words = untranspose64(state[static_cast<unsigned>(lane)]);
+    for (int l = 0; l < kLanes; ++l) {
+      std::memcpy(digests[static_cast<unsigned>(l)].bytes.data() + 8 * lane,
+                  &words[static_cast<unsigned>(l)], 8);
+    }
+  }
+}
+
+}  // namespace rbc::apu

@@ -1,0 +1,24 @@
+// Bit-sliced Keccak-f[1600] / SHA3-256 over 64 lanes — the SALTED-APU SHA-3
+// kernel (§3.3). Keccak is a natural fit for an associative bit-serial
+// machine: theta and chi are pure boolean column operations and every
+// rotation is plane renaming (free addressing, no compute) — yet the state
+// is 1600 bit-columns, which is exactly why §3.3 needs 80 BPs per PE for
+// SHA-3 versus 32 for SHA-1 and ends up with 2.5x fewer concurrent PEs.
+#pragma once
+
+#include "apu/vector_unit.hpp"
+#include "bits/seed256.hpp"
+#include "hash/digest.hpp"
+
+namespace rbc::apu {
+
+/// Keccak-f[1600] on 25 bit-sliced lanes (64 instances at once).
+void keccak_f1600_x64(std::array<Word64, 25>& state, VectorUnit& vu);
+
+/// SHA3-256 of 64 seeds at once (fixed 32-byte-input padding, as the scalar
+/// fast path). digests[l] equals the scalar sha3_256_seed(seeds[l]).
+void sha3_256_seed_x64(const std::array<Seed256, kLanes>& seeds,
+                       std::array<hash::Digest256, kLanes>& digests,
+                       VectorUnit& vu);
+
+}  // namespace rbc::apu

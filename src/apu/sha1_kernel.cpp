@@ -1,0 +1,104 @@
+#include "apu/sha1_kernel.hpp"
+
+namespace rbc::apu {
+
+namespace {
+
+u32 load_be32(const u8* p) noexcept {
+  return (static_cast<u32>(p[0]) << 24) | (static_cast<u32>(p[1]) << 16) |
+         (static_cast<u32>(p[2]) << 8) | static_cast<u32>(p[3]);
+}
+
+}  // namespace
+
+void sha1_seed_x64(const std::array<Seed256, kLanes>& seeds,
+                   std::array<hash::Digest160, kLanes>& digests,
+                   VectorUnit& vu) {
+  // Transpose the 16-word single-block message (fixed padding, as the
+  // scalar fast path): w[0..7] = seed words big-endian, w[8] = 0x80000000,
+  // w[15] = 256.
+  std::array<Word32, 16> w;
+  for (int t = 0; t < 8; ++t) {
+    std::array<u32, kLanes> lane_words;
+    for (int l = 0; l < kLanes; ++l) {
+      const auto bytes = seeds[static_cast<unsigned>(l)].to_bytes();
+      lane_words[static_cast<unsigned>(l)] = load_be32(bytes.data() + 4 * t);
+    }
+    w[static_cast<unsigned>(t)] = transpose32(lane_words);
+  }
+  w[8] = broadcast32(0x80000000u);
+  vu.note_broadcast(32);
+  for (int t = 9; t < 15; ++t) w[static_cast<unsigned>(t)] = Word32{};
+  w[15] = broadcast32(256u);
+  vu.note_broadcast(32);
+
+  Word32 a = broadcast32(0x67452301u);
+  Word32 b = broadcast32(0xefcdab89u);
+  Word32 c = broadcast32(0x98badcfeu);
+  Word32 d = broadcast32(0x10325476u);
+  Word32 e = broadcast32(0xc3d2e1f0u);
+  vu.note_broadcast(5 * 32);
+  const Word32 h0 = a, h1 = b, h2 = c, h3 = d, h4 = e;
+
+  const Word32 k1 = broadcast32(0x5a827999u);
+  const Word32 k2 = broadcast32(0x6ed9eba1u);
+  const Word32 k3 = broadcast32(0x8f1bbcdcu);
+  const Word32 k4 = broadcast32(0xca62c1d6u);
+  vu.note_broadcast(4 * 32);
+
+  auto schedule = [&](int t) -> Word32 {
+    // w[t] = rotl1(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16]) over the ring buffer.
+    Word32 v = vu.xor32(w[static_cast<unsigned>((t - 3) & 15)],
+                        w[static_cast<unsigned>((t - 8) & 15)]);
+    v = vu.xor32(v, w[static_cast<unsigned>((t - 14) & 15)]);
+    v = vu.xor32(v, w[static_cast<unsigned>(t & 15)]);
+    v = rotl32_planes(v, 1);
+    w[static_cast<unsigned>(t & 15)] = v;
+    return v;
+  };
+
+  auto round = [&](const Word32& f, const Word32& k, const Word32& wt) {
+    // tmp = rotl5(a) + f + e + k + wt  (four bit-serial additions).
+    Word32 tmp = vu.add32(rotl32_planes(a, 5), f);
+    tmp = vu.add32(tmp, e);
+    tmp = vu.add32(tmp, k);
+    tmp = vu.add32(tmp, wt);
+    e = d;
+    d = c;
+    c = rotl32_planes(b, 30);
+    b = a;
+    a = tmp;
+  };
+
+  auto f_ch = [&]() {
+    // (b & c) | (~b & d)
+    return vu.or32(vu.and32(b, c), vu.and32(vu.not32(b), d));
+  };
+  auto f_parity = [&]() { return vu.xor32(vu.xor32(b, c), d); };
+  auto f_maj = [&]() {
+    return vu.or32(vu.or32(vu.and32(b, c), vu.and32(b, d)), vu.and32(c, d));
+  };
+
+  for (int t = 0; t < 16; ++t) round(f_ch(), k1, w[static_cast<unsigned>(t)]);
+  for (int t = 16; t < 20; ++t) round(f_ch(), k1, schedule(t));
+  for (int t = 20; t < 40; ++t) round(f_parity(), k2, schedule(t));
+  for (int t = 40; t < 60; ++t) round(f_maj(), k3, schedule(t));
+  for (int t = 60; t < 80; ++t) round(f_parity(), k4, schedule(t));
+
+  const Word32 out[5] = {vu.add32(h0, a), vu.add32(h1, b), vu.add32(h2, c),
+                         vu.add32(h3, d), vu.add32(h4, e)};
+
+  for (int word = 0; word < 5; ++word) {
+    const auto lanes = untranspose32(out[word]);
+    for (int l = 0; l < kLanes; ++l) {
+      const u32 v = lanes[static_cast<unsigned>(l)];
+      auto& bytes = digests[static_cast<unsigned>(l)].bytes;
+      bytes[static_cast<unsigned>(4 * word + 0)] = static_cast<u8>(v >> 24);
+      bytes[static_cast<unsigned>(4 * word + 1)] = static_cast<u8>(v >> 16);
+      bytes[static_cast<unsigned>(4 * word + 2)] = static_cast<u8>(v >> 8);
+      bytes[static_cast<unsigned>(4 * word + 3)] = static_cast<u8>(v);
+    }
+  }
+}
+
+}  // namespace rbc::apu

@@ -1,0 +1,16 @@
+// Bit-sliced SHA-1 over 64 lanes — the SALTED-APU hashing kernel (§3.3).
+#pragma once
+
+#include "apu/vector_unit.hpp"
+#include "bits/seed256.hpp"
+#include "hash/digest.hpp"
+
+namespace rbc::apu {
+
+/// Hashes 64 seeds simultaneously in bit-sliced form; digests[l] equals the
+/// scalar sha1_seed(seeds[l]). `vu` accumulates the column-cycle counts.
+void sha1_seed_x64(const std::array<Seed256, kLanes>& seeds,
+                   std::array<hash::Digest160, kLanes>& digests,
+                   VectorUnit& vu);
+
+}  // namespace rbc::apu

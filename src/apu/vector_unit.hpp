@@ -1,0 +1,143 @@
+// The APU's boolean vector unit, with cost accounting.
+//
+// Each call applies one boolean column operation across all lanes — one
+// "cycle" of the bit-serial array per §3.3's execution model. The unit
+// counts operations by class so the kernels can report how many column
+// cycles one hash costs a PE; bench_apu_bitslice compares those counts with
+// the PE-cycle constants calibrated from the paper's Table 5.
+//
+// Plane *renaming* (bit rotations, register moves between named planes) is
+// free: on the physical array it is addressing, not compute — the same
+// reason Chase's Gray-code transitions are cheap there.
+#pragma once
+
+#include "apu/bitslice.hpp"
+
+namespace rbc::apu {
+
+struct OpCounts {
+  u64 xor_ops = 0;
+  u64 and_ops = 0;
+  u64 or_ops = 0;
+  u64 not_ops = 0;
+  u64 broadcasts = 0;
+
+  u64 total() const noexcept {
+    return xor_ops + and_ops + or_ops + not_ops + broadcasts;
+  }
+
+  OpCounts& operator+=(const OpCounts& other) noexcept {
+    xor_ops += other.xor_ops;
+    and_ops += other.and_ops;
+    or_ops += other.or_ops;
+    not_ops += other.not_ops;
+    broadcasts += other.broadcasts;
+    return *this;
+  }
+};
+
+class VectorUnit {
+ public:
+  Plane vxor(Plane a, Plane b) noexcept {
+    ++counts_.xor_ops;
+    return a ^ b;
+  }
+  Plane vand(Plane a, Plane b) noexcept {
+    ++counts_.and_ops;
+    return a & b;
+  }
+  Plane vor(Plane a, Plane b) noexcept {
+    ++counts_.or_ops;
+    return a | b;
+  }
+  Plane vnot(Plane a) noexcept {
+    ++counts_.not_ops;
+    return ~a;
+  }
+  /// a ^ (~b & c) — the chi step primitive; counted as two ops (the array
+  /// computes and-not in one pass, then xors).
+  Plane vchi(Plane a, Plane b, Plane c) noexcept {
+    ++counts_.and_ops;
+    ++counts_.xor_ops;
+    return a ^ (~b & c);
+  }
+
+  void note_broadcast(int planes) noexcept {
+    counts_.broadcasts += static_cast<u64>(planes);
+  }
+
+  const OpCounts& counts() const noexcept { return counts_; }
+  void reset() noexcept { counts_ = OpCounts{}; }
+
+  // --- composite 32-bit arithmetic, bit-serial --------------------------------
+
+  /// dst = a + b (mod 2^32), ripple-carry: 5 column ops per bit position
+  /// except the first (3) and last (2) — the canonical bit-serial adder.
+  Word32 add32(const Word32& a, const Word32& b) noexcept {
+    Word32 sum;
+    Plane carry = 0;
+    for (int bit = 0; bit < 32; ++bit) {
+      const Plane ab = vxor(a[static_cast<unsigned>(bit)],
+                            b[static_cast<unsigned>(bit)]);
+      sum[static_cast<unsigned>(bit)] = vxor(ab, carry);
+      if (bit + 1 < 32) {
+        carry = vor(vand(a[static_cast<unsigned>(bit)],
+                         b[static_cast<unsigned>(bit)]),
+                    vand(carry, ab));
+      }
+    }
+    return sum;
+  }
+
+  Word32 xor32(const Word32& a, const Word32& b) noexcept {
+    Word32 r;
+    for (int bit = 0; bit < 32; ++bit)
+      r[static_cast<unsigned>(bit)] =
+          vxor(a[static_cast<unsigned>(bit)], b[static_cast<unsigned>(bit)]);
+    return r;
+  }
+
+  Word32 and32(const Word32& a, const Word32& b) noexcept {
+    Word32 r;
+    for (int bit = 0; bit < 32; ++bit)
+      r[static_cast<unsigned>(bit)] =
+          vand(a[static_cast<unsigned>(bit)], b[static_cast<unsigned>(bit)]);
+    return r;
+  }
+
+  Word32 or32(const Word32& a, const Word32& b) noexcept {
+    Word32 r;
+    for (int bit = 0; bit < 32; ++bit)
+      r[static_cast<unsigned>(bit)] =
+          vor(a[static_cast<unsigned>(bit)], b[static_cast<unsigned>(bit)]);
+    return r;
+  }
+
+  Word32 not32(const Word32& a) noexcept {
+    Word32 r;
+    for (int bit = 0; bit < 32; ++bit)
+      r[static_cast<unsigned>(bit)] = vnot(a[static_cast<unsigned>(bit)]);
+    return r;
+  }
+
+ private:
+  OpCounts counts_;
+};
+
+/// Left-rotation of a 32-bit bit-sliced value: pure plane renaming — free.
+inline Word32 rotl32_planes(const Word32& a, int k) noexcept {
+  Word32 r;
+  for (int bit = 0; bit < 32; ++bit)
+    r[static_cast<unsigned>((bit + k) % 32)] = a[static_cast<unsigned>(bit)];
+  return r;
+}
+
+/// Left-rotation of a 64-bit Keccak lane in plane form — also free.
+inline Word64 rotl64_planes(const Word64& a, int k) noexcept {
+  Word64 r;
+  for (int bit = 0; bit < 64; ++bit)
+    r[static_cast<unsigned>((bit + k) % 64)] = a[static_cast<unsigned>(bit)];
+  return r;
+}
+
+}  // namespace rbc::apu

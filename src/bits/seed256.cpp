@@ -1,0 +1,72 @@
+#include "bits/seed256.hpp"
+
+#include <stdexcept>
+
+#include "common/hex.hpp"
+
+namespace rbc {
+
+Seed256 Seed256::operator<<(int n) const noexcept {
+  if (n <= 0) return *this;
+  if (n >= kBits) return Seed256{};
+  Seed256 r;
+  const int word_shift = n >> 6;
+  const int bit_shift = n & 63;
+  for (int i = kWords - 1; i >= 0; --i) {
+    const int src = i - word_shift;
+    u64 v = 0;
+    if (src >= 0) {
+      v = w_[static_cast<unsigned>(src)] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0)
+        v |= w_[static_cast<unsigned>(src - 1)] >> (64 - bit_shift);
+    }
+    r.w_[static_cast<unsigned>(i)] = v;
+  }
+  return r;
+}
+
+Seed256 Seed256::operator>>(int n) const noexcept {
+  if (n <= 0) return *this;
+  if (n >= kBits) return Seed256{};
+  Seed256 r;
+  const int word_shift = n >> 6;
+  const int bit_shift = n & 63;
+  for (int i = 0; i < kWords; ++i) {
+    const int src = i + word_shift;
+    u64 v = 0;
+    if (src < kWords) {
+      v = w_[static_cast<unsigned>(src)] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < kWords)
+        v |= w_[static_cast<unsigned>(src + 1)] << (64 - bit_shift);
+    }
+    r.w_[static_cast<unsigned>(i)] = v;
+  }
+  return r;
+}
+
+Seed256 Seed256::rotl(int n) const noexcept {
+  n = ((n % kBits) + kBits) % kBits;
+  if (n == 0) return *this;
+  return (*this << n) | (*this >> (kBits - n));
+}
+
+std::string Seed256::to_hex() const {
+  // Big-endian presentation: highest word first.
+  Bytes be(kBytes);
+  const auto le = to_bytes();
+  for (int i = 0; i < kBytes; ++i)
+    be[static_cast<unsigned>(i)] = le[static_cast<unsigned>(kBytes - 1 - i)];
+  return rbc::to_hex(be);
+}
+
+Seed256 Seed256::from_hex(std::string_view hex) {
+  if (hex.size() != 64)
+    throw std::invalid_argument("Seed256::from_hex expects 64 hex chars");
+  const Bytes be = rbc::from_hex(hex);
+  std::array<u8, kBytes> le;
+  for (int i = 0; i < kBytes; ++i)
+    le[static_cast<unsigned>(i)] = be[static_cast<unsigned>(kBytes - 1 - i)];
+  return from_bytes(le);
+}
+
+}  // namespace rbc

@@ -1,0 +1,211 @@
+// Seed256 — the 256-bit PUF seed / bit-stream type at the heart of RBC.
+//
+// The paper's protocol operates on 256-bit PUF outputs (§2.2). Seed256 is a
+// trivially copyable value type backed by four u64 limbs (little-endian limb
+// order: bit i lives in word i/64, bit i%64). It provides:
+//   * bit get/set/flip and bulk logic ops (needed to permute seeds),
+//   * popcount / Hamming distance (the search metric),
+//   * full 256-bit integer arithmetic (add/sub/shl/shr/ctz) so that Gosper's
+//     hack — the prior-work seed iterator — runs on non-native 256-bit words
+//     exactly as §3.2.1 describes,
+//   * 256-bit rotation, the salting primitive of Fig. 1 step 7,
+//   * canonical 32-byte little-endian serialization for hashing.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <compare>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rbc {
+
+class Seed256 {
+ public:
+  static constexpr int kBits = 256;
+  static constexpr int kWords = 4;
+  static constexpr int kBytes = 32;
+
+  constexpr Seed256() noexcept : w_{} {}
+
+  /// Limb constructor; w0 is the least significant 64 bits (bits 0..63).
+  constexpr Seed256(u64 w0, u64 w1, u64 w2, u64 w3) noexcept
+      : w_{w0, w1, w2, w3} {}
+
+  static constexpr Seed256 zero() noexcept { return Seed256{}; }
+
+  static constexpr Seed256 ones() noexcept {
+    return Seed256{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  }
+
+  /// Value 1 — handy for arithmetic identities in tests.
+  static constexpr Seed256 one() noexcept { return Seed256{1, 0, 0, 0}; }
+
+  /// A seed with exactly the low `k` bits set (the first Gosper state).
+  static constexpr Seed256 low_bits(int k) noexcept {
+    Seed256 s;
+    for (int i = 0; i < k; ++i) s.set_bit(i);
+    return s;
+  }
+
+  static Seed256 random(Xoshiro256& rng) noexcept {
+    return Seed256{rng.next(), rng.next(), rng.next(), rng.next()};
+  }
+
+  // --- bit access -----------------------------------------------------------
+
+  constexpr bool bit(int i) const noexcept {
+    return (w_[static_cast<unsigned>(i) >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  constexpr void set_bit(int i) noexcept {
+    w_[static_cast<unsigned>(i) >> 6] |= (1ULL << (i & 63));
+  }
+
+  constexpr void clear_bit(int i) noexcept {
+    w_[static_cast<unsigned>(i) >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  constexpr void flip_bit(int i) noexcept {
+    w_[static_cast<unsigned>(i) >> 6] ^= (1ULL << (i & 63));
+  }
+
+  constexpr u64 word(int i) const noexcept { return w_[static_cast<unsigned>(i)]; }
+  constexpr u64& word(int i) noexcept { return w_[static_cast<unsigned>(i)]; }
+
+  // --- logic ----------------------------------------------------------------
+
+  friend constexpr Seed256 operator^(Seed256 a, const Seed256& b) noexcept {
+    for (int i = 0; i < kWords; ++i) a.w_[static_cast<unsigned>(i)] ^= b.w_[static_cast<unsigned>(i)];
+    return a;
+  }
+  friend constexpr Seed256 operator&(Seed256 a, const Seed256& b) noexcept {
+    for (int i = 0; i < kWords; ++i) a.w_[static_cast<unsigned>(i)] &= b.w_[static_cast<unsigned>(i)];
+    return a;
+  }
+  friend constexpr Seed256 operator|(Seed256 a, const Seed256& b) noexcept {
+    for (int i = 0; i < kWords; ++i) a.w_[static_cast<unsigned>(i)] |= b.w_[static_cast<unsigned>(i)];
+    return a;
+  }
+  constexpr Seed256 operator~() const noexcept {
+    return Seed256{~w_[0], ~w_[1], ~w_[2], ~w_[3]};
+  }
+  Seed256& operator^=(const Seed256& b) noexcept { return *this = *this ^ b; }
+  Seed256& operator&=(const Seed256& b) noexcept { return *this = *this & b; }
+  Seed256& operator|=(const Seed256& b) noexcept { return *this = *this | b; }
+
+  // --- metrics --------------------------------------------------------------
+
+  constexpr int popcount() const noexcept {
+    int c = 0;
+    for (u64 w : w_) c += std::popcount(w);
+    return c;
+  }
+
+  friend constexpr int hamming_distance(const Seed256& a,
+                                        const Seed256& b) noexcept {
+    return (a ^ b).popcount();
+  }
+
+  constexpr bool is_zero() const noexcept {
+    return (w_[0] | w_[1] | w_[2] | w_[3]) == 0;
+  }
+
+  /// Index of the lowest set bit; 256 if the value is zero.
+  constexpr int count_trailing_zeros() const noexcept {
+    for (int i = 0; i < kWords; ++i) {
+      if (w_[static_cast<unsigned>(i)] != 0)
+        return 64 * i + std::countr_zero(w_[static_cast<unsigned>(i)]);
+    }
+    return kBits;
+  }
+
+  /// Index of the highest set bit; -1 if the value is zero.
+  constexpr int highest_set_bit() const noexcept {
+    for (int i = kWords - 1; i >= 0; --i) {
+      if (w_[static_cast<unsigned>(i)] != 0)
+        return 64 * i + 63 - std::countl_zero(w_[static_cast<unsigned>(i)]);
+    }
+    return -1;
+  }
+
+  // --- 256-bit integer arithmetic (mod 2^256) -------------------------------
+
+  friend Seed256 operator+(const Seed256& a, const Seed256& b) noexcept {
+    Seed256 r;
+    u64 carry = 0;
+    for (int i = 0; i < kWords; ++i) {
+      const u128 s = static_cast<u128>(a.w_[static_cast<unsigned>(i)]) +
+                     b.w_[static_cast<unsigned>(i)] + carry;
+      r.w_[static_cast<unsigned>(i)] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+    return r;
+  }
+
+  friend Seed256 operator-(const Seed256& a, const Seed256& b) noexcept {
+    return a + (~b) + one();
+  }
+
+  /// Two's complement negation: -x mod 2^256.
+  Seed256 negate() const noexcept { return Seed256{} - *this; }
+
+  Seed256 operator<<(int n) const noexcept;
+  Seed256 operator>>(int n) const noexcept;
+
+  /// Rotate left by n bits (n in [0, 256)). This is the paper's salting
+  /// primitive (Fig. 1 step 7: "S is bit shifted" to create S').
+  Seed256 rotl(int n) const noexcept;
+  Seed256 rotr(int n) const noexcept { return rotl((kBits - n) % kBits); }
+
+  // --- comparisons ----------------------------------------------------------
+
+  friend constexpr bool operator==(const Seed256& a,
+                                   const Seed256& b) noexcept = default;
+
+  friend constexpr std::strong_ordering operator<=>(const Seed256& a,
+                                                    const Seed256& b) noexcept {
+    for (int i = kWords - 1; i >= 0; --i) {
+      if (a.w_[static_cast<unsigned>(i)] != b.w_[static_cast<unsigned>(i)])
+        return a.w_[static_cast<unsigned>(i)] <=> b.w_[static_cast<unsigned>(i)];
+    }
+    return std::strong_ordering::equal;
+  }
+
+  // --- serialization --------------------------------------------------------
+
+  /// Canonical 32-byte little-endian encoding (byte j of word i at offset
+  /// 8*i + j). This is the exact message hashed by the protocol.
+  std::array<u8, kBytes> to_bytes() const noexcept {
+    std::array<u8, kBytes> out;
+    std::memcpy(out.data(), w_.data(), kBytes);
+    return out;
+  }
+
+  static Seed256 from_bytes(ByteSpan bytes) {
+    RBC_CHECK_MSG(bytes.size() == kBytes, "Seed256 requires 32 bytes");
+    Seed256 s;
+    std::memcpy(s.w_.data(), bytes.data(), kBytes);
+    return s;
+  }
+
+  /// 64 hex chars, most significant nibble first.
+  std::string to_hex() const;
+  static Seed256 from_hex(std::string_view hex);
+
+ private:
+  std::array<u64, kWords> w_;
+};
+
+/// Flips bit `i` of `s` and returns the result (non-mutating convenience).
+constexpr Seed256 with_flipped_bit(Seed256 s, int i) noexcept {
+  s.flip_bit(i);
+  return s;
+}
+
+}  // namespace rbc

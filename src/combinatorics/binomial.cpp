@@ -1,0 +1,84 @@
+#include "combinatorics/binomial.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace rbc::comb {
+
+u128 binomial128(int n, int k) {
+  RBC_CHECK_MSG(n >= 0 && k >= 0, "binomial: negative argument");
+  RBC_CHECK_MSG(n <= kSeedBits && k <= kMaxK,
+                "binomial128 domain is n<=256, k<=16");
+  if (k > n) return 0;
+  if (k == 0 || k == n) return 1;
+  // Multiplicative formula with interleaved division keeps intermediates
+  // exact: after step i the value equals C(n, i+1).
+  u128 result = 1;
+  for (int i = 0; i < k; ++i) {
+    result = result * static_cast<u128>(n - i);
+    result = result / static_cast<u128>(i + 1);
+  }
+  return result;
+}
+
+u64 binomial64(int n, int k) {
+  const u128 v = binomial128(n, k);
+  RBC_CHECK_MSG(v <= std::numeric_limits<u64>::max(),
+                "binomial64 overflow; use binomial128");
+  return static_cast<u64>(v);
+}
+
+BinomialTable::BinomialTable() {
+  for (int m = 0; m <= kSeedBits; ++m) {
+    table_[static_cast<unsigned>(m)][0] = 1;
+    for (int t = 1; t <= kMaxK; ++t) {
+      if (t > m) {
+        table_[static_cast<unsigned>(m)][static_cast<unsigned>(t)] = 0;
+      } else if (m == 0) {
+        table_[static_cast<unsigned>(m)][static_cast<unsigned>(t)] = 0;
+      } else {
+        // Pascal's rule over the already-filled previous row.
+        table_[static_cast<unsigned>(m)][static_cast<unsigned>(t)] =
+            table_[static_cast<unsigned>(m - 1)][static_cast<unsigned>(t)] +
+            table_[static_cast<unsigned>(m - 1)][static_cast<unsigned>(t - 1)];
+      }
+    }
+  }
+}
+
+const BinomialTable& BinomialTable::instance() {
+  static const BinomialTable table;
+  return table;
+}
+
+u128 exhaustive_search_count(int d, int n_bits) {
+  RBC_CHECK(d >= 0 && d <= kMaxK && n_bits <= kSeedBits);
+  u128 total = 0;
+  for (int i = 0; i <= d; ++i) total += binomial128(n_bits, i);
+  return total;
+}
+
+u128 average_search_count(int d, int n_bits) {
+  RBC_CHECK(d >= 1 && d <= kMaxK && n_bits <= kSeedBits);
+  u128 total = 0;
+  for (int i = 0; i <= d - 1; ++i) total += binomial128(n_bits, i);
+  total += binomial128(n_bits, d) / 2;
+  return total;
+}
+
+long double opponent_search_space(int n_bits) {
+  return std::pow(2.0L, static_cast<long double>(n_bits));
+}
+
+std::string u128_to_string(u128 v) {
+  if (v == 0) return "0";
+  std::string s;
+  while (v != 0) {
+    s.insert(s.begin(), static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  return s;
+}
+
+}  // namespace rbc::comb

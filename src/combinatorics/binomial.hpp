@@ -1,0 +1,60 @@
+// Exact binomial coefficients and the paper's search-space size formulas.
+//
+// The RBC search space is the Hamming ball of radius d around the enrolled
+// seed (Eq. 1: u(d) = sum_{i<=d} C(256, i)); the average-case search covers
+// the full shells below d plus half the outermost shell (Eq. 3). d <= 5 in
+// the paper, but the tables here go to k = 16 so the library supports the
+// "inject extra noise for more security" extension discussed in §5.
+#pragma once
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace rbc::comb {
+
+inline constexpr int kSeedBits = 256;
+inline constexpr int kMaxK = 16;
+
+/// C(n, k) in u64; throws CheckFailure on overflow. Valid for the table
+/// domain n <= 256, k <= 16 (C(256,16) ≈ 1.0e25 overflows; the u64 variant
+/// checks and the u128 variant covers the full domain).
+u64 binomial64(int n, int k);
+
+/// C(n, k) in u128, exact for n <= 256, k <= 16.
+u128 binomial128(int n, int k);
+
+/// Precomputed C(m, t) for 0 <= m <= 256, 0 <= t <= kMaxK, as u128.
+/// Lookup is the inner operation of Algorithm 515 unranking, so it must be
+/// branch-light; entries that would exceed u128 cannot occur in this domain.
+class BinomialTable {
+ public:
+  static const BinomialTable& instance();
+
+  u128 operator()(int m, int t) const noexcept {
+    if (t < 0 || t > kMaxK || m < 0) return 0;
+    if (t > m) return 0;
+    return table_[static_cast<unsigned>(m)][static_cast<unsigned>(t)];
+  }
+
+ private:
+  BinomialTable();
+  std::array<std::array<u128, kMaxK + 1>, kSeedBits + 1> table_;
+};
+
+/// Eq. 1: worst-case (exhaustive) number of seeds searched up to distance d.
+u128 exhaustive_search_count(int d, int n_bits = kSeedBits);
+
+/// Eq. 3: average-case number of seeds searched when the true seed lies at
+/// distance exactly d (full inner shells + half the outer shell).
+u128 average_search_count(int d, int n_bits = kSeedBits);
+
+/// Eq. 2: the opponent's search space, 2^n — returned as long double since
+/// 2^256 exceeds any machine integer (used only for reporting).
+long double opponent_search_space(int n_bits = kSeedBits);
+
+/// Convenience for printing u128 values in benches/tests.
+std::string u128_to_string(u128 v);
+
+}  // namespace rbc::comb

@@ -1,0 +1,114 @@
+#include "combinatorics/combination.hpp"
+
+#include <sstream>
+
+namespace rbc::comb {
+
+Combination::Combination(std::initializer_list<int> positions) : k_(0), pos_{} {
+  RBC_CHECK_MSG(positions.size() <= kMaxK, "combination too large");
+  int prev = -1;
+  for (int p : positions) {
+    RBC_CHECK_MSG(p > prev && p < kSeedBits,
+                  "positions must be strictly increasing and < 256");
+    pos_[static_cast<unsigned>(k_++)] = static_cast<u16>(p);
+    prev = p;
+  }
+}
+
+Combination Combination::first(int k) {
+  RBC_CHECK(k >= 0 && k <= kMaxK);
+  Combination c;
+  c.k_ = k;
+  for (int i = 0; i < k; ++i) c.pos_[static_cast<unsigned>(i)] = static_cast<u16>(i);
+  return c;
+}
+
+Combination Combination::from_mask(const Seed256& mask) {
+  RBC_CHECK_MSG(mask.popcount() <= kMaxK, "mask has too many set bits");
+  Combination c;
+  Seed256 m = mask;
+  while (!m.is_zero()) {
+    const int b = m.count_trailing_zeros();
+    c.pos_[static_cast<unsigned>(c.k_++)] = static_cast<u16>(b);
+    m.clear_bit(b);
+  }
+  return c;
+}
+
+bool Combination::is_valid(int n_bits) const noexcept {
+  int prev = -1;
+  for (int i = 0; i < k_; ++i) {
+    const int p = pos_[static_cast<unsigned>(i)];
+    if (p <= prev || p >= n_bits) return false;
+    prev = p;
+  }
+  return true;
+}
+
+std::string Combination::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (int i = 0; i < k_; ++i) {
+    if (i != 0) os << ',';
+    os << pos_[static_cast<unsigned>(i)];
+  }
+  os << '}';
+  return os.str();
+}
+
+u128 rank_lexicographic(const Combination& c, int n_bits) {
+  RBC_CHECK(c.is_valid(n_bits));
+  const auto& B = BinomialTable::instance();
+  const int k = c.k();
+  u128 rank = 0;
+  int prev = -1;
+  for (int i = 0; i < k; ++i) {
+    // Count combinations whose i-th element is smaller than c's while all
+    // earlier elements agree.
+    for (int v = prev + 1; v < c.position(i); ++v)
+      rank += B(n_bits - 1 - v, k - 1 - i);
+    prev = c.position(i);
+  }
+  return rank;
+}
+
+u128 rank_colexicographic(const Combination& c) {
+  const auto& B = BinomialTable::instance();
+  u128 rank = 0;
+  for (int i = 0; i < c.k(); ++i) rank += B(c.position(i), i + 1);
+  return rank;
+}
+
+Combination unrank_colexicographic(u128 rank, int k, int n_bits) {
+  RBC_CHECK(k >= 0 && k <= kMaxK);
+  const auto& B = BinomialTable::instance();
+  Combination c = Combination::first(k);
+  // Choose positions from the top down: the largest position p_k is the
+  // greatest v with C(v, k) <= rank. Each position is bounded above by the
+  // one already chosen; the bound only binds for out-of-range ranks (for a
+  // valid rank the remainder after choosing P satisfies rank < C(P, i+1)).
+  int hi = n_bits;
+  for (int i = k - 1; i >= 0; --i) {
+    int v = i;  // minimum possible value for position i
+    while (v + 1 < hi && B(v + 1, i + 1) <= rank) ++v;
+    c.set_position(i, v);
+    rank -= B(v, i + 1);
+    hi = v;
+  }
+  RBC_CHECK_MSG(rank == 0, "colex rank out of range");
+  return c;
+}
+
+bool next_lexicographic(Combination& c, int n_bits) {
+  const int k = c.k();
+  if (k == 0) return false;
+  // Find the rightmost position that can advance (Algorithm 154's rule).
+  int i = k - 1;
+  while (i >= 0 && c.position(i) == n_bits - k + i) --i;
+  if (i < 0) return false;
+  const int base = c.position(i) + 1;
+  for (int j = i; j < k; ++j) c.set_position(j, base + (j - i));
+  return true;
+}
+
+}  // namespace rbc::comb

@@ -1,0 +1,86 @@
+// Combination — a k-subset of bit positions {0..n-1}, k <= 16.
+//
+// The RBC search flips the bits named by a combination in the enrolled seed
+// S_init to obtain a candidate seed (§3.2.1). Combinations are kept as sorted
+// position lists (the natural form for Algorithms 154/382/515) and convert
+// to/from Seed256 bit masks (the natural form for Gosper's hack and for
+// applying the flip via XOR).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <string>
+
+#include "bits/seed256.hpp"
+#include "combinatorics/binomial.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace rbc::comb {
+
+class Combination {
+ public:
+  Combination() noexcept : k_(0), pos_{} {}
+
+  /// Positions must be strictly increasing and < 256.
+  Combination(std::initializer_list<int> positions);
+
+  static Combination first(int k);  // {0, 1, ..., k-1}
+
+  int k() const noexcept { return k_; }
+  int position(int i) const noexcept { return pos_[static_cast<unsigned>(i)]; }
+  void set_position(int i, int value) noexcept {
+    pos_[static_cast<unsigned>(i)] = static_cast<u16>(value);
+  }
+
+  /// Bit mask with exactly the k named bits set.
+  Seed256 to_mask() const noexcept {
+    Seed256 m;
+    for (int i = 0; i < k_; ++i) m.set_bit(pos_[static_cast<unsigned>(i)]);
+    return m;
+  }
+
+  /// Inverse of to_mask(); mask must have <= 16 set bits.
+  static Combination from_mask(const Seed256& mask);
+
+  /// Candidate seed: base with the combination's bits flipped.
+  Seed256 apply(const Seed256& base) const noexcept {
+    return base ^ to_mask();
+  }
+
+  /// Validates the strictly-increasing invariant (used in property tests).
+  bool is_valid(int n_bits = kSeedBits) const noexcept;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Combination& a, const Combination& b) noexcept {
+    if (a.k_ != b.k_) return false;
+    for (int i = 0; i < a.k_; ++i)
+      if (a.pos_[static_cast<unsigned>(i)] != b.pos_[static_cast<unsigned>(i)])
+        return false;
+    return true;
+  }
+
+ private:
+  int k_;
+  std::array<u16, kMaxK> pos_;  // sorted ascending; entries >= k_ unused
+};
+
+/// Lexicographic rank of a combination among all C(n, k) k-subsets of
+/// {0..n-1} ordered as ascending position sequences. Inverse of
+/// unrank_lexicographic (Algorithm 515).
+u128 rank_lexicographic(const Combination& c, int n_bits = kSeedBits);
+
+/// Colexicographic rank — the order in which Gosper's hack enumerates masks
+/// (numeric order of the mask integer). rank = sum_i C(pos_i, i+1).
+u128 rank_colexicographic(const Combination& c);
+
+/// Inverse of rank_colexicographic; lets Gosper-based threads start at an
+/// arbitrary offset in the sequence.
+Combination unrank_colexicographic(u128 rank, int k, int n_bits = kSeedBits);
+
+/// Lexicographic successor in-place (Mifsud's Algorithm 154 step rule).
+/// Returns false (leaving c unchanged) when c is the last combination.
+bool next_lexicographic(Combination& c, int n_bits = kSeedBits);
+
+}  // namespace rbc::comb

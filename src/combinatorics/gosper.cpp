@@ -1,0 +1,34 @@
+#include "combinatorics/gosper.hpp"
+
+namespace rbc::comb {
+
+Seed256 gosper_next(const Seed256& mask) noexcept {
+  const Seed256 c = mask & mask.negate();  // lowest set bit
+  const Seed256 r = mask + c;
+  const int shift = c.count_trailing_zeros();
+  const Seed256 ones_shifted = ((mask ^ r) >> 2) >> shift;
+  return r | ones_shifted;
+}
+
+namespace {
+// Chunk boundaries: thread r of p owns ranks [r*total/p, (r+1)*total/p).
+u128 chunk_start(u128 total, int p, int r) {
+  return total * static_cast<u128>(r) / static_cast<u128>(p);
+}
+}  // namespace
+
+GosperIterator::GosperIterator(int k, u128 start_rank, u64 count, int n_bits)
+    : count_(count), produced_(0) {
+  RBC_CHECK(k >= 0 && k <= kMaxK);
+  if (count_ == 0) return;
+  current_ = unrank_colexicographic(start_rank, k, n_bits).to_mask();
+}
+
+GosperIterator GosperFactory::make(int r) const {
+  RBC_CHECK(r >= 0 && r < p_);
+  const u128 lo = chunk_start(total_, p_, r);
+  const u128 hi = chunk_start(total_, p_, r + 1);
+  return GosperIterator(k_, lo, static_cast<u64>(hi - lo), n_bits_);
+}
+
+}  // namespace rbc::comb

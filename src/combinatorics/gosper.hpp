@@ -1,0 +1,77 @@
+// Gosper's hack generalized to 256-bit words — the prior-work seed iterator.
+//
+// Prior RBC engines [29, 39, 40] enumerated seed permutations with Gosper's
+// hack, which is branch-free and fast on native integers but, as §3.2.1 and
+// §4.5 observe, degrades on 256-bit seeds because every step needs multi-word
+// add/subtract/shift plus a count-trailing-zeros scan. We reproduce it
+// faithfully on Seed256 so Table 4 can measure that cost.
+//
+// Gosper's step on mask x with k set bits (numeric/colex order):
+//   c = x & -x;  r = x + c;  x = r | (((x ^ r) >> 2) >> ctz(c))
+// The division by c in the classic formula is a right shift because c is a
+// power of two.
+#pragma once
+
+#include <string_view>
+
+#include "bits/seed256.hpp"
+#include "combinatorics/combination.hpp"
+#include "common/types.hpp"
+
+namespace rbc::comb {
+
+/// One Gosper step; mask must be nonzero. Returns the next-larger mask with
+/// the same popcount (well-defined while the result fits in 256 bits).
+Seed256 gosper_next(const Seed256& mask) noexcept;
+
+/// Iterates `count` masks of popcount k, starting at colexicographic rank
+/// `start_rank` (the order Gosper's hack enumerates).
+class GosperIterator {
+ public:
+  GosperIterator(int k, u128 start_rank, u64 count, int n_bits = kSeedBits);
+
+  static constexpr std::string_view name() { return "Gosper's hack"; }
+
+  /// Writes the next mask; returns false once `count` masks were produced.
+  bool next(Seed256& mask) noexcept {
+    if (produced_ == count_) return false;
+    mask = current_;
+    ++produced_;
+    if (produced_ != count_) current_ = gosper_next(current_);
+    return true;
+  }
+
+  u64 produced() const noexcept { return produced_; }
+
+ private:
+  Seed256 current_;
+  u64 count_;
+  u64 produced_;
+};
+
+/// Per-shell factory: partitions the C(n_bits, k) sequence into p contiguous
+/// chunks and hands thread r its chunk.
+class GosperFactory {
+ public:
+  using iterator = GosperIterator;
+
+  explicit GosperFactory(int n_bits = kSeedBits) : n_bits_(n_bits) {}
+
+  static constexpr std::string_view name() { return "Gosper's hack"; }
+
+  void prepare(int k, int num_threads) {
+    k_ = k;
+    p_ = num_threads;
+    total_ = binomial128(n_bits_, k);
+  }
+
+  GosperIterator make(int r) const;
+
+ private:
+  int n_bits_;
+  int k_ = 0;
+  int p_ = 1;
+  u128 total_ = 0;
+};
+
+}  // namespace rbc::comb

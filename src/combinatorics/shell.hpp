@@ -1,0 +1,57 @@
+// Hamming-shell enumeration and the SeedIteratorFactory concept.
+//
+// The RBC search (Algorithm 1) visits the Hamming ball around S_init one
+// shell at a time: shell i holds the C(256, i) seeds at distance exactly i.
+// A SeedIteratorFactory partitions one shell's combination sequence across p
+// threads; the search engine XORs each produced mask into S_init to form
+// candidate seeds. All three iterator families (Gosper, Algorithm 515,
+// Chase 382) model this concept, which is what lets the engines and benches
+// swap them freely.
+#pragma once
+
+#include <concepts>
+#include <functional>
+#include <string_view>
+
+#include "bits/seed256.hpp"
+#include "combinatorics/binomial.hpp"
+#include "common/types.hpp"
+
+namespace rbc::comb {
+
+template <typename F>
+concept SeedIteratorFactory =
+    requires(F f, const F cf, int k, int p, int r, Seed256& mask) {
+      typename F::iterator;
+      { f.prepare(k, p) };
+      { cf.make(r) } -> std::same_as<typename F::iterator>;
+      { F::name() } -> std::convertible_to<std::string_view>;
+    } && requires(typename F::iterator it, Seed256& mask) {
+      { it.next(mask) } -> std::same_as<bool>;
+    };
+
+/// Visits every seed in the Hamming ball of radius d around `base`
+/// (distances 0..d inclusive), single-threaded, in shell order. Returns the
+/// number of seeds visited. The visitor returns true to continue, false to
+/// stop early. The seed-space width comes from the factory (all three
+/// families are constructed with their n_bits). Used by reference tests and
+/// the quickstart path.
+template <SeedIteratorFactory Factory>
+u64 for_each_in_ball(Factory& factory, const Seed256& base, int d,
+                     const std::function<bool(const Seed256&, int)>& visit) {
+  u64 visited = 0;
+  ++visited;
+  if (!visit(base, 0)) return visited;
+  for (int k = 1; k <= d; ++k) {
+    factory.prepare(k, /*num_threads=*/1);
+    auto it = factory.make(0);
+    Seed256 mask;
+    while (it.next(mask)) {
+      ++visited;
+      if (!visit(base ^ mask, k)) return visited;
+    }
+  }
+  return visited;
+}
+
+}  // namespace rbc::comb

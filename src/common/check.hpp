@@ -1,0 +1,45 @@
+// Lightweight runtime checks. RBC_CHECK is always on (protocol code must not
+// silently continue past a violated precondition); RBC_DCHECK compiles out in
+// release builds and is for hot loops only.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rbc {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RBC_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace rbc
+
+#define RBC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::rbc::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define RBC_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::rbc::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define RBC_DCHECK(expr) ((void)0)
+#else
+#define RBC_DCHECK(expr) RBC_CHECK(expr)
+#endif

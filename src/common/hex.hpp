@@ -1,0 +1,18 @@
+// Hex encoding/decoding for byte buffers and digests.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace rbc {
+
+/// Lowercase hex encoding of `data`, most significant nibble first per byte.
+std::string to_hex(ByteSpan data);
+
+/// Decodes a hex string (case-insensitive, no separators). Throws
+/// std::invalid_argument on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace rbc

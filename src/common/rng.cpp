@@ -1,0 +1,22 @@
+#include "common/rng.hpp"
+
+namespace rbc {
+
+u64 Xoshiro256::next_below(u64 bound) noexcept {
+  // Lemire's nearly-divisionless bounded sampling with rejection to remove
+  // modulo bias.
+  u64 x = next();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  u64 l = static_cast<u64>(m);
+  if (l < bound) {
+    const u64 threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      l = static_cast<u64>(m);
+    }
+  }
+  return static_cast<u64>(m >> 64);
+}
+
+}  // namespace rbc

@@ -1,0 +1,80 @@
+// Deterministic, seedable random number generators.
+//
+// The PUF simulator, trial harness, and benches must be reproducible run to
+// run, so all stochastic behaviour flows through these engines rather than
+// std::random_device. Xoshiro256** is the workhorse; SplitMix64 seeds it and
+// expands user-provided 64-bit seeds into full states.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace rbc {
+
+/// SplitMix64 (Steele et al.): a tiny, statistically solid stream used to
+/// bootstrap larger generator states from a single 64-bit seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) noexcept : state_(seed) {}
+
+  u64 next() noexcept {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Xoshiro256** (Blackman & Vigna). Satisfies UniformRandomBitGenerator so it
+/// can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = u64;
+
+  explicit Xoshiro256(u64 seed = 0x5eed5eed5eed5eedULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  u64 next() noexcept {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  u64 next_below(u64 bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double probability_true) noexcept {
+    return next_double() < probability_true;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> s_{};
+};
+
+}  // namespace rbc

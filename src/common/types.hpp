@@ -1,0 +1,24 @@
+// Fundamental integer and byte-span aliases used across the RBC libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rbc {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+// 128-bit arithmetic is used for exact binomial coefficients up to C(256, 16).
+using u128 = unsigned __int128;
+
+using ByteSpan = std::span<const u8>;
+using MutByteSpan = std::span<u8>;
+using Bytes = std::vector<u8>;
+
+}  // namespace rbc

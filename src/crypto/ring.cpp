@@ -1,0 +1,220 @@
+#include "crypto/ring.hpp"
+
+#include <bit>
+
+namespace rbc::crypto {
+
+namespace {
+
+u32 mod_mul(u32 a, u32 b, u32 q) noexcept {
+  return static_cast<u32>((static_cast<u64>(a) * b) % q);
+}
+
+u32 mod_pow(u32 base, u64 exp, u32 q) noexcept {
+  u64 result = 1;
+  u64 b = base % q;
+  while (exp) {
+    if (exp & 1) result = (result * b) % q;
+    b = (b * b) % q;
+    exp >>= 1;
+  }
+  return static_cast<u32>(result);
+}
+
+}  // namespace
+
+u32 find_primitive_root_2n(u32 q, int n) {
+  const u64 order = 2 * static_cast<u64>(n);
+  if ((static_cast<u64>(q) - 1) % order != 0) return 0;
+  // Try candidates g and test psi = g^((q-1)/2n): psi is a primitive 2n-th
+  // root iff psi^n == -1 (mod q).
+  for (u32 g = 2; g < 1000; ++g) {
+    const u32 psi = mod_pow(g, (static_cast<u64>(q) - 1) / order, q);
+    if (psi == 0 || psi == 1) continue;
+    if (mod_pow(psi, static_cast<u64>(n), q) == q - 1) return psi;
+  }
+  return 0;
+}
+
+PolyRing::PolyRing(u32 q) : q_(q) {
+  RBC_CHECK_MSG(q >= 2, "modulus too small");
+  const u32 psi = find_primitive_root_2n(q, kRingDegree);
+  if (psi != 0) {
+    psi_powers_.resize(kRingDegree);
+    psi_inv_powers_.resize(kRingDegree);
+    const u32 psi_inv = mod_pow(psi, static_cast<u64>(q) - 2, q);
+    u32 p = 1, pi = 1;
+    for (int i = 0; i < kRingDegree; ++i) {
+      psi_powers_[static_cast<unsigned>(i)] = p;
+      psi_inv_powers_[static_cast<unsigned>(i)] = pi;
+      p = mod_mul(p, psi, q);
+      pi = mod_mul(pi, psi_inv, q);
+    }
+    n_inv_ = mod_pow(kRingDegree, static_cast<u64>(q) - 2, q);
+  }
+}
+
+Poly PolyRing::add(const Poly& a, const Poly& b) const noexcept {
+  Poly r;
+  for (int i = 0; i < kRingDegree; ++i) {
+    const u32 s = a.c[static_cast<unsigned>(i)] + b.c[static_cast<unsigned>(i)];
+    r.c[static_cast<unsigned>(i)] = s >= q_ ? s - q_ : s;
+  }
+  return r;
+}
+
+Poly PolyRing::sub(const Poly& a, const Poly& b) const noexcept {
+  Poly r;
+  for (int i = 0; i < kRingDegree; ++i) {
+    const u32 ai = a.c[static_cast<unsigned>(i)];
+    const u32 bi = b.c[static_cast<unsigned>(i)];
+    r.c[static_cast<unsigned>(i)] = ai >= bi ? ai - bi : ai + q_ - bi;
+  }
+  return r;
+}
+
+Poly PolyRing::mul_schoolbook(const Poly& a, const Poly& b) const noexcept {
+  // Negacyclic convolution: X^N = -1 folds the upper half with a sign flip.
+  // Accumulate signed in i64 before the final reduction.
+  std::array<i64, kRingDegree> acc{};
+  for (int i = 0; i < kRingDegree; ++i) {
+    const u64 ai = a.c[static_cast<unsigned>(i)];
+    if (ai == 0) continue;
+    for (int j = 0; j < kRingDegree; ++j) {
+      const u64 prod = ai * b.c[static_cast<unsigned>(j)] % q_;
+      const int idx = i + j;
+      if (idx < kRingDegree) {
+        acc[static_cast<unsigned>(idx)] += static_cast<i64>(prod);
+      } else {
+        acc[static_cast<unsigned>(idx - kRingDegree)] -= static_cast<i64>(prod);
+      }
+    }
+  }
+  Poly r;
+  for (int i = 0; i < kRingDegree; ++i) {
+    i64 v = acc[static_cast<unsigned>(i)] % static_cast<i64>(q_);
+    if (v < 0) v += q_;
+    r.c[static_cast<unsigned>(i)] = static_cast<u32>(v);
+  }
+  return r;
+}
+
+void PolyRing::ntt_forward(std::array<u32, kRingDegree>& a) const noexcept {
+  const int n = kRingDegree;
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[static_cast<unsigned>(i)], a[static_cast<unsigned>(j)]);
+  }
+  // omega = psi^2 is a primitive n-th root of unity.
+  const u32 omega = mod_mul(psi_powers_[1], psi_powers_[1], q_);
+  for (int len = 2; len <= n; len <<= 1) {
+    const u32 wlen = mod_pow(omega, static_cast<u64>(n / len), q_);
+    for (int start = 0; start < n; start += len) {
+      u32 w = 1;
+      for (int j = 0; j < len / 2; ++j) {
+        const u32 u = a[static_cast<unsigned>(start + j)];
+        const u32 v = mod_mul(a[static_cast<unsigned>(start + j + len / 2)], w, q_);
+        a[static_cast<unsigned>(start + j)] = u + v >= q_ ? u + v - q_ : u + v;
+        a[static_cast<unsigned>(start + j + len / 2)] = u >= v ? u - v : u + q_ - v;
+        w = mod_mul(w, wlen, q_);
+      }
+    }
+  }
+}
+
+void PolyRing::ntt_inverse(std::array<u32, kRingDegree>& a) const noexcept {
+  const int n = kRingDegree;
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[static_cast<unsigned>(i)], a[static_cast<unsigned>(j)]);
+  }
+  const u32 omega = mod_mul(psi_powers_[1], psi_powers_[1], q_);
+  const u32 omega_inv = mod_pow(omega, static_cast<u64>(q_) - 2, q_);
+  for (int len = 2; len <= n; len <<= 1) {
+    const u32 wlen = mod_pow(omega_inv, static_cast<u64>(n / len), q_);
+    for (int start = 0; start < n; start += len) {
+      u32 w = 1;
+      for (int j = 0; j < len / 2; ++j) {
+        const u32 u = a[static_cast<unsigned>(start + j)];
+        const u32 v = mod_mul(a[static_cast<unsigned>(start + j + len / 2)], w, q_);
+        a[static_cast<unsigned>(start + j)] = u + v >= q_ ? u + v - q_ : u + v;
+        a[static_cast<unsigned>(start + j + len / 2)] = u >= v ? u - v : u + q_ - v;
+        w = mod_mul(w, wlen, q_);
+      }
+    }
+  }
+  for (auto& x : a) x = mod_mul(x, n_inv_, q_);
+}
+
+Poly PolyRing::mul(const Poly& a, const Poly& b) const {
+  if (!ntt_available()) return mul_schoolbook(a, b);
+  // Negacyclic trick: twist by psi^i, cyclic NTT multiply, untwist.
+  std::array<u32, kRingDegree> ta, tb;
+  for (int i = 0; i < kRingDegree; ++i) {
+    ta[static_cast<unsigned>(i)] =
+        mod_mul(a.c[static_cast<unsigned>(i)], psi_powers_[static_cast<unsigned>(i)], q_);
+    tb[static_cast<unsigned>(i)] =
+        mod_mul(b.c[static_cast<unsigned>(i)], psi_powers_[static_cast<unsigned>(i)], q_);
+  }
+  ntt_forward(ta);
+  ntt_forward(tb);
+  for (int i = 0; i < kRingDegree; ++i)
+    ta[static_cast<unsigned>(i)] =
+        mod_mul(ta[static_cast<unsigned>(i)], tb[static_cast<unsigned>(i)], q_);
+  ntt_inverse(ta);
+  Poly r;
+  for (int i = 0; i < kRingDegree; ++i)
+    r.c[static_cast<unsigned>(i)] =
+        mod_mul(ta[static_cast<unsigned>(i)], psi_inv_powers_[static_cast<unsigned>(i)], q_);
+  return r;
+}
+
+Poly PolyRing::round_shift(const Poly& a, int bits) const noexcept {
+  Poly r;
+  const u32 half = bits > 0 ? (1u << (bits - 1)) : 0;
+  for (int i = 0; i < kRingDegree; ++i)
+    r.c[static_cast<unsigned>(i)] =
+        (a.c[static_cast<unsigned>(i)] + half) >> bits;
+  return r;
+}
+
+Poly PolyRing::sample_uniform(hash::Shake128& xof) const {
+  const int bits = static_cast<int>(std::bit_width(q_ - 1));
+  const int bytes = (bits + 7) / 8;
+  const u32 mask = bits >= 32 ? ~0u : (1u << bits) - 1;
+  Poly r;
+  u8 buf[4] = {};
+  for (int i = 0; i < kRingDegree;) {
+    xof.squeeze(MutByteSpan{buf, static_cast<std::size_t>(bytes)});
+    u32 v = 0;
+    for (int b = 0; b < bytes; ++b) v |= static_cast<u32>(buf[b]) << (8 * b);
+    v &= mask;
+    if (v < q_) r.c[static_cast<unsigned>(i++)] = v;
+  }
+  return r;
+}
+
+Poly PolyRing::sample_small(hash::Shake256& xof, int eta) const {
+  RBC_CHECK(eta >= 1 && eta <= 8);
+  Poly r;
+  u8 buf[2];
+  for (int i = 0; i < kRingDegree; ++i) {
+    xof.squeeze(MutByteSpan{buf, 2});
+    const u16 v = static_cast<u16>(buf[0] | (buf[1] << 8));
+    const int a = std::popcount(static_cast<u32>(v & ((1u << eta) - 1)));
+    const int b =
+        std::popcount(static_cast<u32>((v >> eta) & ((1u << eta) - 1)));
+    const int coeff = a - b;  // in [-eta, eta]
+    r.c[static_cast<unsigned>(i)] =
+        coeff >= 0 ? static_cast<u32>(coeff)
+                   : q_ - static_cast<u32>(-coeff);
+  }
+  return r;
+}
+
+}  // namespace rbc::crypto

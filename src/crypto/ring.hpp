@@ -1,0 +1,75 @@
+// Polynomial ring arithmetic over Z_q[X]/(X^256 + 1) — the substrate of the
+// toy module-lattice key generators used as Table 7 comparators.
+//
+// Two multiplication back ends:
+//   * schoolbook negacyclic convolution — works for any modulus (used by the
+//     power-of-two SABER-style ring, which is not NTT friendly), and
+//   * an iterative negacyclic NTT — used when 2N | q-1 (the Dilithium-style
+//     prime q = 8380417). The primitive root is found at startup by search,
+//     so no magic twiddle tables are transcribed.
+//
+// These are faithful in *structure* (dimensions, sampling, rounding) but are
+// NOT secure implementations; see DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "hash/keccak.hpp"
+
+namespace rbc::crypto {
+
+inline constexpr int kRingDegree = 256;
+
+/// A polynomial with kRingDegree coefficients in [0, q).
+struct Poly {
+  std::array<u32, kRingDegree> c{};
+
+  friend bool operator==(const Poly&, const Poly&) = default;
+};
+
+/// Ring context: modulus plus (when available) NTT machinery.
+class PolyRing {
+ public:
+  explicit PolyRing(u32 q);
+
+  u32 q() const noexcept { return q_; }
+  bool ntt_available() const noexcept { return !psi_powers_.empty(); }
+
+  Poly add(const Poly& a, const Poly& b) const noexcept;
+  Poly sub(const Poly& a, const Poly& b) const noexcept;
+
+  /// Negacyclic product a*b mod (X^N + 1, q). Dispatches to the NTT when the
+  /// ring supports it, schoolbook otherwise.
+  Poly mul(const Poly& a, const Poly& b) const;
+
+  /// Schoolbook product (exposed for cross-validation of the NTT path).
+  Poly mul_schoolbook(const Poly& a, const Poly& b) const noexcept;
+
+  /// Coefficient-wise rounding shift: (c + 2^(bits-1)) >> bits — the LWR
+  /// rounding step of the SABER-style scheme.
+  Poly round_shift(const Poly& a, int bits) const noexcept;
+
+  /// Uniform polynomial from a SHAKE-128 stream (rejection sampling).
+  Poly sample_uniform(hash::Shake128& xof) const;
+
+  /// Small (secret) polynomial with coefficients in [-eta, eta], centered
+  /// binomial from a SHAKE-256 stream, stored mod q.
+  Poly sample_small(hash::Shake256& xof, int eta) const;
+
+ private:
+  void ntt_forward(std::array<u32, kRingDegree>& a) const noexcept;
+  void ntt_inverse(std::array<u32, kRingDegree>& a) const noexcept;
+
+  u32 q_;
+  // psi_powers_[i] = psi^bitrev(i), psi a primitive 2N-th root of unity.
+  std::vector<u32> psi_powers_;
+  std::vector<u32> psi_inv_powers_;
+  u32 n_inv_ = 0;
+};
+
+/// Finds a primitive 2n-th root of unity mod q, or 0 if none exists.
+u32 find_primitive_root_2n(u32 q, int n);
+
+}  // namespace rbc::crypto

@@ -1,0 +1,41 @@
+// Salting the recovered seed (Fig. 1 step 7).
+//
+// After the search finds the client's seed S, both sides derive S' = salt(S)
+// and generate the public key from S'. The salt breaks the correspondence
+// between the message digests exchanged during the search and the public key
+// registered with the RA: an eavesdropper holding M1 cannot link it to P_k1.
+// The paper's example salt is a bit shift; we implement it as a 256-bit
+// rotation (lossless, so distinct seeds stay distinct) plus an optional XOR
+// tweak. Client and server must share the same SaltPolicy — a mismatch is a
+// protocol error that the integration tests exercise.
+#pragma once
+
+#include "bits/seed256.hpp"
+#include "common/types.hpp"
+
+namespace rbc::crypto {
+
+class SaltPolicy {
+ public:
+  /// rotate_bits in [0, 256); tweak XORed after rotation.
+  explicit SaltPolicy(int rotate_bits = 97,
+                      const Seed256& tweak = Seed256::zero()) noexcept
+      : rotate_bits_(((rotate_bits % 256) + 256) % 256), tweak_(tweak) {}
+
+  Seed256 apply(const Seed256& seed) const noexcept {
+    return seed.rotl(rotate_bits_) ^ tweak_;
+  }
+
+  /// Inverse transform (diagnostics / tests).
+  Seed256 invert(const Seed256& salted) const noexcept {
+    return (salted ^ tweak_).rotr(rotate_bits_);
+  }
+
+  friend bool operator==(const SaltPolicy&, const SaltPolicy&) = default;
+
+ private:
+  int rotate_bits_;
+  Seed256 tweak_;
+};
+
+}  // namespace rbc::crypto

@@ -1,0 +1,100 @@
+#include "dist/comm.hpp"
+
+#include <algorithm>
+
+namespace rbc::dist {
+
+int RankCtx::size() const noexcept { return comm_->size(); }
+
+void RankCtx::send(int dest, int tag, Bytes payload) const {
+  RBC_CHECK(dest >= 0 && dest < comm_->size());
+  Packet packet;
+  packet.source = rank_;
+  packet.tag = tag;
+  packet.payload = std::move(payload);
+  comm_->deliver(dest, std::move(packet));
+}
+
+Packet RankCtx::recv(int tag) const { return comm_->blocking_recv(rank_, tag); }
+
+bool RankCtx::try_recv(int tag, Packet& out) const {
+  return comm_->nonblocking_recv(rank_, tag, out);
+}
+
+void RankCtx::barrier() const { comm_->barrier_wait(); }
+
+void Communicator::deliver(int dest, Packet packet) {
+  auto& box = mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.packets.push_back(std::move(packet));
+  }
+  box.cv.notify_all();
+}
+
+Packet Communicator::blocking_recv(int rank, int tag) {
+  auto& box = mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock lock(box.mutex);
+  while (true) {
+    const auto it =
+        std::find_if(box.packets.begin(), box.packets.end(),
+                     [tag](const Packet& p) { return p.tag == tag; });
+    if (it != box.packets.end()) {
+      Packet packet = std::move(*it);
+      box.packets.erase(it);
+      return packet;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Communicator::nonblocking_recv(int rank, int tag, Packet& out) {
+  auto& box = mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard lock(box.mutex);
+  const auto it = std::find_if(box.packets.begin(), box.packets.end(),
+                               [tag](const Packet& p) { return p.tag == tag; });
+  if (it == box.packets.end()) return false;
+  out = std::move(*it);
+  box.packets.erase(it);
+  return true;
+}
+
+void Communicator::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  const u64 generation = barrier_generation_;
+  if (++barrier_arrived_ == size_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_generation_ != generation; });
+}
+
+void Communicator::run(const std::function<void(RankCtx&)>& body) {
+  // Clear any leftover state so a communicator can host several jobs.
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box.mutex);
+    box.packets.clear();
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &body, &error_mutex, &first_error] {
+      RankCtx ctx(this, r);
+      try {
+        body(ctx);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rbc::dist

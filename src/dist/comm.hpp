@@ -1,0 +1,94 @@
+// A small message-passing communicator (MPI-flavoured, in-process).
+//
+// Related work [36] (Philabaum et al.) parallelized the RBC search over
+// distributed memory with MPI, reaching 404x on 512 cores; §5 names
+// multi-node CPU scaling as future work for SALTED. This module provides
+// the substrate: a communicator of `size` ranks running on host threads,
+// with tagged point-to-point send/recv, barrier, and broadcast — enough to
+// express the distributed search in dist_search.hpp with real message
+// traffic (the early-exit notification actually travels as a message).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace rbc::dist {
+
+/// Tagged datagram between ranks.
+struct Packet {
+  int source = 0;
+  int tag = 0;
+  Bytes payload;
+};
+
+class Communicator;
+
+/// One rank's endpoint, valid only inside the rank function.
+class RankCtx {
+ public:
+  RankCtx(Communicator* comm, int rank) : comm_(comm), rank_(rank) {}
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Asynchronous send (buffered; never blocks).
+  void send(int dest, int tag, Bytes payload) const;
+
+  /// Blocking receive of the next packet with `tag` (any source).
+  Packet recv(int tag) const;
+
+  /// Non-blocking probe+receive: returns false if no packet with `tag` is
+  /// queued (the distributed early-exit poll).
+  bool try_recv(int tag, Packet& out) const;
+
+  /// Collective barrier across all ranks.
+  void barrier() const;
+
+ private:
+  Communicator* comm_;
+  int rank_;
+};
+
+/// Runs `body(ctx)` once per rank, each on its own thread, and joins.
+class Communicator {
+ public:
+  explicit Communicator(int size) : size_(size), mailboxes_(static_cast<std::size_t>(size)) {
+    RBC_CHECK_MSG(size >= 1, "communicator needs at least one rank");
+  }
+
+  int size() const noexcept { return size_; }
+
+  void run(const std::function<void(RankCtx&)>& body);
+
+ private:
+  friend class RankCtx;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Packet> packets;
+  };
+
+  void deliver(int dest, Packet packet);
+  Packet blocking_recv(int rank, int tag);
+  bool nonblocking_recv(int rank, int tag, Packet& out);
+  void barrier_wait();
+
+  int size_;
+  std::vector<Mailbox> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  u64 barrier_generation_ = 0;
+};
+
+}  // namespace rbc::dist

@@ -1,0 +1,161 @@
+// Distributed-memory RBC search over the message-passing substrate — the
+// Philabaum et al. [36] engine shape, applied to the SALTED (hash-based)
+// per-candidate operation.
+//
+// Topology: rank 0 is the coordinator; every rank (0 included) searches a
+// disjoint slice of each Hamming shell. The early-exit protocol is explicit
+// message traffic, as it must be without shared memory:
+//   * a rank that finds the seed sends FOUND to rank 0;
+//   * rank 0 broadcasts STOP to all ranks;
+//   * ranks poll their mailbox between seed batches (the distributed
+//     analogue of §4.4's flag-check interval);
+//   * a shell ends with a barrier + rank-0 decision to continue or stop.
+#pragma once
+
+#include <cstring>
+
+#include "combinatorics/algorithm515.hpp"
+#include "dist/comm.hpp"
+#include "hash/traits.hpp"
+#include "rbc/search.hpp"
+
+namespace rbc::dist {
+
+struct DistSearchResult {
+  bool found = false;
+  Seed256 seed;
+  int distance = -1;
+  int finder_rank = -1;
+  u64 seeds_hashed = 0;  // aggregated over all ranks
+};
+
+namespace detail {
+inline constexpr int kTagFound = 1;
+inline constexpr int kTagStop = 2;
+inline constexpr int kTagCount = 3;
+
+inline Bytes encode_found(const Seed256& seed, int shell) {
+  const auto bytes = seed.to_bytes();
+  Bytes out(bytes.begin(), bytes.end());
+  out.push_back(static_cast<u8>(shell));
+  return out;
+}
+}  // namespace detail
+
+/// Runs the distributed search on an existing communicator. Deterministic
+/// partition: rank r owns the r-th of `size` contiguous chunks of each
+/// shell's lexicographic sequence (Algorithm 515 unranking gives each rank
+/// its start without coordination — the property §3.2.1 credits it for).
+template <hash::SeedHash Hash>
+DistSearchResult distributed_search(Communicator& comm, const Seed256& s_init,
+                                    const typename Hash::digest_type& target,
+                                    int max_distance,
+                                    u32 poll_interval = 64,
+                                    const Hash& hash = {}) {
+  RBC_CHECK(max_distance >= 0 && max_distance <= comb::kMaxK);
+  DistSearchResult result;
+  std::mutex result_mutex;
+
+  comm.run([&](RankCtx& ctx) {
+    const int rank = ctx.rank();
+    const int size = ctx.size();
+    u64 local_hashed = 0;
+    bool stop = false;
+
+    auto poll_stop = [&]() {
+      Packet packet;
+      if (ctx.try_recv(detail::kTagStop, packet)) stop = true;
+      return stop;
+    };
+
+    auto report_found = [&](const Seed256& seed, int shell) {
+      ctx.send(0, detail::kTagFound, detail::encode_found(seed, shell));
+    };
+
+    // Distance 0 is rank 0's job (Algorithm 1 lines 4-8).
+    if (rank == 0) {
+      ++local_hashed;
+      if (hash(s_init) == target) report_found(s_init, 0);
+    }
+
+    for (int shell = 1; shell <= max_distance && !stop; ++shell) {
+      // Rank 0 drains FOUND reports from the previous shell and decides.
+      ctx.barrier();
+      if (rank == 0) {
+        Packet packet;
+        while (ctx.try_recv(detail::kTagFound, packet)) {
+          std::lock_guard lock(result_mutex);
+          if (!result.found) {
+            result.found = true;
+            result.seed = Seed256::from_bytes(
+                ByteSpan{packet.payload.data(), Seed256::kBytes});
+            result.distance = packet.payload[Seed256::kBytes];
+            result.finder_rank = packet.source;
+          }
+        }
+        if (result.found) {
+          for (int r = 0; r < size; ++r)
+            ctx.send(r, detail::kTagStop, Bytes{});
+        }
+      }
+      ctx.barrier();
+      if (poll_stop()) break;
+
+      comb::Algorithm515Factory factory(comb::Alg515Mode::kSuccessor);
+      factory.prepare(shell, size);
+      auto it = factory.make(rank);
+      Seed256 mask;
+      u32 since_poll = 0;
+      while (it.next(mask)) {
+        const Seed256 candidate = s_init ^ mask;
+        ++local_hashed;
+        if (hash(candidate) == target) {
+          report_found(candidate, shell);
+          break;
+        }
+        if (++since_poll >= poll_interval) {
+          since_poll = 0;
+          if (poll_stop()) break;
+        }
+      }
+    }
+
+    // Final drain: collect late FOUND reports and count contributions.
+    ctx.barrier();
+    if (rank == 0) {
+      Packet packet;
+      while (ctx.try_recv(detail::kTagFound, packet)) {
+        std::lock_guard lock(result_mutex);
+        if (!result.found) {
+          result.found = true;
+          result.seed = Seed256::from_bytes(
+              ByteSpan{packet.payload.data(), Seed256::kBytes});
+          result.distance = packet.payload[Seed256::kBytes];
+          result.finder_rank = packet.source;
+        }
+      }
+    }
+    Bytes count(8);
+    std::memcpy(count.data(), &local_hashed, 8);
+    ctx.send(0, detail::kTagCount, std::move(count));
+    if (rank == 0) {
+      u64 total = 0;
+      for (int r = 0; r < size; ++r) {
+        const Packet packet = ctx.recv(detail::kTagCount);
+        u64 contribution = 0;
+        std::memcpy(&contribution, packet.payload.data(), 8);
+        total += contribution;
+      }
+      std::lock_guard lock(result_mutex);
+      result.seeds_hashed = total;
+    }
+    // Drain stray STOP messages so reruns on this communicator start clean.
+    Packet stray;
+    while (ctx.try_recv(detail::kTagStop, stray)) {
+    }
+  });
+
+  return result;
+}
+
+}  // namespace rbc::dist

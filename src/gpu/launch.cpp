@@ -1,0 +1,34 @@
+#include "gpu/launch.hpp"
+
+namespace rbc::gpu {
+
+void launch_kernel(par::ThreadPool& pool, Dim3 grid, Dim3 block,
+                   std::size_t shared_bytes, const Kernel& kernel) {
+  RBC_CHECK_MSG(grid.y == 1 && grid.z == 1 && block.y == 1 && block.z == 1,
+                "the emulator supports 1-D launches (as the paper's kernels)");
+  RBC_CHECK_MSG(grid.count() >= 1 && block.count() >= 1,
+                "empty launch configuration");
+
+  const u64 num_blocks = grid.x;
+  std::atomic<u64> next_block{0};
+
+  pool.parallel_workers([&](int /*worker*/) {
+    std::vector<u8> shared(shared_bytes);
+    while (true) {
+      const u64 b = next_block.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_blocks) return;
+      std::fill(shared.begin(), shared.end(), u8{0});
+      KernelCtx ctx;
+      ctx.blockIdx.x = static_cast<u32>(b);
+      ctx.blockDim = block;
+      ctx.gridDim = grid;
+      ctx.shared = MutByteSpan{shared.data(), shared.size()};
+      for (u32 t = 0; t < block.x; ++t) {
+        ctx.threadIdx.x = t;
+        kernel(ctx);
+      }
+    }
+  });
+}
+
+}  // namespace rbc::gpu

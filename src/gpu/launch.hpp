@@ -1,0 +1,82 @@
+// A CUDA-like kernel execution framework (host emulation).
+//
+// SALTED-GPU (§3.2) is structured as kernels launched over a grid of thread
+// blocks, with per-thread Chase state in shared memory (§3.2.3) and an
+// early-exit flag in unified memory readable by host and device. This
+// module reproduces that execution model on the host so the search kernel
+// can be written in the paper's shape and tested for the properties the
+// CUDA version relies on: complete thread-index coverage, block-local
+// shared memory, and flag-based cross-block termination.
+//
+// Semantics: blocks run concurrently (on a thread pool); threads within a
+// block run sequentially to completion in threadIdx order — a legal CUDA
+// schedule for kernels with no intra-block synchronization, which the
+// SALTED kernel is (threads only share the read-mostly unified flag).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rbc::gpu {
+
+struct Dim3 {
+  u32 x = 1, y = 1, z = 1;
+  u64 count() const noexcept {
+    return static_cast<u64>(x) * y * z;
+  }
+};
+
+/// Flag in "unified memory": visible to the host between kernel launches and
+/// to every device thread during one (§3.2 "Early Exit").
+class UnifiedFlag {
+ public:
+  void set() noexcept { flag_.store(true, std::memory_order_release); }
+  bool get() const noexcept { return flag_.load(std::memory_order_acquire); }
+  void clear() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Per-thread view inside a kernel.
+struct KernelCtx {
+  Dim3 threadIdx;
+  Dim3 blockIdx;
+  Dim3 blockDim;
+  Dim3 gridDim;
+  /// Block-local shared memory arena (zero-initialized per block).
+  MutByteSpan shared;
+
+  /// The flattened global thread id r = blockIdx.x * blockDim.x +
+  /// threadIdx.x (1-D launches, as the paper's kernels).
+  u64 global_thread_id() const noexcept {
+    return static_cast<u64>(blockIdx.x) * blockDim.x + threadIdx.x;
+  }
+  u64 total_threads() const noexcept {
+    return static_cast<u64>(gridDim.x) * blockDim.x;
+  }
+};
+
+using Kernel = std::function<void(const KernelCtx&)>;
+
+/// Launches `kernel` over grid x block threads; blocks run in parallel on
+/// `pool`, each with its own `shared_bytes` arena. Blocks until the whole
+/// grid has retired (cudaDeviceSynchronize semantics).
+void launch_kernel(par::ThreadPool& pool, Dim3 grid, Dim3 block,
+                   std::size_t shared_bytes, const Kernel& kernel);
+
+/// Helper mirroring the common CUDA sizing idiom:
+/// grid = ceil(total_threads / block.x).
+inline Dim3 grid_for(u64 total_threads, u32 block_x) {
+  RBC_CHECK(block_x > 0);
+  Dim3 grid;
+  grid.x = static_cast<u32>((total_threads + block_x - 1) / block_x);
+  return grid;
+}
+
+}  // namespace rbc::gpu

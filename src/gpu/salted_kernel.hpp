@@ -1,0 +1,160 @@
+// The SALTED-GPU search kernel in the paper's §3.2 shape, on the emulator.
+//
+// One kernel launch processes one Hamming shell (the host drives the loop
+// over distances, launching a kernel per shell and checking the unified-
+// memory flag in between — exactly the structure §3.2 describes). Each
+// thread:
+//   1. computes its global id r,
+//   2. copies its Chase Algorithm-382 snapshot into the block's SHARED
+//      MEMORY arena (§3.2.3 optimization),
+//   3. iterates its n assigned combinations, hashing each candidate with
+//      the fixed-padding SHA path and polling the unified flag,
+//   4. on a match, atomically publishes the result and raises the flag.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "combinatorics/chase382.hpp"
+#include "common/timer.hpp"
+#include "gpu/launch.hpp"
+#include "hash/traits.hpp"
+#include "rbc/search.hpp"
+
+namespace rbc::gpu {
+
+/// Result slot in "unified memory", shared by all blocks and the host.
+struct FoundSlot {
+  std::mutex mutex;
+  bool found = false;
+  Seed256 seed;
+  int distance = -1;
+};
+
+struct ShellLaunchStats {
+  u64 threads = 0;
+  u64 blocks = 0;
+  u64 seeds_hashed = 0;
+};
+
+/// Searches one Hamming shell with a single kernel launch.
+/// `snapshots` partitions the shell's Chase sequence (one per thread; the
+/// launch spawns exactly snapshots.size() logical threads rounded up to
+/// whole blocks). Returns per-launch statistics.
+template <hash::SeedHash Hash>
+ShellLaunchStats launch_salted_shell(
+    par::ThreadPool& pool, const Seed256& s_init,
+    const typename Hash::digest_type& target, int shell,
+    const std::vector<comb::ChaseState>& snapshots, u64 shell_total,
+    u32 threads_per_block, UnifiedFlag& flag, FoundSlot& slot,
+    const Hash& hash = {}) {
+  const u64 p = snapshots.size();
+  RBC_CHECK(p >= 1);
+  const Dim3 grid = grid_for(p, threads_per_block);
+  const Dim3 block{threads_per_block, 1, 1};
+
+  std::atomic<u64> seeds_hashed{0};
+  // Shared memory: one ChaseState slot per thread in the block (§3.2.3).
+  const std::size_t shared_bytes = sizeof(comb::ChaseState) * threads_per_block;
+
+  launch_kernel(pool, grid, block, shared_bytes, [&](const KernelCtx& ctx) {
+    const u64 r = ctx.global_thread_id();
+    if (r >= p) return;  // guard threads beyond the last partition
+
+    // Copy this thread's iterator state into the block's shared arena.
+    auto* shared_states =
+        reinterpret_cast<comb::ChaseState*>(ctx.shared.data());
+    comb::ChaseState& state = shared_states[ctx.threadIdx.x];
+    state = snapshots[static_cast<std::size_t>(r)];
+
+    // This thread's slice: [state.step_index, next snapshot's step_index).
+    const u64 begin = state.step_index;
+    const u64 end = (r + 1 < p)
+                        ? snapshots[static_cast<std::size_t>(r + 1)].step_index
+                        : shell_total;
+
+    comb::ChaseSequence seq(state);
+    u64 local = 0;
+    for (u64 i = begin; i < end; ++i) {
+      if (flag.get()) break;  // unified-memory early exit (§3.2)
+      const Seed256 candidate = s_init ^ seq.mask();
+      ++local;
+      if (hash(candidate) == target) {
+        {
+          std::lock_guard lock(slot.mutex);
+          if (!slot.found) {
+            slot.found = true;
+            slot.seed = candidate;
+            slot.distance = shell;
+          }
+        }
+        flag.set();
+        break;
+      }
+      if (i + 1 < end) seq.advance();
+    }
+    seeds_hashed.fetch_add(local, std::memory_order_relaxed);
+  });
+
+  ShellLaunchStats stats;
+  stats.threads = p;
+  stats.blocks = grid.x;
+  stats.seeds_hashed = seeds_hashed.load();
+  return stats;
+}
+
+/// Host-side driver (§3.2: "the loop on line 9 is executed on the host,
+/// where a kernel is launched to process a single Hamming distance").
+/// `threads_for_shell(k)` decides the partition width p per shell, mirroring
+/// the n = seeds/p tuning of §4.4.
+template <hash::SeedHash Hash>
+rbc::SearchResult gpu_emulated_search(
+    par::ThreadPool& pool, const Seed256& s_init,
+    const typename Hash::digest_type& target, int max_distance,
+    const std::function<int(int)>& threads_for_shell, u32 threads_per_block,
+    const Hash& hash = {}, double timeout_s = 1e30) {
+  rbc::SearchResult result;
+  WallTimer timer;
+  UnifiedFlag flag;
+  FoundSlot slot;
+
+  result.seeds_hashed = 1;
+  if (hash(s_init) == target) {
+    result.found = true;
+    result.seed = s_init;
+    result.distance = 0;
+    result.host_seconds = timer.elapsed_s();
+    return result;
+  }
+
+  for (int k = 1; k <= max_distance; ++k) {
+    if (flag.get()) break;  // host checks the unified flag between launches
+    // The host enforces the T threshold between kernel launches (the CUDA
+    // pattern: a running kernel is only interrupted through the flag).
+    if (timer.elapsed_s() > timeout_s) {
+      result.timed_out = true;
+      break;
+    }
+    const int p = std::max(1, threads_for_shell(k));
+    const auto snapshots = comb::make_chase_snapshots(k, p);
+    const u64 shell_total =
+        static_cast<u64>(comb::binomial128(comb::kSeedBits, k));
+    const auto stats = launch_salted_shell<Hash>(
+        pool, s_init, target, k, snapshots, shell_total, threads_per_block,
+        flag, slot, hash);
+    result.seeds_hashed += stats.seeds_hashed;
+  }
+
+  if (slot.found) {
+    result.found = true;
+    result.seed = slot.seed;
+    result.distance = slot.distance;
+    result.timed_out = false;
+  } else if (timer.elapsed_s() > timeout_s) {
+    result.timed_out = true;
+  }
+  result.host_seconds = timer.elapsed_s();
+  return result;
+}
+
+}  // namespace rbc::gpu

@@ -1,0 +1,165 @@
+#include "hash/keccak.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace rbc::hash {
+
+namespace {
+
+constexpr u64 kRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+// rho rotation offsets, indexed lane x + 5y.
+constexpr int kRho[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                          25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+}  // namespace
+
+void keccak_f1600(u64 a[25]) noexcept {
+  for (int round = 0; round < 24; ++round) {
+    // theta
+    u64 c[5], d[5];
+    for (int x = 0; x < 5; ++x)
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    for (int x = 0; x < 5; ++x)
+      d[x] = c[(x + 4) % 5] ^ std::rotl(c[(x + 1) % 5], 1);
+    for (int i = 0; i < 25; ++i) a[i] ^= d[i % 5];
+
+    // rho + pi
+    u64 b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        const int src = x + 5 * y;
+        const int dst = y + 5 * ((2 * x + 3 * y) % 5);
+        b[dst] = std::rotl(a[src], kRho[src]);
+      }
+    }
+
+    // chi
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        a[x + 5 * y] =
+            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+
+    // iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+KeccakSponge::KeccakSponge(std::size_t rate_bytes, u8 suffix) noexcept
+    : rate_(rate_bytes), suffix_(suffix) {
+  reset();
+}
+
+void KeccakSponge::reset() noexcept {
+  std::memset(state_, 0, sizeof(state_));
+  absorb_pos_ = 0;
+  squeeze_pos_ = 0;
+  squeezing_ = false;
+}
+
+void KeccakSponge::absorb_block(const u8* block) noexcept {
+  for (std::size_t i = 0; i < rate_ / 8; ++i) {
+    u64 lane;
+    std::memcpy(&lane, block + 8 * i, 8);  // Keccak lanes are little-endian
+    state_[i] ^= lane;
+  }
+  keccak_f1600(state_);
+}
+
+void KeccakSponge::absorb(ByteSpan data) noexcept {
+  auto* state_bytes = reinterpret_cast<u8*>(state_);
+  for (u8 byte : data) {
+    state_bytes[absorb_pos_++] ^= byte;
+    if (absorb_pos_ == rate_) {
+      keccak_f1600(state_);
+      absorb_pos_ = 0;
+    }
+  }
+}
+
+void KeccakSponge::squeeze(MutByteSpan out) noexcept {
+  auto* state_bytes = reinterpret_cast<u8*>(state_);
+  if (!squeezing_) {
+    // pad10*1 with the domain suffix merged into the first pad byte.
+    state_bytes[absorb_pos_] ^= suffix_;
+    state_bytes[rate_ - 1] ^= 0x80;
+    keccak_f1600(state_);
+    squeezing_ = true;
+    squeeze_pos_ = 0;
+  }
+  for (auto& byte : out) {
+    if (squeeze_pos_ == rate_) {
+      keccak_f1600(state_);
+      squeeze_pos_ = 0;
+    }
+    byte = state_bytes[squeeze_pos_++];
+  }
+}
+
+Digest224 sha3_224(ByteSpan data) noexcept {
+  KeccakSponge sponge(144, 0x06);
+  sponge.absorb(data);
+  Digest224 d;
+  sponge.squeeze(MutByteSpan{d.bytes.data(), d.bytes.size()});
+  return d;
+}
+
+Digest384 sha3_384(ByteSpan data) noexcept {
+  KeccakSponge sponge(104, 0x06);
+  sponge.absorb(data);
+  Digest384 d;
+  sponge.squeeze(MutByteSpan{d.bytes.data(), d.bytes.size()});
+  return d;
+}
+
+Digest256 sha3_256(ByteSpan data) noexcept {
+  KeccakSponge sponge(136, 0x06);
+  sponge.absorb(data);
+  Digest256 d;
+  sponge.squeeze(MutByteSpan{d.bytes.data(), d.bytes.size()});
+  return d;
+}
+
+Digest512 sha3_512(ByteSpan data) noexcept {
+  KeccakSponge sponge(72, 0x06);
+  sponge.absorb(data);
+  Digest512 d;
+  sponge.squeeze(MutByteSpan{d.bytes.data(), d.bytes.size()});
+  return d;
+}
+
+Digest256 sha3_256_seed(const Seed256& seed) noexcept {
+  // §3.2.2 fixed-input specialization. SHA3-256 rate is 136 bytes; a 32-byte
+  // message always occupies lanes 0..3 of the single absorbed block, the
+  // 0x06 domain/pad byte lands at byte 32 (lane 4, byte 0) and the final
+  // 0x80 pad bit at byte 135 (lane 16, byte 7). The remaining capacity lanes
+  // stay zero, so the whole absorb phase is four stores and two constants.
+  u64 state[25];
+  state[0] = seed.word(0);
+  state[1] = seed.word(1);
+  state[2] = seed.word(2);
+  state[3] = seed.word(3);
+  state[4] = 0x06ULL;
+  for (int i = 5; i < 16; ++i) state[i] = 0;
+  state[16] = 0x8000000000000000ULL;
+  for (int i = 17; i < 25; ++i) state[i] = 0;
+
+  keccak_f1600(state);
+
+  Digest256 d;
+  std::memcpy(d.bytes.data(), state, 32);
+  return d;
+}
+
+}  // namespace rbc::hash

@@ -1,0 +1,90 @@
+// Keccak-f[1600] sponge family (FIPS 202), implemented from scratch:
+// SHA3-256, SHA3-512, SHAKE-128, SHAKE-256.
+//
+// RBC-SALTED hashes 256-bit seeds with SHA-3 (§3). The generic sponge below
+// supports arbitrary messages and is validated against NIST vectors; the RBC
+// hot path is sha3_256_seed(), which applies the paper's §3.2.2 optimization:
+// because every message is exactly 32 bytes, the sponge padding is fixed at
+// compile time and the absorb phase collapses to four word stores plus the
+// domain/pad constants — no conditional padding logic. The paper reports ~3%
+// end-to-end gain from this; bench_ablation_sha3_padding reproduces the
+// experiment.
+#pragma once
+
+#include "bits/seed256.hpp"
+#include "common/types.hpp"
+#include "hash/digest.hpp"
+
+namespace rbc::hash {
+
+/// The Keccak-f[1600] permutation over a 5x5 lane state (24 rounds).
+/// Exposed for tests (known-answer permutation vectors) and for the APU
+/// simulator's cost accounting.
+void keccak_f1600(u64 state[25]) noexcept;
+
+/// Generic Keccak sponge. Parameterized at runtime by rate and the domain
+/// separation suffix so one engine serves SHA3-256/512 and SHAKE-128/256.
+class KeccakSponge {
+ public:
+  /// rate_bytes: sponge rate r/8; suffix: domain bits appended after the
+  /// message (0x06 for SHA-3, 0x1f for SHAKE).
+  KeccakSponge(std::size_t rate_bytes, u8 suffix) noexcept;
+
+  void reset() noexcept;
+  void absorb(ByteSpan data) noexcept;
+  /// Finishes absorbing (applies padding) and switches to squeezing.
+  /// Repeated squeeze() calls continue the output stream (XOF behaviour).
+  void squeeze(MutByteSpan out) noexcept;
+
+ private:
+  void absorb_block(const u8* block) noexcept;
+
+  u64 state_[25];
+  std::size_t rate_;
+  u8 suffix_;
+  std::size_t absorb_pos_;
+  std::size_t squeeze_pos_;
+  bool squeezing_;
+};
+
+using Digest224 = Digest<28>;
+using Digest384 = Digest<48>;
+
+Digest224 sha3_224(ByteSpan data) noexcept;
+Digest256 sha3_256(ByteSpan data) noexcept;
+Digest384 sha3_384(ByteSpan data) noexcept;
+Digest512 sha3_512(ByteSpan data) noexcept;
+
+/// SHAKE XOFs used by the toy PQC key generators to expand seeds.
+class Shake128 {
+ public:
+  Shake128() noexcept : sponge_(168, 0x1f) {}
+  void absorb(ByteSpan data) noexcept { sponge_.absorb(data); }
+  void squeeze(MutByteSpan out) noexcept { sponge_.squeeze(out); }
+
+ private:
+  KeccakSponge sponge_;
+};
+
+class Shake256 {
+ public:
+  Shake256() noexcept : sponge_(136, 0x1f) {}
+  void absorb(ByteSpan data) noexcept { sponge_.absorb(data); }
+  void squeeze(MutByteSpan out) noexcept { sponge_.squeeze(out); }
+
+ private:
+  KeccakSponge sponge_;
+};
+
+/// RBC hot path (§3.2.2): SHA3-256 of a 32-byte seed with fixed padding.
+/// Exactly one Keccak-f[1600] permutation per hash.
+Digest256 sha3_256_seed(const Seed256& seed) noexcept;
+
+/// Reference path for the fixed-input ablation: the same digest computed via
+/// the generic sponge (buffering + conditional padding on every call).
+inline Digest256 sha3_256_seed_generic(const Seed256& seed) noexcept {
+  const auto bytes = seed.to_bytes();
+  return sha3_256(ByteSpan{bytes.data(), bytes.size()});
+}
+
+}  // namespace rbc::hash

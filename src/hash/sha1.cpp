@@ -1,0 +1,140 @@
+#include "hash/sha1.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace rbc::hash {
+
+namespace {
+
+constexpr u32 kInit[5] = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u,
+                          0xc3d2e1f0u};
+
+inline u32 rotl32(u32 x, int k) noexcept { return std::rotl(x, k); }
+
+inline u32 load_be32(const u8* p) noexcept {
+  return (static_cast<u32>(p[0]) << 24) | (static_cast<u32>(p[1]) << 16) |
+         (static_cast<u32>(p[2]) << 8) | static_cast<u32>(p[3]);
+}
+
+inline void store_be32(u8* p, u32 v) noexcept {
+  p[0] = static_cast<u8>(v >> 24);
+  p[1] = static_cast<u8>(v >> 16);
+  p[2] = static_cast<u8>(v >> 8);
+  p[3] = static_cast<u8>(v);
+}
+
+// Shared 80-round core operating on an already-expanded-or-expandable
+// 16-word schedule seed. Used by both the streaming path and the fixed
+// 32-byte seed path.
+inline void sha1_rounds(u32 w[16], u32 h[5]) noexcept {
+  u32 a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+
+  auto schedule = [&w](int t) noexcept -> u32 {
+    const u32 v = rotl32(
+        w[(t - 3) & 15] ^ w[(t - 8) & 15] ^ w[(t - 14) & 15] ^ w[t & 15], 1);
+    w[t & 15] = v;
+    return v;
+  };
+
+  auto round = [&](u32 f, u32 k, u32 wt) noexcept {
+    const u32 tmp = rotl32(a, 5) + f + e + k + wt;
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  };
+
+  for (int t = 0; t < 16; ++t) round((b & c) | (~b & d), 0x5a827999u, w[t]);
+  for (int t = 16; t < 20; ++t)
+    round((b & c) | (~b & d), 0x5a827999u, schedule(t));
+  for (int t = 20; t < 40; ++t) round(b ^ c ^ d, 0x6ed9eba1u, schedule(t));
+  for (int t = 40; t < 60; ++t)
+    round((b & c) | (b & d) | (c & d), 0x8f1bbcdcu, schedule(t));
+  for (int t = 60; t < 80; ++t) round(b ^ c ^ d, 0xca62c1d6u, schedule(t));
+
+  h[0] += a;
+  h[1] += b;
+  h[2] += c;
+  h[3] += d;
+  h[4] += e;
+}
+
+}  // namespace
+
+void Sha1::reset() noexcept {
+  std::memcpy(h_, kInit, sizeof(h_));
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::compress(const u8* block) noexcept {
+  u32 w[16];
+  for (int t = 0; t < 16; ++t) w[t] = load_be32(block + 4 * t);
+  sha1_rounds(w, h_);
+}
+
+void Sha1::update(ByteSpan data) noexcept {
+  total_bytes_ += data.size();
+  std::size_t off = 0;
+  if (buffered_ != 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    off = take;
+    if (buffered_ == 64) {
+      compress(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (off + 64 <= data.size()) {
+    compress(data.data() + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_, data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+}
+
+Digest160 Sha1::finalize() noexcept {
+  const u64 bit_len = total_bytes_ * 8;
+  const u8 pad = 0x80;
+  update(ByteSpan{&pad, 1});
+  const u8 z = 0x00;
+  while (buffered_ != 56) update(ByteSpan{&z, 1});
+  u8 len_be[8];
+  for (int i = 0; i < 8; ++i)
+    len_be[i] = static_cast<u8>(bit_len >> (56 - 8 * i));
+  // Bypass update()'s length accounting for the length field itself.
+  std::memcpy(buffer_ + 56, len_be, 8);
+  compress(buffer_);
+
+  Digest160 d;
+  for (int i = 0; i < 5; ++i) store_be32(d.bytes.data() + 4 * i, h_[i]);
+  reset();
+  return d;
+}
+
+Digest160 sha1_seed(const Seed256& seed) noexcept {
+  // Fixed single-block message: 32 seed bytes, 0x80 pad, zeros, and the
+  // constant bit length 256 in the final word. The padding layout is known at
+  // compile time, so there are no buffering branches on this path.
+  const auto bytes = seed.to_bytes();
+  u32 w[16];
+  for (int t = 0; t < 8; ++t) w[t] = load_be32(bytes.data() + 4 * t);
+  w[8] = 0x80000000u;
+  for (int t = 9; t < 15; ++t) w[t] = 0;
+  w[15] = 256u;  // message length in bits
+
+  u32 h[5];
+  std::memcpy(h, kInit, sizeof(h));
+  sha1_rounds(w, h);
+
+  Digest160 d;
+  for (int i = 0; i < 5; ++i) store_be32(d.bytes.data() + 4 * i, h[i]);
+  return d;
+}
+
+}  // namespace rbc::hash

@@ -1,0 +1,90 @@
+// Wire messages of the RBC-SALTED protocol (Fig. 1).
+//
+// The protocol exchanges four messages per authentication attempt:
+//   1. HandshakeRequest  (client -> CA): device id, requested hash/keygen.
+//   2. Challenge         (CA -> client): PUF address to read (and, when
+//      TAPKI is enabled, the stable-cell helper mask).
+//   3. DigestSubmission  (client -> CA): M1 = SHA(seed read at the address).
+//   4. AuthResult        (CA -> client): accepted / rejected + diagnostics.
+//
+// Serialization is a deliberately simple length-checked tag+fields format:
+// deserialize() returns Expected rather than throwing, because malformed
+// frames are an ordinary network-facing outcome the server must survive.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "bits/seed256.hpp"
+#include "common/expected.hpp"
+#include "common/types.hpp"
+#include "crypto/pqc_keygen.hpp"
+#include "hash/traits.hpp"
+
+namespace rbc::net {
+
+struct HandshakeRequest {
+  u64 device_id = 0;
+  hash::HashAlgo hash_algo = hash::HashAlgo::kSha3_256;
+  crypto::KeygenAlgo keygen_algo = crypto::KeygenAlgo::kDilithiumLike;
+
+  friend bool operator==(const HandshakeRequest&,
+                         const HandshakeRequest&) = default;
+};
+
+struct Challenge {
+  /// Sentinel for requested_noise: the CA leaves the noise policy to the
+  /// client (legacy behaviour).
+  static constexpr u8 kNoNoiseRequest = 0xff;
+
+  u32 puf_address = 0;
+  bool tapki_enabled = false;
+  Seed256 stable_mask = Seed256::ones();
+  /// §5 security extension: the CA may instruct the client to inject noise
+  /// up to this Hamming distance (it has planned its search budget to cover
+  /// it). kNoNoiseRequest means no instruction.
+  u8 requested_noise = kNoNoiseRequest;
+
+  friend bool operator==(const Challenge&, const Challenge&) = default;
+};
+
+struct DigestSubmission {
+  hash::HashAlgo hash_algo = hash::HashAlgo::kSha3_256;
+  Bytes digest;  // 20 bytes for SHA-1, 32 for SHA3-256
+
+  friend bool operator==(const DigestSubmission&,
+                         const DigestSubmission&) = default;
+};
+
+struct AuthResult {
+  bool authenticated = false;
+  /// Hamming distance at which the seed was found (-1 if not found).
+  int found_distance = -1;
+  /// Search-only time on the server, seconds.
+  double search_seconds = 0.0;
+  /// True when the search gave up because it exceeded the threshold T.
+  bool timed_out = false;
+
+  friend bool operator==(const AuthResult&, const AuthResult&) = default;
+};
+
+using Message =
+    std::variant<HandshakeRequest, Challenge, DigestSubmission, AuthResult>;
+
+/// Frames a message: 1 tag byte + fixed-layout payload.
+Bytes serialize(const Message& msg);
+
+enum class WireError {
+  kEmptyFrame,
+  kUnknownTag,
+  kTruncated,
+  kTrailingBytes,
+  kBadEnumValue,
+  kBadDigestLength,
+};
+
+std::string to_string(WireError e);
+
+Expected<Message, WireError> deserialize(ByteSpan frame);
+
+}  // namespace rbc::net

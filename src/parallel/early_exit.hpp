@@ -1,0 +1,77 @@
+// Early-exit signalling for the average-case RBC search.
+//
+// Algorithm 1 lines 7/15: the thread that finds the client's seed notifies
+// all others to stop. The paper implements the flag differently per platform
+// (unified memory on the GPU, associative memory on the APU, main memory on
+// the CPU); all three reduce to a shared flag that workers poll between seed
+// evaluations. §4.4 studies the polling interval (1..64 seeds) and finds no
+// measurable impact; CheckThrottle reproduces that knob.
+#pragma once
+
+#include <atomic>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace rbc::par {
+
+class EarlyExitToken {
+ public:
+  EarlyExitToken() noexcept : triggered_(false) {}
+
+  /// Signals all searchers to stop. Safe to call from multiple threads; the
+  /// paper's GPU uses an atomic update for the same reason.
+  void trigger() noexcept { triggered_.store(true, std::memory_order_release); }
+
+  bool triggered() const noexcept {
+    return triggered_.load(std::memory_order_acquire);
+  }
+
+  void reset() noexcept { triggered_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> triggered_;
+};
+
+/// Polls an EarlyExitToken every `interval` calls instead of every call —
+/// the §4.4 "seeds iterated between match checks" parameter.
+class CheckThrottle {
+ public:
+  explicit CheckThrottle(const EarlyExitToken& token, u32 interval = 1) noexcept
+      : token_(&token), interval_(interval == 0 ? 1 : interval), countdown_(1) {}
+
+  /// Returns true if the search should stop.
+  bool should_stop() noexcept {
+    if (--countdown_ != 0) return false;
+    countdown_ = interval_;
+    return token_->triggered();
+  }
+
+ private:
+  const EarlyExitToken* token_;
+  u32 interval_;
+  u32 countdown_;
+};
+
+/// Contiguous range assigned to worker r of p over `total` items:
+/// [begin, end). The remainder spreads over the first (total % p) workers so
+/// loads differ by at most one item — the "equal workloads" property §3.2.1
+/// requires of the Chase snapshot spacing.
+struct WorkRange {
+  u64 begin = 0;
+  u64 end = 0;
+  u64 size() const noexcept { return end - begin; }
+};
+
+inline WorkRange partition_range(u64 total, int num_workers, int worker) {
+  RBC_CHECK(num_workers > 0 && worker >= 0 && worker < num_workers);
+  const u64 p = static_cast<u64>(num_workers);
+  const u64 r = static_cast<u64>(worker);
+  const u64 base = total / p;
+  const u64 extra = total % p;
+  const u64 begin = r * base + std::min(r, extra);
+  const u64 len = base + (r < extra ? 1 : 0);
+  return WorkRange{begin, begin + len};
+}
+
+}  // namespace rbc::par

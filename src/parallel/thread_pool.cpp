@@ -1,0 +1,61 @@
+#include "parallel/thread_pool.hpp"
+
+namespace rbc::par {
+
+ThreadPool::ThreadPool(int num_threads) {
+  RBC_CHECK_MSG(num_threads > 0, "thread pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_workers(const std::function<void(int)>& body) {
+  std::unique_lock lock(mutex_);
+  RBC_CHECK_MSG(pending_ == 0, "parallel_workers is not reentrant");
+  body_ = &body;
+  pending_ = size();
+  first_error_ = nullptr;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  body_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(int id) {
+  u64 seen_generation = 0;
+  while (true) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      body = body_;
+    }
+    std::exception_ptr error;
+    try {
+      (*body)(id);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace rbc::par

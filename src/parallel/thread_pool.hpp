@@ -1,0 +1,58 @@
+// A small fixed-size thread pool used by the CPU search engine and the
+// device simulators' functional execution.
+//
+// The pool exists (rather than spawning threads per search) because an RBC
+// server authenticates a stream of clients; per-request thread creation
+// would dominate the short average-case searches. parallel_workers() is the
+// core primitive: run the same callable on every worker with its worker id,
+// and join — exactly the SPMD shape of Algorithm 1.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace rbc::par {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Runs body(worker_id) once on each of the pool's threads and blocks
+  /// until all complete. Exceptions thrown by workers are captured and the
+  /// first one is rethrown on the caller's thread.
+  void parallel_workers(const std::function<void(int)>& body);
+
+  /// Hardware concurrency, floored at 1.
+  static int default_threads() noexcept {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }
+
+ private:
+  void worker_loop(int id);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* body_ = nullptr;
+  u64 generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace rbc::par

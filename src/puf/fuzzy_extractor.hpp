@@ -1,0 +1,97 @@
+// Client-side error correction — the alternative RBC replaces.
+//
+// §1/§2.1: "Error correction codes may be used, but low-powered IoT devices
+// often do not have the computational power to carry out error correction,
+// and if they were able to, it may leak information to an opponent."
+// To make that comparison concrete rather than rhetorical, this module
+// implements the canonical lightweight construction — a fuzzy commitment
+// with an r-fold repetition code:
+//
+//   enroll:  pick a random k-bit secret, expand each bit r times into a
+//            codeword, publish helper = codeword XOR reading_0.
+//   recover: reading_t XOR helper ~ codeword + noise; majority-decode each
+//            r-bit group to recover the secret.
+//
+// Properties the comparison bench quantifies:
+//   * the client pays O(256) work per authentication (vs one hash in RBC),
+//   * the helper data is public and r-fold redundancy shrinks the effective
+//     secret from 256 to 256/r bits (the "leak information" cost),
+//   * correction fails once per-bit noise defeats the majority, while RBC's
+//     server search budget d is a tunable knob.
+#pragma once
+
+#include "bits/seed256.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rbc::puf {
+
+class RepetitionFuzzyExtractor {
+ public:
+  /// r must divide 256; the secret has 256/r bits.
+  explicit RepetitionFuzzyExtractor(int repetition) : r_(repetition) {
+    RBC_CHECK_MSG(r_ >= 1 && 256 % r_ == 0,
+                  "repetition factor must divide 256");
+  }
+
+  int repetition() const noexcept { return r_; }
+  int secret_bits() const noexcept { return 256 / r_; }
+
+  struct Enrollment {
+    Seed256 helper;  // public helper data
+    Seed256 secret;  // low secret_bits() bits hold the secret
+  };
+
+  /// Enrollment with the noise-free reference reading.
+  Enrollment enroll(const Seed256& reference, Xoshiro256& rng) const {
+    Enrollment e;
+    e.secret = Seed256{};
+    for (int i = 0; i < secret_bits(); ++i) {
+      if (rng.next_bool(0.5)) e.secret.set_bit(i);
+    }
+    e.helper = encode(e.secret) ^ reference;
+    return e;
+  }
+
+  /// Client-side recovery from a noisy reading; also reports how many
+  /// bit-groups were corrected (diagnostic).
+  struct Recovery {
+    Seed256 secret;
+    int corrected_groups = 0;
+  };
+
+  Recovery recover(const Seed256& noisy_reading, const Seed256& helper) const {
+    const Seed256 received = noisy_reading ^ helper;  // codeword + noise
+    Recovery out;
+    for (int i = 0; i < secret_bits(); ++i) {
+      int ones = 0;
+      for (int j = 0; j < r_; ++j) ones += received.bit(i * r_ + j);
+      const bool bit = 2 * ones > r_;
+      if (bit) out.secret.set_bit(i);
+      // A group needed correction if it was not unanimous.
+      if (ones != 0 && ones != r_) ++out.corrected_groups;
+    }
+    return out;
+  }
+
+  /// Boolean-op cost of one client-side recovery (for the comparison bench):
+  /// 256 XORs for the helper plus r-1 additions + threshold per group.
+  u64 client_ops() const noexcept {
+    return 256 + static_cast<u64>(secret_bits()) * static_cast<u64>(r_);
+  }
+
+ private:
+  Seed256 encode(const Seed256& secret) const {
+    Seed256 codeword;
+    for (int i = 0; i < secret_bits(); ++i) {
+      if (!secret.bit(i)) continue;
+      for (int j = 0; j < r_; ++j) codeword.set_bit(i * r_ + j);
+    }
+    return codeword;
+  }
+
+  int r_;
+};
+
+}  // namespace rbc::puf

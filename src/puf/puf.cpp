@@ -1,0 +1,152 @@
+#include "puf/puf.hpp"
+
+#include <algorithm>
+
+namespace rbc::puf {
+
+SramPufModel::SramPufModel(const Params& params, u64 device_serial)
+    : params_(params) {
+  RBC_CHECK_MSG(params.num_addresses > 0, "PUF needs at least one address");
+  RBC_CHECK(params.erratic_cell_fraction >= 0.0 &&
+            params.erratic_cell_fraction <= 1.0);
+  RBC_CHECK(params.stable_flip_probability >= 0.0 &&
+            params.stable_flip_probability <= 0.5);
+  RBC_CHECK(params.erratic_flip_probability >= 0.0 &&
+            params.erratic_flip_probability <= 0.5);
+
+  // The device's physical identity derives deterministically from its serial
+  // number, emulating manufacturing variation.
+  Xoshiro256 fab(device_serial ^ 0x9d39247e33776d41ULL);
+  enrolled_.reserve(params.num_addresses);
+  flip_prob_.reserve(params.num_addresses);
+  for (u32 a = 0; a < params.num_addresses; ++a) {
+    enrolled_.push_back(Seed256::random(fab));
+    std::vector<float> probs(Seed256::kBits);
+    for (auto& p : probs) {
+      const bool erratic = fab.next_bool(params.erratic_cell_fraction);
+      // Jitter each cell around its class mean so no two cells are equal.
+      const double base = erratic ? params.erratic_flip_probability
+                                  : params.stable_flip_probability;
+      const double jitter = 0.5 + fab.next_double();  // [0.5, 1.5)
+      p = static_cast<float>(std::min(0.5, base * jitter));
+    }
+    flip_prob_.push_back(std::move(probs));
+  }
+}
+
+const Seed256& SramPufModel::enrolled_word(u32 address) const {
+  check_address(address);
+  return enrolled_[address];
+}
+
+Seed256 SramPufModel::read(u32 address, Xoshiro256& rng) const {
+  check_address(address);
+  Seed256 word = enrolled_[address];
+  const auto& probs = flip_prob_[address];
+  for (int bit = 0; bit < Seed256::kBits; ++bit) {
+    if (rng.next_bool(probs[static_cast<unsigned>(bit)])) word.flip_bit(bit);
+  }
+  return word;
+}
+
+double SramPufModel::cell_flip_probability(u32 address, int bit) const {
+  check_address(address);
+  RBC_CHECK(bit >= 0 && bit < Seed256::kBits);
+  return flip_prob_[address][static_cast<unsigned>(bit)];
+}
+
+EnrollmentImage EnrollmentImage::capture(const SramPufModel& device) {
+  EnrollmentImage image;
+  image.words_.reserve(device.num_addresses());
+  for (u32 a = 0; a < device.num_addresses(); ++a)
+    image.words_.push_back(device.enrolled_word(a));
+  return image;
+}
+
+const Seed256& EnrollmentImage::word(u32 address) const {
+  RBC_CHECK_MSG(address < words_.size(), "enrollment address out of range");
+  return words_[address];
+}
+
+TapkiMask TapkiMask::calibrate(const SramPufModel& device, u32 address,
+                               int num_reads, double max_flip_rate,
+                               Xoshiro256& rng) {
+  RBC_CHECK_MSG(num_reads > 0, "TAPKI calibration needs reads");
+  const Seed256& enrolled = device.enrolled_word(address);
+  std::array<int, Seed256::kBits> flips{};
+  for (int r = 0; r < num_reads; ++r) {
+    const Seed256 diff = device.read(address, rng) ^ enrolled;
+    for (int bit = 0; bit < Seed256::kBits; ++bit)
+      flips[static_cast<unsigned>(bit)] += diff.bit(bit);
+  }
+  TapkiMask mask;
+  for (int bit = 0; bit < Seed256::kBits; ++bit) {
+    const double rate =
+        static_cast<double>(flips[static_cast<unsigned>(bit)]) / num_reads;
+    if (rate > max_flip_rate) mask.stable_.clear_bit(bit);
+  }
+  return mask;
+}
+
+TapkiMask TapkiMask::all_stable() { return TapkiMask{}; }
+
+Seed256 majority_read(const SramPufModel& device, u32 address, int num_reads,
+                      Xoshiro256& rng) {
+  RBC_CHECK_MSG(num_reads >= 1 && num_reads % 2 == 1,
+                "majority voting needs an odd number of reads");
+  std::array<int, Seed256::kBits> ones{};
+  for (int r = 0; r < num_reads; ++r) {
+    const Seed256 word = device.read(address, rng);
+    for (int bit = 0; bit < Seed256::kBits; ++bit)
+      ones[static_cast<unsigned>(bit)] += word.bit(bit);
+  }
+  Seed256 out;
+  for (int bit = 0; bit < Seed256::kBits; ++bit) {
+    if (2 * ones[static_cast<unsigned>(bit)] > num_reads) out.set_bit(bit);
+  }
+  return out;
+}
+
+Seed256 adjust_to_distance(const Seed256& reading, const Seed256& reference,
+                           int target_distance, const Seed256& allowed_bits,
+                           Xoshiro256& rng) {
+  RBC_CHECK(target_distance >= 0 && target_distance <= Seed256::kBits);
+  Seed256 out = reading;
+  int d = hamming_distance(out, reference);
+  // Too noisy: revert random already-flipped bits until at the target.
+  while (d > target_distance) {
+    Seed256 diff = out ^ reference;
+    const int nth = static_cast<int>(rng.next_below(static_cast<u64>(d)));
+    int idx = 0;
+    for (int bit = 0; bit < Seed256::kBits; ++bit) {
+      if (!diff.bit(bit)) continue;
+      if (idx++ == nth) {
+        out.flip_bit(bit);
+        break;
+      }
+    }
+    --d;
+  }
+  // Too clean: inject flips on allowed (stable) bits that still agree.
+  while (d < target_distance) {
+    const int bit = static_cast<int>(rng.next_below(Seed256::kBits));
+    if (!allowed_bits.bit(bit)) continue;
+    if ((out ^ reference).bit(bit)) continue;  // already flipped
+    out.flip_bit(bit);
+    ++d;
+  }
+  return out;
+}
+
+double estimate_bit_error_rate(const SramPufModel& device, u32 address,
+                               int num_reads, Xoshiro256& rng) {
+  RBC_CHECK(num_reads > 0);
+  const Seed256& enrolled = device.enrolled_word(address);
+  u64 total_flips = 0;
+  for (int r = 0; r < num_reads; ++r)
+    total_flips += static_cast<u64>(
+        hamming_distance(device.read(address, rng), enrolled));
+  return static_cast<double>(total_flips) / num_reads;
+}
+
+}  // namespace rbc::puf

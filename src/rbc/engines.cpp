@@ -1,0 +1,229 @@
+#include "rbc/engines.hpp"
+
+#include <cstring>
+
+#include "gpu/salted_kernel.hpp"
+#include "sim/security_planner.hpp"
+
+namespace rbc {
+
+namespace {
+
+int resolve_threads(int requested) {
+  return requested > 0 ? requested : par::ThreadPool::default_threads();
+}
+
+/// Bridges the runtime digest bytes into the typed search template, and
+/// dispatches over (hash, iterator).
+template <hash::SeedHash Hash>
+SearchResult run_typed(const Seed256& s_init, ByteSpan digest,
+                       sim::IterAlgo iter, par::ThreadPool& pool,
+                       const SearchOptions& opts) {
+  typename Hash::digest_type target;
+  RBC_CHECK_MSG(digest.size() == target.bytes.size(),
+                "digest length does not match hash algorithm");
+  std::memcpy(target.bytes.data(), digest.data(), digest.size());
+
+  switch (iter) {
+    case sim::IterAlgo::kChase382: {
+      comb::ChaseFactory factory;
+      return rbc_search<Hash>(s_init, target, factory, pool, opts);
+    }
+    case sim::IterAlgo::kAlg515: {
+      comb::Algorithm515Factory factory(comb::Alg515Mode::kSuccessor);
+      return rbc_search<Hash>(s_init, target, factory, pool, opts);
+    }
+    case sim::IterAlgo::kGosper: {
+      comb::GosperFactory factory;
+      return rbc_search<Hash>(s_init, target, factory, pool, opts);
+    }
+  }
+  RBC_CHECK_MSG(false, "unknown iterator algorithm");
+  return {};
+}
+
+SearchResult run_search(const Seed256& s_init, ByteSpan digest,
+                        hash::HashAlgo algo, sim::IterAlgo iter,
+                        par::ThreadPool& pool, const SearchOptions& opts) {
+  if (algo == hash::HashAlgo::kSha1)
+    return run_typed<hash::Sha1SeedHash>(s_init, digest, iter, pool, opts);
+  return run_typed<hash::Sha3SeedHash>(s_init, digest, iter, pool, opts);
+}
+
+}  // namespace
+
+CpuSearchEngine::CpuSearchEngine(EngineConfig cfg, sim::CpuSpec spec)
+    : cfg_(cfg), model_(std::move(spec)) {
+  cfg_.host_threads = resolve_threads(cfg_.host_threads);
+  pool_ = std::make_unique<par::ThreadPool>(cfg_.host_threads);
+}
+
+EngineReport CpuSearchEngine::search(const Seed256& s_init, ByteSpan digest,
+                                     hash::HashAlgo algo,
+                                     const SearchOptions& opts) {
+  SearchOptions o = opts;
+  o.num_threads = cfg_.host_threads;
+  EngineReport report;
+  report.result = run_search(s_init, digest, algo, cfg_.iterator, *pool_, o);
+  report.modeled_device_seconds = model_.time_for_seeds_s(
+      report.result.seeds_hashed, algo, model_.spec().cores);
+  report.device_name = model_.spec().name;
+  return report;
+}
+
+GpuSimSearchEngine::GpuSimSearchEngine(EngineConfig cfg, sim::GpuSpec spec)
+    : cfg_(cfg), model_(std::move(spec)) {
+  cfg_.host_threads = resolve_threads(cfg_.host_threads);
+  pool_ = std::make_unique<par::ThreadPool>(cfg_.host_threads);
+}
+
+EngineReport GpuSimSearchEngine::search(const Seed256& s_init, ByteSpan digest,
+                                        hash::HashAlgo algo,
+                                        const SearchOptions& opts) {
+  SearchOptions o = opts;
+  o.num_threads = cfg_.host_threads;
+  EngineReport report;
+  report.result = run_search(s_init, digest, algo, cfg_.iterator, *pool_, o);
+  report.modeled_device_seconds = model_.time_for_seeds_s(
+      report.result.seeds_hashed, algo, cfg_.iterator,
+      /*kernels=*/std::max(report.result.distance, 1));
+  report.device_name = model_.spec().name;
+  return report;
+}
+
+ApuSimSearchEngine::ApuSimSearchEngine(EngineConfig cfg, sim::ApuSpec spec)
+    : cfg_(cfg), model_(std::move(spec)) {
+  cfg_.host_threads = resolve_threads(cfg_.host_threads);
+  pool_ = std::make_unique<par::ThreadPool>(cfg_.host_threads);
+}
+
+EngineReport ApuSimSearchEngine::search(const Seed256& s_init, ByteSpan digest,
+                                        hash::HashAlgo algo,
+                                        const SearchOptions& opts) {
+  SearchOptions o = opts;
+  o.num_threads = cfg_.host_threads;
+  // §3.3: the associative-memory exit flag is checked once per 256-seed
+  // batch, not per seed.
+  o.check_interval = std::max<u32>(
+      o.check_interval,
+      static_cast<u32>(model_.calibration().apu_batch_size));
+  EngineReport report;
+  report.result = run_search(s_init, digest, algo, cfg_.iterator, *pool_, o);
+  report.modeled_device_seconds =
+      model_.time_for_seeds_s(report.result.seeds_hashed, algo);
+  report.device_name = model_.spec().name;
+  return report;
+}
+
+double CpuSearchEngine::modeled_exhaustive_time_s(int d,
+                                                  hash::HashAlgo algo) const {
+  return model_.exhaustive_time_s(d, algo, model_.spec().cores);
+}
+
+double GpuSimSearchEngine::modeled_exhaustive_time_s(
+    int d, hash::HashAlgo algo) const {
+  return model_.exhaustive_time_s(d, algo, cfg_.iterator);
+}
+
+double ApuSimSearchEngine::modeled_exhaustive_time_s(
+    int d, hash::HashAlgo algo) const {
+  return model_.exhaustive_time_s(d, algo);
+}
+
+MultiGpuSimSearchEngine::MultiGpuSimSearchEngine(EngineConfig cfg,
+                                                 sim::GpuSpec spec)
+    : cfg_(cfg), model_(sim::GpuModel(std::move(spec))) {
+  RBC_CHECK_MSG(cfg_.num_devices >= 1, "need at least one device");
+  cfg_.host_threads = resolve_threads(cfg_.host_threads);
+  pool_ = std::make_unique<par::ThreadPool>(cfg_.host_threads);
+}
+
+EngineReport MultiGpuSimSearchEngine::search(const Seed256& s_init,
+                                             ByteSpan digest,
+                                             hash::HashAlgo algo,
+                                             const SearchOptions& opts) {
+  SearchOptions o = opts;
+  o.num_threads = cfg_.host_threads;
+  EngineReport report;
+  report.result = run_search(s_init, digest, algo, cfg_.iterator, *pool_, o);
+  report.modeled_device_seconds = model_.time_for_seeds_s(
+      report.result.seeds_hashed, cfg_.num_devices, algo,
+      /*early_exit=*/opts.early_exit, cfg_.iterator);
+  report.device_name = std::to_string(cfg_.num_devices) + "x " +
+                       model_.gpu().spec().name;
+  return report;
+}
+
+double MultiGpuSimSearchEngine::modeled_exhaustive_time_s(
+    int d, hash::HashAlgo algo) const {
+  const u64 seeds = static_cast<u64>(comb::exhaustive_search_count(d));
+  return model_.time_for_seeds_s(seeds, cfg_.num_devices, algo,
+                                 /*early_exit=*/false, cfg_.iterator);
+}
+
+GpuEmulatedBackend::GpuEmulatedBackend(EngineConfig cfg, sim::GpuSpec spec)
+    : cfg_(cfg), model_(std::move(spec)) {
+  cfg_.host_threads = resolve_threads(cfg_.host_threads);
+  pool_ = std::make_unique<par::ThreadPool>(cfg_.host_threads);
+}
+
+EngineReport GpuEmulatedBackend::search(const Seed256& s_init, ByteSpan digest,
+                                        hash::HashAlgo algo,
+                                        const SearchOptions& opts) {
+  // Partition width per shell: a few threads per host worker is enough to
+  // exercise the kernel structure; snapshot walks bound the useful width.
+  const auto threads_for_shell = [this](int) {
+    return 4 * cfg_.host_threads;
+  };
+  EngineReport report;
+  auto run = [&](auto hash) {
+    using Hash = decltype(hash);
+    typename Hash::digest_type target;
+    RBC_CHECK_MSG(digest.size() == target.bytes.size(),
+                  "digest length does not match hash algorithm");
+    std::memcpy(target.bytes.data(), digest.data(), digest.size());
+    report.result = gpu::gpu_emulated_search<Hash>(
+        *pool_, s_init, target, opts.max_distance, threads_for_shell,
+        /*threads_per_block=*/32, hash, opts.timeout_s);
+  };
+  if (algo == hash::HashAlgo::kSha1) {
+    run(hash::Sha1SeedHash{});
+  } else {
+    run(hash::Sha3SeedHash{});
+  }
+  report.modeled_device_seconds = model_.time_for_seeds_s(
+      report.result.seeds_hashed, algo, sim::IterAlgo::kChase382,
+      std::max(report.result.distance, 1));
+  report.device_name = model_.spec().name + " (kernel emulation)";
+  return report;
+}
+
+double GpuEmulatedBackend::modeled_exhaustive_time_s(
+    int d, hash::HashAlgo algo) const {
+  return model_.exhaustive_time_s(d, algo);
+}
+
+int plan_ca_distance(const SearchBackend& backend, hash::HashAlgo algo,
+                     double threshold_s, double comm_time_s,
+                     int max_considered) {
+  const auto plan = sim::plan_injected_noise(
+      [&](int d) { return backend.modeled_exhaustive_time_s(d, algo); },
+      threshold_s, comm_time_s, max_considered);
+  return plan.max_distance;
+}
+
+std::unique_ptr<SearchBackend> make_backend(std::string_view device,
+                                            EngineConfig cfg) {
+  if (device == "cpu") return std::make_unique<CpuSearchEngine>(cfg);
+  if (device == "gpu") {
+    if (cfg.num_devices > 1)
+      return std::make_unique<MultiGpuSimSearchEngine>(cfg);
+    return std::make_unique<GpuSimSearchEngine>(cfg);
+  }
+  if (device == "gpu-emu") return std::make_unique<GpuEmulatedBackend>(cfg);
+  if (device == "apu") return std::make_unique<ApuSimSearchEngine>(cfg);
+  RBC_CHECK_MSG(false, "unknown backend device (want cpu|gpu|apu|gpu-emu)");
+  return nullptr;
+}
+
+}  // namespace rbc

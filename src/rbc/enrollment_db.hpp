@@ -1,0 +1,69 @@
+// The CA's enrollment database: "PUF images for all clients are stored in an
+// encrypted database" (§2.1).
+//
+// Each device's enrollment record (one 256-bit image per PUF address plus the
+// TAPKI stable-cell masks) is kept AES-128-CTR encrypted under a database
+// master key and decrypted on access. The encryption is real (our own
+// AES-128 in counter mode, keyed per record by device id), which lets the
+// tests assert the at-rest bytes leak nothing about the images.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bits/seed256.hpp"
+#include "common/types.hpp"
+#include "crypto/aes128.hpp"
+#include "puf/puf.hpp"
+
+namespace rbc {
+
+struct EnrollmentRecord {
+  puf::EnrollmentImage image;
+  std::vector<puf::TapkiMask> masks;  // one per PUF address
+};
+
+class EnrollmentDatabase {
+ public:
+  explicit EnrollmentDatabase(const crypto::Aes128::Key& master_key)
+      : master_key_(master_key) {}
+
+  /// Enrolls a manufactured device: captures its image, calibrates TAPKI
+  /// masks from `calibration_reads` reads per address, and stores the record
+  /// encrypted. (The "secure facility" step of the threat model.)
+  void enroll(u64 device_id, const puf::SramPufModel& device,
+              int calibration_reads, double max_flip_rate, Xoshiro256& rng);
+
+  bool contains(u64 device_id) const {
+    return records_.count(device_id) != 0;
+  }
+
+  /// Decrypts and returns the record. Throws if the device is unknown.
+  EnrollmentRecord load(u64 device_id) const;
+
+  /// Raw encrypted bytes of a record (test access: at-rest ciphertext).
+  const Bytes& ciphertext(u64 device_id) const;
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+  /// Persists the database — records stay ciphertext on disk; only the
+  /// framing (magic, count, ids, lengths) is plaintext.
+  void save(const std::string& path) const;
+
+  /// Loads a database previously written by save(). The master key is needed
+  /// for subsequent load() calls, not for reading the file itself. Throws on
+  /// missing file, bad magic, or truncation.
+  static EnrollmentDatabase load_from_file(const std::string& path,
+                                           const crypto::Aes128::Key& key);
+
+ private:
+  Bytes encrypt_record(u64 device_id, const EnrollmentRecord& record) const;
+  EnrollmentRecord decrypt_record(u64 device_id, const Bytes& blob) const;
+
+  crypto::Aes128::Key master_key_;
+  std::map<u64, Bytes> records_;  // device id -> AES-CTR ciphertext
+};
+
+}  // namespace rbc

@@ -1,0 +1,104 @@
+// Legacy algorithm-aware RBC search — the prior-work baseline of Table 7.
+//
+// Before RBC-SALTED, the server search generated a PUBLIC KEY for every
+// candidate seed and compared it to the client's public key [29, 36, 39,
+// 40]. The control structure is identical to Algorithm 1; only the
+// per-candidate operation differs (keygen instead of hash), which is exactly
+// the cost gap the paper exploits. This engine exists so the benches can
+// measure that gap with real implementations (AES-128, LightSABER-like,
+// Dilithium3-like) rather than quoting it.
+#pragma once
+
+#include <mutex>
+#include <optional>
+
+#include "bits/seed256.hpp"
+#include "combinatorics/shell.hpp"
+#include "common/timer.hpp"
+#include "crypto/pqc_keygen.hpp"
+#include "parallel/early_exit.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rbc/search.hpp"
+
+namespace rbc {
+
+/// Same contract as rbc_search(), but the per-candidate operation is
+/// public-key generation and the target is the client's public key bytes.
+template <crypto::SeedKeygen Keygen, comb::SeedIteratorFactory Factory>
+SearchResult legacy_rbc_search(const Seed256& s_init, const Bytes& target_pk,
+                               Factory& factory, par::ThreadPool& pool,
+                               const SearchOptions& opts,
+                               const Keygen& keygen = {}) {
+  RBC_CHECK(opts.max_distance >= 0 && opts.max_distance <= comb::kMaxK);
+  RBC_CHECK(opts.num_threads >= 1 && opts.num_threads <= pool.size());
+
+  SearchResult result;
+  WallTimer timer;
+  par::EarlyExitToken token;
+  std::mutex found_mutex;
+  std::optional<std::pair<Seed256, int>> found;
+
+  result.seeds_hashed = 1;  // "keys generated" for this engine
+  if (keygen(s_init) == target_pk) {
+    result.found = true;
+    result.seed = s_init;
+    result.distance = 0;
+    result.host_seconds = timer.elapsed_s();
+    return result;
+  }
+
+  const int p = opts.num_threads;
+  std::vector<u64> generated(static_cast<std::size_t>(p), 0);
+
+  for (int k = 1; k <= opts.max_distance; ++k) {
+    if (opts.early_exit && token.triggered()) break;
+    if (timer.elapsed_s() > opts.timeout_s) {
+      result.timed_out = true;
+      break;
+    }
+    factory.prepare(k, p);
+
+    pool.parallel_workers([&](int worker) {
+      if (worker >= p) return;
+      auto it = factory.make(worker);
+      par::CheckThrottle throttle(token, opts.check_interval);
+      u64 local = 0;
+      Seed256 mask;
+      while (it.next(mask)) {
+        if (opts.early_exit && throttle.should_stop()) break;
+        const Seed256 candidate = s_init ^ mask;
+        ++local;
+        if (keygen(candidate) == target_pk) {
+          {
+            std::lock_guard lock(found_mutex);
+            if (!found) found = {candidate, k};
+          }
+          token.trigger();
+          if (opts.early_exit) break;
+        }
+        // Keygen is orders of magnitude slower than hashing, so the timeout
+        // is polled much more often relative to work done.
+        if ((local & 0xff) == 0 && timer.elapsed_s() > opts.timeout_s) {
+          token.trigger();
+          break;
+        }
+      }
+      generated[static_cast<std::size_t>(worker)] += local;
+    });
+
+    if (timer.elapsed_s() > opts.timeout_s && !found) result.timed_out = true;
+    if (result.timed_out) break;
+  }
+
+  for (u64 g : generated) result.seeds_hashed += g;
+  if (found) {
+    result.found = true;
+    result.seed = found->first;
+    result.distance = found->second;
+    result.timed_out = false;
+  }
+  result.host_seconds = timer.elapsed_s();
+  return result;
+}
+
+}  // namespace rbc

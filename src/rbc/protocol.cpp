@@ -1,0 +1,173 @@
+#include "rbc/protocol.hpp"
+
+#include "hash/keccak.hpp"
+#include "hash/sha1.hpp"
+
+namespace rbc {
+
+namespace {
+
+Bytes hash_seed_bytes(const Seed256& seed, hash::HashAlgo algo) {
+  if (algo == hash::HashAlgo::kSha1) {
+    const auto d = hash::sha1_seed(seed);
+    return Bytes(d.bytes.begin(), d.bytes.end());
+  }
+  const auto d = hash::sha3_256_seed(seed);
+  return Bytes(d.bytes.begin(), d.bytes.end());
+}
+
+}  // namespace
+
+net::DigestSubmission Client::respond(const net::Challenge& challenge) {
+  // Step: read the PUF at the challenged address.
+  Seed256 reading = device_->read(challenge.puf_address, rng_);
+
+  // TAPKI: pin unstable cells using the helper mask from the CA. The client
+  // does not know the enrolled word; pinning unstable cells to a fixed value
+  // (zero) on BOTH sides is equivalent for the search, but the paper's TAPKI
+  // pins to the enrolled values which the helper data encodes implicitly.
+  // Here the mask travels with the challenge, and masked-out bits are
+  // zeroed identically by client and server.
+  if (challenge.tapki_enabled) {
+    reading &= challenge.stable_mask;
+  }
+
+  // §4.1 noise policy: ensure the search difficulty is at the configured
+  // level by injecting (or trimming) flips on stable cells. The reference is
+  // the client's OWN majority vote over repeated reads (no access to the
+  // server's enrolled image) — on TAPKI-stable cells the vote converges to
+  // the enrolled value with overwhelming probability.
+  int target_distance = cfg_.injected_distance;
+  if (target_distance == ClientConfig::kFollowChallenge) {
+    target_distance =
+        challenge.requested_noise == net::Challenge::kNoNoiseRequest
+            ? -1
+            : challenge.requested_noise;
+  }
+  if (target_distance >= 0) {
+    Seed256 reference = puf::majority_read(*device_, challenge.puf_address,
+                                           cfg_.majority_reads, rng_);
+    if (challenge.tapki_enabled) reference &= challenge.stable_mask;
+    reading = puf::adjust_to_distance(reading, reference, target_distance,
+                                      challenge.stable_mask, rng_);
+  }
+
+  last_seed_ = reading;
+
+  net::DigestSubmission submission;
+  submission.hash_algo = cfg_.hash_algo;
+  submission.digest = hash_seed_bytes(reading, cfg_.hash_algo);
+  return submission;
+}
+
+net::Challenge CertificateAuthority::issue_challenge(
+    const net::HandshakeRequest& handshake) {
+  RBC_CHECK_MSG(db_.contains(handshake.device_id),
+                "handshake from un-enrolled device");
+  const EnrollmentRecord record = db_.load(handshake.device_id);
+  net::Challenge challenge;
+  challenge.puf_address = static_cast<u32>(
+      rng_.next_below(record.image.num_addresses()));
+  challenge.tapki_enabled = cfg_.tapki_enabled;
+  challenge.stable_mask =
+      cfg_.tapki_enabled
+          ? record.masks[challenge.puf_address].stable_bits()
+          : Seed256::ones();
+  if (cfg_.request_noise_injection) {
+    challenge.requested_noise = static_cast<u8>(cfg_.max_distance);
+  }
+  return challenge;
+}
+
+net::AuthResult CertificateAuthority::process_digest(
+    const net::HandshakeRequest& handshake, const net::Challenge& challenge,
+    const net::DigestSubmission& submission, EngineReport* report_out) {
+  RBC_CHECK_MSG(db_.contains(handshake.device_id),
+                "digest from un-enrolled device");
+  RBC_CHECK_MSG(submission.hash_algo == handshake.hash_algo,
+                "digest hash does not match handshake");
+
+  const EnrollmentRecord record = db_.load(handshake.device_id);
+  // Step 1: S_init from the PUF image, masked exactly as the client masks.
+  Seed256 s_init = record.image.word(challenge.puf_address);
+  if (challenge.tapki_enabled) s_init &= challenge.stable_mask;
+
+  SearchOptions opts;
+  opts.max_distance = cfg_.max_distance;
+  opts.early_exit = true;
+  opts.timeout_s = cfg_.time_threshold_s;
+  const EngineReport report = backend_->search(
+      s_init, submission.digest, submission.hash_algo, opts);
+  if (report_out != nullptr) *report_out = report;
+
+  net::AuthResult result;
+  result.search_seconds = report.result.host_seconds;
+  result.timed_out = report.result.timed_out;
+  if (!report.result.found) {
+    result.authenticated = false;
+    return result;
+  }
+
+  // Steps 7-9: salt the recovered seed, generate the public key once, and
+  // register it.
+  const Seed256 salted = cfg_.salt.apply(report.result.seed);
+  Bytes public_key =
+      crypto::generate_public_key(salted, handshake.keygen_algo);
+  ra_->update(handshake.device_id, std::move(public_key));
+
+  result.authenticated = true;
+  result.found_distance = report.result.distance;
+  return result;
+}
+
+SessionReport run_authentication(Client& client, CertificateAuthority& ca,
+                                 RegistrationAuthority& ra,
+                                 net::LatencyModel latency) {
+  net::Channel client_end{latency};
+  net::Channel ca_end{latency};
+  net::Channel::connect(client_end, ca_end);
+
+  SessionReport session;
+
+  // 1. Handshake.
+  net::HandshakeRequest handshake;
+  handshake.device_id = client.config().device_id;
+  handshake.hash_algo = client.config().hash_algo;
+  handshake.keygen_algo = client.config().keygen_algo;
+  client_end.send(net::Message{handshake});
+  const auto handshake_msg = ca_end.receive();
+  RBC_CHECK(handshake_msg.has_value());
+
+  // 2. Challenge.
+  const net::Challenge challenge = ca.issue_challenge(
+      std::get<net::HandshakeRequest>(handshake_msg.value()));
+  ca_end.send(net::Message{challenge});
+  const auto challenge_msg = client_end.receive();
+  RBC_CHECK(challenge_msg.has_value());
+
+  // 3. Client reads the PUF (charged as local time) and submits M1.
+  client_end.charge_local_time(client.config().puf_read_time_s);
+  const net::DigestSubmission submission =
+      client.respond(std::get<net::Challenge>(challenge_msg.value()));
+  client_end.send(net::Message{submission});
+  const auto submission_msg = ca_end.receive();
+  RBC_CHECK(submission_msg.has_value());
+
+  // 4-9. Search + key registration on the CA.
+  session.result = ca.process_digest(
+      handshake, challenge,
+      std::get<net::DigestSubmission>(submission_msg.value()),
+      &session.engine);
+  ca_end.send(net::Message{session.result});
+  const auto result_msg = client_end.receive();
+  RBC_CHECK(result_msg.has_value());
+
+  session.comm_time_s = client_end.elapsed_s();
+  session.total_time_s = session.comm_time_s + session.result.search_seconds;
+  if (const Bytes* pk = ra.lookup(handshake.device_id)) {
+    session.registered_public_key = *pk;
+  }
+  return session;
+}
+
+}  // namespace rbc

@@ -1,0 +1,208 @@
+// The RBC-SALTED protocol roles and the Fig. 1 message flow.
+//
+//   Client  — holds the physical PUF; on challenge, reads the addressed
+//             word, applies the TAPKI helper mask, hashes the bit stream
+//             and submits the digest M1.
+//   CertificateAuthority (CA) — holds the encrypted enrollment database and
+//             a SearchBackend; recovers the client's seed by RBC search,
+//             salts it, generates the public key, and updates the RA.
+//   RegistrationAuthority (RA) — the public-key registry updated on each
+//             successful authentication (step 9).
+//
+// run_authentication() drives one full exchange over a simulated channel and
+// returns a SessionReport with the Table 5 decomposition (comm time, search
+// time, total).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "crypto/pqc_keygen.hpp"
+#include "crypto/salt.hpp"
+#include "net/transport.hpp"
+#include "puf/puf.hpp"
+#include "rbc/engines.hpp"
+#include "rbc/enrollment_db.hpp"
+
+namespace rbc {
+
+/// Client-side policy knobs.
+struct ClientConfig {
+  u64 device_id = 0;
+  hash::HashAlgo hash_algo = hash::HashAlgo::kSha3_256;
+  crypto::KeygenAlgo keygen_algo = crypto::KeygenAlgo::kDilithiumLike;
+  /// §4.1 noise policy: if >= 0, the submitted bit stream is adjusted to sit
+  /// at exactly this Hamming distance from the (masked) enrolled word.
+  /// Negative disables injection and submits the raw masked reading;
+  /// kFollowChallenge defers to the CA's requested_noise instruction.
+  static constexpr int kFollowChallenge = -2;
+  int injected_distance = 5;
+  /// Odd number of reads the client majority-votes to estimate its own
+  /// stable word as the noise-injection reference.
+  int majority_reads = 7;
+  /// Seconds charged for reading the PUF over USB (part of the comm budget).
+  double puf_read_time_s = 0.30;
+};
+
+class Client {
+ public:
+  Client(ClientConfig cfg, const puf::SramPufModel* device, u64 rng_seed)
+      : cfg_(cfg), device_(device), rng_(rng_seed) {
+    RBC_CHECK(device != nullptr);
+  }
+
+  const ClientConfig& config() const noexcept { return cfg_; }
+
+  /// Handles one challenge: reads the PUF, applies the helper mask, injects
+  /// noise per policy, and returns the digest to submit. The seed used is
+  /// retained so tests can verify end-to-end key agreement.
+  net::DigestSubmission respond(const net::Challenge& challenge);
+
+  /// The bit stream the client hashed in the last respond() call.
+  const Seed256& last_seed() const { return last_seed_; }
+
+  /// The client's own view of the session public key: keygen(salt(seed)).
+  Bytes derive_public_key(const crypto::SaltPolicy& salt) const {
+    return crypto::generate_public_key(salt.apply(last_seed_),
+                                       cfg_.keygen_algo);
+  }
+
+ private:
+  ClientConfig cfg_;
+  const puf::SramPufModel* device_;
+  Xoshiro256 rng_;
+  Seed256 last_seed_;
+};
+
+/// The RA registry. RBC's keys are ONE-TIME session keys (§1: "even if an
+/// attacker was able to recover a client's private key, it would become
+/// invalid after a short time"), so each entry carries a logical-clock
+/// expiry and a rotation counter. Time is logical (advance_time) to keep
+/// trials reproducible.
+class RegistrationAuthority {
+ public:
+  struct Entry {
+    Bytes public_key;
+    double registered_at = 0.0;
+    double expires_at = 0.0;
+    u64 rotation = 0;  // how many times this device's key has been replaced
+  };
+
+  /// Lifetime of a session key; default is the paper's "short time" at the
+  /// scale of one authentication threshold.
+  void set_key_ttl(double seconds) {
+    RBC_CHECK(seconds > 0.0);
+    ttl_s_ = seconds;
+  }
+  double key_ttl() const noexcept { return ttl_s_; }
+
+  void advance_time(double seconds) {
+    RBC_CHECK(seconds >= 0.0);
+    now_s_ += seconds;
+  }
+  double now() const noexcept { return now_s_; }
+
+  void update(u64 device_id, Bytes public_key) {
+    auto& entry = registry_[device_id];
+    entry.rotation += entry.public_key.empty() ? 0u : 1u;
+    entry.public_key = std::move(public_key);
+    entry.registered_at = now_s_;
+    entry.expires_at = now_s_ + ttl_s_;
+  }
+
+  /// The device's current key, or nullptr when absent, revoked or expired.
+  const Bytes* lookup(u64 device_id) const {
+    auto it = registry_.find(device_id);
+    if (it == registry_.end()) return nullptr;
+    if (now_s_ >= it->second.expires_at) return nullptr;
+    return &it->second.public_key;
+  }
+
+  /// Full entry including expired ones (audit access).
+  const Entry* entry(u64 device_id) const {
+    auto it = registry_.find(device_id);
+    return it == registry_.end() ? nullptr : &it->second;
+  }
+
+  /// Immediate invalidation; returns false when the device has no entry.
+  bool revoke(u64 device_id) {
+    auto it = registry_.find(device_id);
+    if (it == registry_.end()) return false;
+    it->second.expires_at = now_s_;
+    return true;
+  }
+
+  std::size_t size() const noexcept { return registry_.size(); }
+
+ private:
+  std::map<u64, Entry> registry_;
+  double ttl_s_ = 20.0;
+  double now_s_ = 0.0;
+};
+
+struct CaConfig {
+  /// Authentication threshold T (paper: 20 s).
+  double time_threshold_s = 20.0;
+  /// Maximum Hamming distance the search will attempt.
+  int max_distance = 3;
+  bool tapki_enabled = true;
+  crypto::SaltPolicy salt{};
+  u64 challenge_rng_seed = 0xCA5eed;
+  /// §5 security extension: when true, every Challenge instructs the client
+  /// to inject noise up to the CA's own search budget (max_distance) — the
+  /// server has already sized that budget to fit T, so the extra noise can
+  /// never cause a timeout while maximizing per-session seed freshness.
+  bool request_noise_injection = false;
+};
+
+class CertificateAuthority {
+ public:
+  CertificateAuthority(CaConfig cfg, EnrollmentDatabase db,
+                       std::unique_ptr<SearchBackend> backend,
+                       RegistrationAuthority* ra)
+      : cfg_(cfg),
+        db_(std::move(db)),
+        backend_(std::move(backend)),
+        ra_(ra),
+        rng_(cfg.challenge_rng_seed) {
+    RBC_CHECK(backend_ != nullptr && ra_ != nullptr);
+  }
+
+  const CaConfig& config() const noexcept { return cfg_; }
+  EnrollmentDatabase& database() noexcept { return db_; }
+
+  /// Step 2: picks a random enrolled address for the device.
+  net::Challenge issue_challenge(const net::HandshakeRequest& handshake);
+
+  /// Steps 4-9: runs the RBC search for the submitted digest and, on
+  /// success, salts the seed, generates the public key and updates the RA.
+  net::AuthResult process_digest(const net::HandshakeRequest& handshake,
+                                 const net::Challenge& challenge,
+                                 const net::DigestSubmission& submission,
+                                 EngineReport* report_out = nullptr);
+
+ private:
+  CaConfig cfg_;
+  EnrollmentDatabase db_;
+  std::unique_ptr<SearchBackend> backend_;
+  RegistrationAuthority* ra_;
+  Xoshiro256 rng_;
+};
+
+/// One full authentication session over a simulated channel.
+struct SessionReport {
+  net::AuthResult result;
+  EngineReport engine;
+  double comm_time_s = 0.0;    // simulated network + PUF-read time
+  double total_time_s = 0.0;   // comm + host search time
+  /// Public key registered at the RA (empty when authentication failed).
+  Bytes registered_public_key;
+};
+
+SessionReport run_authentication(Client& client, CertificateAuthority& ca,
+                                 RegistrationAuthority& ra,
+                                 net::LatencyModel latency =
+                                     net::LatencyModel(0.15));
+
+}  // namespace rbc

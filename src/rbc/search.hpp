@@ -1,0 +1,137 @@
+// The RBC-SALTED search core — Algorithm 1 of the paper.
+//
+// Given the enrolled seed S_init and the client's message digest M1, search
+// the Hamming ball around S_init shell by shell: every thread owns a
+// disjoint slice of each shell's combination sequence, XORs each mask into
+// S_init, hashes, and compares against M1. The first match triggers the
+// early-exit token (lines 7/15); a time budget T bounds the whole search
+// (§3: "RBC uses a time threshold for which it must authenticate a client").
+//
+// The function template is monomorphized over the hash policy and the seed
+// iterator factory so the hot loop compiles to straight-line code — the same
+// reason the paper fuses seed iteration and hashing into one GPU kernel
+// (§4.5: "we do not time the seed iteration separately from SHA-3, as they
+// execute in the same kernel").
+#pragma once
+
+#include <mutex>
+#include <optional>
+
+#include "bits/seed256.hpp"
+#include "combinatorics/shell.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "hash/traits.hpp"
+#include "parallel/early_exit.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rbc {
+
+struct SearchOptions {
+  /// Maximum Hamming distance d to search (inclusive).
+  int max_distance = 3;
+  /// Worker threads (p in Algorithm 1).
+  int num_threads = 1;
+  /// Seeds iterated between early-exit flag checks (§4.4 knob).
+  u32 check_interval = 1;
+  /// When false, the search visits every seed up to d even after a match —
+  /// the "exhaustive" timing scenario of the evaluation.
+  bool early_exit = true;
+  /// Authentication time threshold T, seconds of host wall clock.
+  double timeout_s = 20.0;
+};
+
+struct SearchResult {
+  bool found = false;
+  Seed256 seed;              // the matching candidate, when found
+  int distance = -1;         // shell where the match occurred
+  u64 seeds_hashed = 0;      // total candidates hashed across threads
+  double host_seconds = 0.0; // wall-clock duration of the search
+  bool timed_out = false;    // T exceeded before the ball was exhausted
+};
+
+/// Searches for a seed whose hash equals `target`, using `pool` for the
+/// data-parallel shells. The factory provides per-thread iterators over each
+/// shell (Gosper / Algorithm 515 / Chase 382 all model the concept).
+template <hash::SeedHash Hash, comb::SeedIteratorFactory Factory>
+SearchResult rbc_search(const Seed256& s_init,
+                        const typename Hash::digest_type& target,
+                        Factory& factory, par::ThreadPool& pool,
+                        const SearchOptions& opts, const Hash& hash = {}) {
+  RBC_CHECK(opts.max_distance >= 0 && opts.max_distance <= comb::kMaxK);
+  RBC_CHECK(opts.num_threads >= 1 && opts.num_threads <= pool.size());
+
+  SearchResult result;
+  WallTimer timer;
+  par::EarlyExitToken token;
+  std::mutex found_mutex;
+  std::optional<std::pair<Seed256, int>> found;
+
+  // Lines 4-8: distance 0 — hash S_init itself (thread r = 0's job).
+  result.seeds_hashed = 1;
+  if (hash(s_init) == target) {
+    result.found = true;
+    result.seed = s_init;
+    result.distance = 0;
+    result.host_seconds = timer.elapsed_s();
+    return result;
+  }
+
+  const int p = opts.num_threads;
+  std::vector<u64> hashed_per_thread(static_cast<std::size_t>(p), 0);
+
+  // Line 9: loop over Hamming shells 1..d.
+  for (int k = 1; k <= opts.max_distance; ++k) {
+    if (opts.early_exit && token.triggered()) break;
+    if (timer.elapsed_s() > opts.timeout_s) {
+      result.timed_out = true;
+      break;
+    }
+    factory.prepare(k, p);
+
+    pool.parallel_workers([&](int worker) {
+      if (worker >= p) return;
+      auto it = factory.make(worker);
+      par::CheckThrottle throttle(token, opts.check_interval);
+      u64 local_hashed = 0;
+      Seed256 mask;
+      // Lines 11-16: iterate this thread's slice of the shell.
+      while (it.next(mask)) {
+        if (opts.early_exit && throttle.should_stop()) break;
+        const Seed256 candidate = s_init ^ mask;
+        ++local_hashed;
+        if (hash(candidate) == target) {
+          {
+            std::lock_guard lock(found_mutex);
+            if (!found) found = {candidate, k};
+          }
+          token.trigger();  // line 15: NotifyAllThreadsToExitSearch
+          if (opts.early_exit) break;
+        }
+        // The time threshold is checked at a coarse cadence to keep the
+        // clock read off the per-seed fast path.
+        if ((local_hashed & 0xffff) == 0 &&
+            timer.elapsed_s() > opts.timeout_s) {
+          token.trigger();
+          break;
+        }
+      }
+      hashed_per_thread[static_cast<std::size_t>(worker)] += local_hashed;
+    });
+
+    if (timer.elapsed_s() > opts.timeout_s && !found) result.timed_out = true;
+    if (result.timed_out) break;
+  }
+
+  for (u64 h : hashed_per_thread) result.seeds_hashed += h;
+  if (found) {
+    result.found = true;
+    result.seed = found->first;
+    result.distance = found->second;
+    result.timed_out = false;
+  }
+  result.host_seconds = timer.elapsed_s();
+  return result;
+}
+
+}  // namespace rbc

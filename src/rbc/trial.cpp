@@ -1,0 +1,33 @@
+#include "rbc/trial.hpp"
+
+namespace rbc {
+
+TrialStats run_trials(Client& client, CertificateAuthority& ca,
+                      RegistrationAuthority& ra, int trials) {
+  RBC_CHECK(trials > 0);
+  TrialStats stats;
+  stats.trials = trials;
+  stats.found_distance_histogram.assign(
+      static_cast<std::size_t>(ca.config().max_distance) + 1, 0);
+  for (int t = 0; t < trials; ++t) {
+    const SessionReport session = run_authentication(client, ca, ra);
+    if (session.result.authenticated) {
+      ++stats.authenticated;
+      const int d = session.result.found_distance;
+      if (d >= 0 &&
+          d < static_cast<int>(stats.found_distance_histogram.size())) {
+        ++stats.found_distance_histogram[static_cast<std::size_t>(d)];
+      }
+    }
+    if (session.result.timed_out) ++stats.timed_out;
+    stats.total_seeds_hashed += session.engine.result.seeds_hashed;
+    stats.total_host_search_s += session.engine.result.host_seconds;
+    stats.total_modeled_device_s += session.engine.modeled_device_seconds;
+    stats.total_comm_s += session.comm_time_s;
+    stats.host_search_samples.push_back(session.engine.result.host_seconds);
+    stats.modeled_device_stats.add(session.engine.modeled_device_seconds);
+  }
+  return stats;
+}
+
+}  // namespace rbc

@@ -1,0 +1,54 @@
+// Trial harness: repeated stochastic authentications and their statistics.
+//
+// The paper's average-case numbers are means over 1,200 trials with
+// stochastic PUF noise (§4.1). This harness runs N full protocol sessions
+// against fresh noise draws and aggregates authentication rate, search
+// effort, and timing — used by the benches and the puf_error_study example.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "rbc/protocol.hpp"
+
+namespace rbc {
+
+struct TrialStats {
+  int trials = 0;
+  int authenticated = 0;
+  int timed_out = 0;
+  u64 total_seeds_hashed = 0;
+  double total_host_search_s = 0.0;
+  double total_modeled_device_s = 0.0;
+  double total_comm_s = 0.0;
+  std::vector<int> found_distance_histogram;  // index = distance
+  /// Per-trial host search times (for percentiles) and streaming moments of
+  /// the modeled device times.
+  std::vector<double> host_search_samples;
+  RunningStats modeled_device_stats;
+
+  double auth_rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(authenticated) / trials;
+  }
+  double mean_seeds_hashed() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(total_seeds_hashed) / trials;
+  }
+  double mean_host_search_s() const {
+    return trials == 0 ? 0.0 : total_host_search_s / trials;
+  }
+  double mean_modeled_device_s() const {
+    return trials == 0 ? 0.0 : total_modeled_device_s / trials;
+  }
+  /// Percentile of the host search time distribution, q in [0,1].
+  double host_search_percentile(double q) const {
+    return percentile(host_search_samples, q);
+  }
+};
+
+/// Runs `trials` authentications of `client` against `ca`, each with fresh
+/// PUF noise (the client's RNG advances between sessions).
+TrialStats run_trials(Client& client, CertificateAuthority& ca,
+                      RegistrationAuthority& ra, int trials);
+
+}  // namespace rbc

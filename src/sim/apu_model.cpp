@@ -1,0 +1,36 @@
+#include "sim/apu_model.hpp"
+
+#include <cmath>
+
+#include "combinatorics/binomial.hpp"
+
+namespace rbc::sim {
+
+double ApuModel::time_for_seeds_s(u64 seeds, hash::HashAlgo hash) const {
+  if (seeds == 0) return 0.0;
+  const double pes = pe_count(hash);
+  const double cycles = calib_.apu_cycles(hash);
+
+  // Seeds are spread over the PEs; each PE works through its share in
+  // batches of apu_batch_size permutations per loaded startup combination.
+  const double seeds_per_pe =
+      std::ceil(static_cast<double>(seeds) / pes);
+  const double batches =
+      std::ceil(seeds_per_pe / static_cast<double>(calib_.apu_batch_size));
+  const double pe_cycles = seeds_per_pe * cycles +
+                           batches * calib_.apu_batch_load_cycles;
+  return pe_cycles / spec_.clock_hz;
+}
+
+double ApuModel::exhaustive_time_s(int d, hash::HashAlgo hash) const {
+  return time_for_seeds_s(static_cast<u64>(comb::exhaustive_search_count(d)),
+                          hash);
+}
+
+double ApuModel::average_time_s(int d, hash::HashAlgo hash) const {
+  return time_for_seeds_s(static_cast<u64>(comb::average_search_count(d)),
+                          hash) +
+         calib_.apu_exit_overhead_s;
+}
+
+}  // namespace rbc::sim

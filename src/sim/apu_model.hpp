@@ -1,0 +1,46 @@
+// Analytic timing model of SALTED-APU on the GSI Gemini (§3.3).
+//
+// The APU is a compute-in-memory array: 2M bit processors (BPs) ganged into
+// software-defined processing elements. The PE footprint depends on the
+// algorithm's state (§3.3: 2 BP columns per PE for SHA-1, 5 for SHA-3), so
+// SHA-1 runs 65k PEs and SHA-3 only ~26k — which is exactly why the APU
+// matches the GPU on SHA-1 but loses 3x on SHA-3 (§4.6). Work arrives in
+// batches: each loaded startup combination seeds 256 permutations, and the
+// early-exit flag in associative memory is polled once per batch.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/calibration.hpp"
+#include "sim/device.hpp"
+
+namespace rbc::sim {
+
+class ApuModel {
+ public:
+  explicit ApuModel(ApuSpec spec = gemini_apu(),
+                    Calibration calib = default_calibration())
+      : spec_(std::move(spec)), calib_(calib) {}
+
+  const ApuSpec& spec() const noexcept { return spec_; }
+  const Calibration& calibration() const noexcept { return calib_; }
+
+  /// Concurrent PEs available for the given hash (§3.3 arithmetic).
+  int pe_count(hash::HashAlgo hash) const noexcept {
+    return spec_.pe_count(hash == hash::HashAlgo::kSha1
+                              ? spec_.bps_per_pe_sha1
+                              : spec_.bps_per_pe_sha3);
+  }
+
+  /// Search-only time for `seeds` candidates.
+  double time_for_seeds_s(u64 seeds, hash::HashAlgo hash) const;
+
+  /// Exhaustive/average Table 5 rows.
+  double exhaustive_time_s(int d, hash::HashAlgo hash) const;
+  double average_time_s(int d, hash::HashAlgo hash) const;
+
+ private:
+  ApuSpec spec_;
+  Calibration calib_;
+};
+
+}  // namespace rbc::sim

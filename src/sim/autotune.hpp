@@ -1,0 +1,56 @@
+// GPU launch-parameter autotuner — the Fig. 3 / §4.4 grid search as an API.
+//
+// The paper tunes seeds-per-thread (n) and threads-per-block (b) by hand for
+// its platform; deployments on other GPUs need the same sweep. The tuner
+// walks the (n, b) grid over the execution model for the actual workload
+// (distance, hash, iterator) and returns the best configuration plus the
+// whole grid for inspection.
+#pragma once
+
+#include <vector>
+
+#include "sim/gpu_model.hpp"
+
+namespace rbc::sim {
+
+struct TunePoint {
+  int seeds_per_thread = 0;
+  int threads_per_block = 0;
+  double time_s = 0.0;
+};
+
+struct TuneResult {
+  TunePoint best;
+  std::vector<TunePoint> grid;  // all evaluated points, row-major over n x b
+  /// Points within 5% of the best — the paper's "similarly good" flat region.
+  int near_optimal_count = 0;
+};
+
+inline TuneResult autotune_gpu(const GpuModel& gpu, int d,
+                               hash::HashAlgo hash,
+                               IterAlgo iter = IterAlgo::kChase382) {
+  static constexpr int kSeedsPerThread[] = {1,   5,   10,  25,   50,  100,
+                                            200, 400, 800, 1600, 3200, 12800};
+  static constexpr int kThreadsPerBlock[] = {32, 64, 128, 256, 512, 1024};
+
+  TuneResult result;
+  result.best.time_s = 1e300;
+  for (int n : kSeedsPerThread) {
+    for (int b : kThreadsPerBlock) {
+      GpuSearchConfig proto;
+      proto.seeds_per_thread = n;
+      proto.threads_per_block = b;
+      proto.hash = hash;
+      proto.iter = iter;
+      const TunePoint point{n, b, gpu.ball_time_s(d, proto)};
+      result.grid.push_back(point);
+      if (point.time_s < result.best.time_s) result.best = point;
+    }
+  }
+  for (const auto& p : result.grid) {
+    if (p.time_s <= result.best.time_s * 1.05) ++result.near_optimal_count;
+  }
+  return result;
+}
+
+}  // namespace rbc::sim

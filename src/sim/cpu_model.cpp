@@ -1,0 +1,50 @@
+#include "sim/cpu_model.hpp"
+
+#include "combinatorics/binomial.hpp"
+#include "common/check.hpp"
+
+namespace rbc::sim {
+
+double CpuModel::per_seed_seconds(double work_cycles, int threads) const {
+  RBC_CHECK(threads >= 1);
+  return (work_cycles / threads + calib_.cpu_contention_cycles) /
+         spec_.clock_hz;
+}
+
+double CpuModel::time_for_seeds_s(u64 seeds, hash::HashAlgo hash,
+                                  int threads) const {
+  return static_cast<double>(seeds) *
+         per_seed_seconds(calib_.cpu_cycles(hash), threads);
+}
+
+double CpuModel::exhaustive_time_s(int d, hash::HashAlgo hash,
+                                   int threads) const {
+  return time_for_seeds_s(static_cast<u64>(comb::exhaustive_search_count(d)),
+                          hash, threads);
+}
+
+double CpuModel::average_time_s(int d, hash::HashAlgo hash,
+                                int threads) const {
+  return time_for_seeds_s(static_cast<u64>(comb::average_search_count(d)),
+                          hash, threads) +
+         calib_.cpu_exit_overhead_s;
+}
+
+double CpuModel::speedup(hash::HashAlgo hash, int threads) const {
+  return per_seed_seconds(calib_.cpu_cycles(hash), 1) /
+         per_seed_seconds(calib_.cpu_cycles(hash), threads);
+}
+
+double CpuModel::legacy_time_for_seeds_s(u64 seeds, crypto::KeygenAlgo algo,
+                                         int threads) const {
+  return static_cast<double>(seeds) *
+         per_seed_seconds(calib_.cpu_keygen_cycles(algo), threads);
+}
+
+double GpuLegacyModel::time_for_seeds_s(u64 seeds,
+                                        crypto::KeygenAlgo algo) const {
+  return static_cast<double>(seeds) * calib_.gpu_keygen_cycles(algo) /
+         spec_.total_cycles_per_second();
+}
+
+}  // namespace rbc::sim

@@ -1,0 +1,59 @@
+// Analytic timing model of SALTED-CPU (§3.4) and of the legacy
+// algorithm-aware RBC baselines on the CPU/GPU (Table 7).
+//
+// The CPU engine is OpenMP data-parallel with a shared early-exit flag; its
+// scaling is limited by a small serial-equivalent per-seed overhead (memory
+// traffic + flag polling) that the model carries as cpu_contention_cycles.
+// That single constant, calibrated once, reproduces both of §4.3's strong-
+// scaling results (59x for SHA-1 and 63x for SHA-3 on 64 cores).
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/calibration.hpp"
+#include "sim/device.hpp"
+
+namespace rbc::sim {
+
+class CpuModel {
+ public:
+  explicit CpuModel(CpuSpec spec = epyc64(),
+                    Calibration calib = default_calibration())
+      : spec_(std::move(spec)), calib_(calib) {}
+
+  const CpuSpec& spec() const noexcept { return spec_; }
+
+  /// Search time on `threads` cores: N * (H/p + contention) / clock.
+  double time_for_seeds_s(u64 seeds, hash::HashAlgo hash, int threads) const;
+
+  double exhaustive_time_s(int d, hash::HashAlgo hash, int threads) const;
+  double average_time_s(int d, hash::HashAlgo hash, int threads) const;
+
+  /// Strong-scaling speedup t(1)/t(p) for the §4.3 experiment.
+  double speedup(hash::HashAlgo hash, int threads) const;
+
+  /// Legacy algorithm-aware RBC (keygen per candidate) on this CPU.
+  double legacy_time_for_seeds_s(u64 seeds, crypto::KeygenAlgo algo,
+                                 int threads) const;
+
+ private:
+  double per_seed_seconds(double work_cycles, int threads) const;
+
+  CpuSpec spec_;
+  Calibration calib_;
+};
+
+/// Legacy algorithm-aware RBC on the GPU (Table 7 GPU columns).
+class GpuLegacyModel {
+ public:
+  explicit GpuLegacyModel(GpuSpec spec = a100(),
+                          Calibration calib = default_calibration())
+      : spec_(std::move(spec)), calib_(calib) {}
+
+  double time_for_seeds_s(u64 seeds, crypto::KeygenAlgo algo) const;
+
+ private:
+  GpuSpec spec_;
+  Calibration calib_;
+};
+
+}  // namespace rbc::sim

@@ -1,0 +1,134 @@
+// Device descriptions for the three platforms of the paper's Table 3.
+//
+// This repository runs on commodity hosts without an A100 or a Gemini APU;
+// the device simulators in this module execute the search *functionally* on
+// host threads and account *time/energy* with analytic models over these
+// specs. See DESIGN.md §2 for the substitution rationale and
+// calibration.hpp for how the per-hash constants were derived.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rbc::sim {
+
+struct GpuSpec {
+  std::string name;
+  int sm_count;
+  int cores_per_sm;
+  double clock_hz;
+  int max_threads_per_sm;
+  int max_blocks_per_sm;
+  int registers_per_sm;
+  int shared_memory_per_sm;  // bytes
+  double memory_bandwidth;   // bytes/s
+  double idle_watts;
+  double max_watts_sha1;
+  double max_watts_sha3;
+
+  int total_cores() const noexcept { return sm_count * cores_per_sm; }
+  double total_cycles_per_second() const noexcept {
+    return static_cast<double>(total_cores()) * clock_hz;
+  }
+};
+
+/// NVIDIA A100 40 GiB (PlatformA accelerator; Table 3 + Table 6 power rows).
+inline GpuSpec a100() {
+  return GpuSpec{
+      .name = "NVIDIA A100",
+      .sm_count = 108,
+      .cores_per_sm = 64,  // 108 x 64 = 6912 CUDA cores
+      .clock_hz = 1410e6,
+      .max_threads_per_sm = 2048,
+      .max_blocks_per_sm = 16,
+      .registers_per_sm = 65536,
+      .shared_memory_per_sm = 164 * 1024,
+      .memory_bandwidth = 1555e9,
+      .idle_watts = 31.53,
+      .max_watts_sha1 = 253.43,
+      .max_watts_sha3 = 258.29,
+  };
+}
+
+struct ApuSpec {
+  std::string name;
+  int cores;
+  int banks_per_core;
+  int bit_processors_per_bank;
+  double clock_hz;
+  /// Bit processors ganged per processing element (§3.3: the PE footprint
+  /// depends on the algorithm's state size).
+  int bps_per_pe_sha1;
+  int bps_per_pe_sha3;
+  double idle_watts;
+  double max_watts_sha1;
+  double max_watts_sha3;
+
+  int total_bps() const noexcept {
+    return cores * banks_per_core * bit_processors_per_bank;
+  }
+  /// §3.3: PEs = cores x banks x floor(BPs-per-bank / BPs-per-PE).
+  int pe_count(int bps_per_pe) const noexcept {
+    return cores * banks_per_core * (bit_processors_per_bank / bps_per_pe);
+  }
+};
+
+/// GSI Gemini APU (PlatformB accelerator). §3.3: SHA-1 PEs use 2 BP columns,
+/// SHA-3 PEs use 5, giving 65k and ~26k concurrent PEs respectively.
+inline ApuSpec gemini_apu() {
+  return ApuSpec{
+      .name = "GSI Gemini APU",
+      .cores = 4,
+      .banks_per_core = 16,
+      .bit_processors_per_bank = 2048,
+      .clock_hz = 575e6,
+      .bps_per_pe_sha1 = 2,
+      .bps_per_pe_sha3 = 5,
+      .idle_watts = 22.10,
+      .max_watts_sha1 = 83.81,
+      .max_watts_sha3 = 83.63,
+  };
+}
+
+/// NVIDIA V100 16 GiB — the platform of the AES-RBC prior work [39], kept
+/// for the related-work cross-check ("a single Nvidia V100 GPU achieves the
+/// same search throughput as roughly 300 CPU cores").
+inline GpuSpec v100() {
+  return GpuSpec{
+      .name = "NVIDIA V100",
+      .sm_count = 80,
+      .cores_per_sm = 64,  // 5120 CUDA cores
+      .clock_hz = 1530e6,
+      .max_threads_per_sm = 2048,
+      .max_blocks_per_sm = 16,
+      .registers_per_sm = 65536,
+      .shared_memory_per_sm = 96 * 1024,
+      .memory_bandwidth = 900e9,
+      .idle_watts = 25.0,
+      .max_watts_sha1 = 250.0,
+      .max_watts_sha3 = 250.0,
+  };
+}
+
+struct CpuSpec {
+  std::string name;
+  int cores;
+  double clock_hz;
+
+  double total_cycles_per_second() const noexcept {
+    return static_cast<double>(cores) * clock_hz;
+  }
+};
+
+/// 2x AMD EPYC 7542 (PlatformA host, 64 physical cores).
+inline CpuSpec epyc64() {
+  return CpuSpec{.name = "2x AMD EPYC 7542", .cores = 64, .clock_hz = 2.9e9};
+}
+
+/// Intel i7-7700 (PlatformB host).
+inline CpuSpec i7_7700() {
+  return CpuSpec{.name = "Intel i7-7700", .cores = 4, .clock_hz = 3.6e9};
+}
+
+}  // namespace rbc::sim

@@ -1,0 +1,35 @@
+#include "sim/energy.hpp"
+
+namespace rbc::sim {
+
+namespace {
+EnergyReport make_report(double idle_w, double max_w, double util,
+                         double seconds) {
+  EnergyReport r;
+  r.idle_watts = idle_w;
+  r.max_watts = max_w;
+  r.average_watts = idle_w + util * (max_w - idle_w);
+  r.total_joules = r.average_watts * seconds;
+  return r;
+}
+}  // namespace
+
+EnergyReport EnergyModel::gpu_energy(const GpuSpec& spec, hash::HashAlgo hash,
+                                     double search_seconds) const {
+  const bool sha1 = hash == hash::HashAlgo::kSha1;
+  return make_report(spec.idle_watts,
+                     sha1 ? spec.max_watts_sha1 : spec.max_watts_sha3,
+                     sha1 ? calib_.gpu_util_sha1 : calib_.gpu_util_sha3,
+                     search_seconds);
+}
+
+EnergyReport EnergyModel::apu_energy(const ApuSpec& spec, hash::HashAlgo hash,
+                                     double search_seconds) const {
+  const bool sha1 = hash == hash::HashAlgo::kSha1;
+  return make_report(spec.idle_watts,
+                     sha1 ? spec.max_watts_sha1 : spec.max_watts_sha3,
+                     sha1 ? calib_.apu_util_sha1 : calib_.apu_util_sha3,
+                     search_seconds);
+}
+
+}  // namespace rbc::sim

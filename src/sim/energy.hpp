@@ -1,0 +1,38 @@
+// Energy model for the GPU/APU comparison (Table 6).
+//
+// The paper reports total joules including idle draw; the model is
+//   P_avg = P_idle + u * (P_max - P_idle),     E = P_avg * t_search
+// with the utilisation factor u calibrated per (device, hash) from Table 6.
+// The paper's qualitative findings fall out: the APU needs ~39% of the GPU's
+// energy on SHA-1 (similar runtimes, 3x lower power), while on SHA-3 the
+// GPU's 3x runtime advantage cancels its power disadvantage.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/calibration.hpp"
+#include "sim/device.hpp"
+
+namespace rbc::sim {
+
+struct EnergyReport {
+  double total_joules = 0.0;
+  double average_watts = 0.0;
+  double max_watts = 0.0;
+  double idle_watts = 0.0;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(Calibration calib = default_calibration())
+      : calib_(calib) {}
+
+  EnergyReport gpu_energy(const GpuSpec& spec, hash::HashAlgo hash,
+                          double search_seconds) const;
+  EnergyReport apu_energy(const ApuSpec& spec, hash::HashAlgo hash,
+                          double search_seconds) const;
+
+ private:
+  Calibration calib_;
+};
+
+}  // namespace rbc::sim

@@ -1,0 +1,144 @@
+#include "sim/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "combinatorics/binomial.hpp"
+#include "common/check.hpp"
+
+namespace rbc::sim {
+
+GpuOccupancy GpuModel::occupancy(const GpuSearchConfig& cfg) const {
+  RBC_CHECK_MSG(cfg.seeds_per_thread > 0, "seeds per thread must be positive");
+  RBC_CHECK_MSG(cfg.threads_per_block > 0 && cfg.threads_per_block % 32 == 0,
+                "threads per block must be a positive multiple of the warp");
+
+  GpuOccupancy occ;
+  const int b = cfg.threads_per_block;
+
+  // Occupancy limits: hardware block slots, thread slots, register file,
+  // and (when the iterator state lives in shared memory) shared capacity.
+  const int by_slots = spec_.max_blocks_per_sm;
+  const int by_threads = spec_.max_threads_per_sm / b;
+  const int by_regs =
+      spec_.registers_per_sm / (calib_.gpu_registers_per_thread * b);
+  int blocks = std::min({by_slots, by_threads, by_regs});
+  if (cfg.state_in_shared_memory) {
+    const int by_shared = static_cast<int>(
+        spec_.shared_memory_per_sm /
+        (calib_.gpu_thread_state_bytes * b));
+    if (by_shared == 0) {
+      // Block's state does not fit in shared memory at all: the kernel falls
+      // back to global-memory state (spill) but can still run.
+      occ.shared_memory_spill = true;
+    } else {
+      blocks = std::min(blocks, by_shared);
+    }
+  }
+  blocks = std::max(blocks, 1);
+
+  occ.blocks_per_sm = blocks;
+  occ.threads_per_sm = blocks * b;
+  occ.total_threads =
+      (cfg.seeds + static_cast<u64>(cfg.seeds_per_thread) - 1) /
+      static_cast<u64>(cfg.seeds_per_thread);
+  occ.total_blocks =
+      (occ.total_threads + static_cast<u64>(b) - 1) / static_cast<u64>(b);
+  occ.resident_threads = static_cast<u64>(spec_.sm_count) *
+                         static_cast<u64>(occ.threads_per_sm);
+  occ.waves = occ.total_threads == 0
+                  ? 0
+                  : (occ.total_threads + occ.resident_threads - 1) /
+                        occ.resident_threads;
+  return occ;
+}
+
+double GpuModel::search_time_s(const GpuSearchConfig& cfg) const {
+  if (cfg.seeds == 0) return 0.0;
+  const GpuOccupancy occ = occupancy(cfg);
+
+  double cycles_per_seed =
+      calib_.gpu_cycles(cfg.hash) + calib_.iter_extra(cfg.iter);
+  // §3.2.3: keeping the Chase state in global instead of shared memory slows
+  // the whole kernel by the paper's measured 1.20x (SHA-1) / 1.01x (SHA-3) —
+  // the cheaper the hash, the larger the share of time spent touching state.
+  if (!cfg.state_in_shared_memory || occ.shared_memory_spill) {
+    const double penalty = cfg.hash == hash::HashAlgo::kSha1 ? 1.20 : 1.01;
+    cycles_per_seed = calib_.gpu_cycles(cfg.hash) * penalty +
+                      calib_.iter_extra(cfg.iter);
+  }
+
+  // Compute term, quantized to full waves (the last wave runs at full length
+  // even when partially filled). A wave is one residency of threads_per_sm
+  // threads per SM, each doing n seeds, drained by cores_per_sm cores:
+  // resident threads are oversubscribed onto the cores to hide latency, so a
+  // wave's duration is its total cycle volume over the SM's issue rate.
+  const double wave_time = static_cast<double>(occ.threads_per_sm) *
+                           static_cast<double>(cfg.seeds_per_thread) *
+                           cycles_per_seed /
+                           (static_cast<double>(spec_.cores_per_sm) *
+                            spec_.clock_hz);
+  double t = static_cast<double>(occ.waves) * wave_time;
+
+  // Latency hiding degrades when an SM holds few independent blocks.
+  t *= 1.0 + calib_.gpu_latency_hiding_penalty / occ.blocks_per_sm;
+
+  // Per-thread iterator-state load, against device memory bandwidth.
+  t += static_cast<double>(occ.total_threads) * calib_.gpu_thread_state_bytes /
+       spec_.memory_bandwidth;
+
+  // Block scheduling overhead, spread across SMs.
+  t += static_cast<double>(occ.total_blocks) *
+       calib_.gpu_block_overhead_cycles /
+       (static_cast<double>(spec_.sm_count) * spec_.clock_hz);
+
+  // Host-side kernel launches (one per Hamming shell).
+  t += static_cast<double>(cfg.kernels) * calib_.gpu_kernel_launch_s;
+  return t;
+}
+
+double GpuModel::time_for_seeds_s(u64 seeds, hash::HashAlgo hash,
+                                  IterAlgo iter, int kernels) const {
+  GpuSearchConfig cfg;
+  cfg.seeds = seeds;
+  cfg.hash = hash;
+  cfg.iter = iter;
+  cfg.kernels = kernels;
+  return search_time_s(cfg);
+}
+
+double GpuModel::ball_time_s(int d, const GpuSearchConfig& proto) const {
+  RBC_CHECK(d >= 1 && d <= comb::kMaxK);
+  double total = 0.0;
+  for (int k = 1; k <= d; ++k) {
+    GpuSearchConfig cfg = proto;
+    cfg.seeds = static_cast<u64>(comb::binomial128(comb::kSeedBits, k));
+    cfg.kernels = 1;
+    total += search_time_s(cfg);
+  }
+  return total;
+}
+
+double GpuModel::exhaustive_time_s(int d, hash::HashAlgo hash,
+                                   IterAlgo iter) const {
+  GpuSearchConfig proto;
+  proto.hash = hash;
+  proto.iter = iter;
+  return ball_time_s(d, proto);
+}
+
+double GpuModel::average_time_s(int d, hash::HashAlgo hash,
+                                IterAlgo iter) const {
+  // Full shells below d, then half of the outermost shell (Eq. 3), plus the
+  // early-exit machinery cost.
+  GpuSearchConfig proto;
+  proto.hash = hash;
+  proto.iter = iter;
+  double t = d > 1 ? ball_time_s(d - 1, proto) : 0.0;
+  GpuSearchConfig outer = proto;
+  outer.seeds = static_cast<u64>(comb::binomial128(comb::kSeedBits, d) / 2);
+  t += search_time_s(outer);
+  return t + calib_.gpu_exit_overhead_s;
+}
+
+}  // namespace rbc::sim

@@ -1,0 +1,86 @@
+// Analytic timing model of SALTED-GPU on the A100 (§3.2, §4.4, §4.5).
+//
+// The search kernel is compute-bound: each thread loads its iterator state,
+// then loops `n` times over {generate next seed, hash, compare, poll flag}.
+// The model decomposes kernel time into
+//
+//   t = waves * n * cycles_per_seed / clock        (compute)
+//     + p * state_bytes / memory_bandwidth          (per-thread state load)
+//     + blocks * block_overhead / (SMs * clock_sm)  (block scheduling)
+//     + kernels * launch_overhead                   (host-side launches)
+//
+// scaled by a latency-hiding factor that degrades when few blocks fit on an
+// SM (register/shared-memory/block-slot occupancy limits). The Fig. 3 grid
+// search over (seeds-per-thread n, threads-per-block b) and the Table 4
+// iterator comparison both fall out of this one function.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/calibration.hpp"
+#include "sim/device.hpp"
+
+namespace rbc::sim {
+
+struct GpuSearchConfig {
+  u64 seeds = 0;                 // candidates to hash (one shell or a ball)
+  int seeds_per_thread = 100;    // n
+  int threads_per_block = 128;   // b
+  hash::HashAlgo hash = hash::HashAlgo::kSha3_256;
+  IterAlgo iter = IterAlgo::kChase382;
+  int kernels = 1;               // one launch per Hamming shell
+  bool state_in_shared_memory = true;  // §3.2.3 optimization
+};
+
+struct GpuOccupancy {
+  int blocks_per_sm = 0;
+  int threads_per_sm = 0;
+  u64 total_threads = 0;   // p
+  u64 total_blocks = 0;
+  u64 resident_threads = 0;
+  u64 waves = 0;
+  bool shared_memory_spill = false;  // state no longer fits in shared memory
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuSpec spec = a100(),
+                    Calibration calib = default_calibration())
+      : spec_(std::move(spec)), calib_(calib) {}
+
+  const GpuSpec& spec() const noexcept { return spec_; }
+  const Calibration& calibration() const noexcept { return calib_; }
+
+  /// Occupancy for a given block size (independent of workload size).
+  GpuOccupancy occupancy(const GpuSearchConfig& cfg) const;
+
+  /// Search-only time in seconds for the configured workload.
+  double search_time_s(const GpuSearchConfig& cfg) const;
+
+  /// Full-ball search up to distance d: one kernel per Hamming shell (§3.2:
+  /// "the loop ... is executed on the host, where a kernel is launched to
+  /// process a single Hamming distance"). Small shells cost a full wave even
+  /// when underfilled, which is what penalizes large seeds-per-thread values
+  /// in the Fig. 3 sweep.
+  double ball_time_s(int d, const GpuSearchConfig& proto) const;
+
+  /// Exhaustive search up to distance d with best-practice parameters
+  /// (n = 100, b = 128): Table 5 "Search Time" rows.
+  double exhaustive_time_s(int d, hash::HashAlgo hash,
+                           IterAlgo iter = IterAlgo::kChase382) const;
+
+  /// Average-case search (Eq. 3 seed count) plus the early-exit overhead.
+  double average_time_s(int d, hash::HashAlgo hash,
+                        IterAlgo iter = IterAlgo::kChase382) const;
+
+  /// Search time for an arbitrary number of visited seeds (used by the
+  /// multi-GPU model and the trial harness).
+  double time_for_seeds_s(u64 seeds, hash::HashAlgo hash,
+                          IterAlgo iter = IterAlgo::kChase382,
+                          int kernels = 1) const;
+
+ private:
+  GpuSpec spec_;
+  Calibration calib_;
+};
+
+}  // namespace rbc::sim

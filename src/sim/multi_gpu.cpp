@@ -1,0 +1,46 @@
+#include "sim/multi_gpu.hpp"
+
+#include "combinatorics/binomial.hpp"
+#include "common/check.hpp"
+
+namespace rbc::sim {
+
+double MultiGpuModel::time_for_seeds_s(u64 seeds, int gpus,
+                                       hash::HashAlgo hash, bool early_exit,
+                                       IterAlgo iter) const {
+  RBC_CHECK(gpus >= 1);
+  const auto& calib = gpu_.calibration();
+  // Even static split; the slowest device carries ceil(seeds/g).
+  const u64 share = (seeds + static_cast<u64>(gpus) - 1) /
+                    static_cast<u64>(gpus);
+  double t = gpu_.time_for_seeds_s(share, hash, iter);
+  t += calib.multi_gpu_coord_s_per_gpu * (gpus - 1);
+  if (early_exit) {
+    t += calib.multi_gpu_flag_s_per_gpu * (gpus - 1);
+    t += calib.gpu_exit_overhead_s;
+  }
+  return t;
+}
+
+std::vector<MultiGpuPoint> MultiGpuModel::scaling_curve(int d,
+                                                        hash::HashAlgo hash,
+                                                        bool early_exit,
+                                                        int max_gpus) const {
+  const u64 seeds = static_cast<u64>(
+      early_exit ? comb::average_search_count(d)
+                 : comb::exhaustive_search_count(d));
+  std::vector<MultiGpuPoint> points;
+  points.reserve(static_cast<std::size_t>(max_gpus));
+  const double t1 = time_for_seeds_s(seeds, 1, hash, early_exit);
+  for (int g = 1; g <= max_gpus; ++g) {
+    MultiGpuPoint p;
+    p.gpus = g;
+    p.time_s = time_for_seeds_s(seeds, g, hash, early_exit);
+    p.speedup = t1 / p.time_s;
+    p.parallel_efficiency = p.speedup / g;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace rbc::sim

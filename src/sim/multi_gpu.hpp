@@ -1,0 +1,47 @@
+// Multi-GPU scaling model (§3.2 early-exit flag in unified memory; §4.8 /
+// Fig. 4 results on up to 3xA100).
+//
+// Each Hamming shell is split evenly across g devices; a kernel per shell is
+// launched on every device and the host joins them. Two overheads grow with
+// g, both calibrated from Fig. 4's SHA-3 anchors:
+//   * per-extra-GPU coordination (launch fan-out, partition upload, join),
+//   * unified-memory early-exit flag traffic, only on early-exit searches —
+//     which is why the paper's early-exit curves scale worse (2.66x vs 2.87x
+//     on 3 GPUs for SHA-3).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/gpu_model.hpp"
+
+namespace rbc::sim {
+
+struct MultiGpuPoint {
+  int gpus = 1;
+  double time_s = 0.0;
+  double speedup = 1.0;
+  double parallel_efficiency = 1.0;
+};
+
+class MultiGpuModel {
+ public:
+  explicit MultiGpuModel(GpuModel gpu = GpuModel{}) : gpu_(std::move(gpu)) {}
+
+  /// Time to search `seeds` candidates on g GPUs.
+  double time_for_seeds_s(u64 seeds, int gpus, hash::HashAlgo hash,
+                          bool early_exit,
+                          IterAlgo iter = IterAlgo::kChase382) const;
+
+  /// Fig. 4 curve: speedups for 1..max_gpus for a d-ball search.
+  std::vector<MultiGpuPoint> scaling_curve(int d, hash::HashAlgo hash,
+                                           bool early_exit,
+                                           int max_gpus) const;
+
+  const GpuModel& gpu() const noexcept { return gpu_; }
+
+ private:
+  GpuModel gpu_;
+};
+
+}  // namespace rbc::sim

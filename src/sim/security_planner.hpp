@@ -1,0 +1,62 @@
+// Security planner — the §5 closing observation made operational:
+//
+//   "since SALTED-GPU is able to authenticate a client well under the
+//    T = 20 s timing threshold, we can purposefully inject noise into the
+//    client's PUF output, thereby increasing the Hamming distance that
+//    needs to be searched by the server, further increasing the level of
+//    security afforded by RBC."
+//
+// Given a platform's cost model, the authentication threshold T and the
+// communication budget, the planner picks the largest Hamming distance whose
+// WORST-CASE (exhaustive, Eq. 1) search still fits inside the budget — so an
+// authentication can never time out because of the injected noise — and
+// reports the resulting search-space blow-up.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "combinatorics/binomial.hpp"
+#include "common/check.hpp"
+#include "sim/calibration.hpp"
+
+namespace rbc::sim {
+
+struct SecurityPlan {
+  /// Largest distance whose exhaustive search fits the budget (0 if even
+  /// d = 1 does not fit).
+  int max_distance = 0;
+  /// Exhaustive search time at max_distance on the planned platform.
+  double exhaustive_time_s = 0.0;
+  /// Seeds the server may need to visit at max_distance (Eq. 1).
+  u128 search_space = 1;
+  /// log2 of the search-space growth versus the unplanned d = 1 baseline.
+  double headroom_bits = 0.0;
+};
+
+/// `exhaustive_time(d)` must return the platform's modeled worst-case search
+/// time for distance d (e.g. bind GpuModel::exhaustive_time_s). The search
+/// budget is T minus the communication allowance.
+inline SecurityPlan plan_injected_noise(
+    const std::function<double(int)>& exhaustive_time, double threshold_s,
+    double comm_time_s, int max_considered = comb::kMaxK) {
+  RBC_CHECK(threshold_s > 0.0 && comm_time_s >= 0.0 &&
+            comm_time_s < threshold_s);
+  const double budget = threshold_s - comm_time_s;
+  SecurityPlan plan;
+  for (int d = 1; d <= max_considered; ++d) {
+    const double t = exhaustive_time(d);
+    if (t > budget) break;
+    plan.max_distance = d;
+    plan.exhaustive_time_s = t;
+  }
+  if (plan.max_distance >= 1) {
+    plan.search_space = comb::exhaustive_search_count(plan.max_distance);
+    plan.headroom_bits =
+        std::log2(static_cast<double>(plan.search_space)) -
+        std::log2(static_cast<double>(comb::exhaustive_search_count(1)));
+  }
+  return plan;
+}
+
+}  // namespace rbc::sim

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "rbc/adversary.hpp"
+#include "sim/autotune.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(BreakEstimate, FullSpaceIsAstronomicallyExpensive) {
+  // Even at the paper's best throughput (GPU SHA-1: ~5.8e9 h/s) the expected
+  // attack time dwarfs the age of the universe (~1.4e10 years).
+  const auto e = estimate_break_cost(5.8e9);
+  EXPECT_GT(e.expected_years, 1e50L);
+}
+
+TEST(BreakEstimate, HalvesWithEachBitRemoved) {
+  const auto a = estimate_break_cost(1e9, 60);
+  const auto b = estimate_break_cost(1e9, 61);
+  EXPECT_NEAR(static_cast<double>(b.expected_tries / a.expected_tries), 2.0,
+              1e-9);
+}
+
+TEST(BreakEstimate, ScalesInverselyWithThroughput) {
+  const auto slow = estimate_break_cost(1e6, 80);
+  const auto fast = estimate_break_cost(1e9, 80);
+  EXPECT_NEAR(static_cast<double>(slow.expected_seconds /
+                                  fast.expected_seconds),
+              1000.0, 1e-6);
+}
+
+TEST(BreakEstimate, Validation) {
+  EXPECT_THROW(estimate_break_cost(0.0), CheckFailure);
+  EXPECT_THROW(estimate_break_cost(1.0, 0), CheckFailure);
+  EXPECT_THROW(estimate_break_cost(1.0, 257), CheckFailure);
+}
+
+TEST(AsymmetryRatio, MatchesSection22) {
+  // Server searches u(5) ~ 9.0e9; opponent expects 2^255 ~ 5.8e76. The
+  // asymmetry is what makes RBC viable (Eq. 1 vs Eq. 2).
+  const long double ratio = asymmetry_ratio(5);
+  EXPECT_GT(ratio, 1e66L);
+  // Larger d shrinks the ratio (server works harder, attacker unchanged).
+  EXPECT_GT(asymmetry_ratio(3), asymmetry_ratio(5));
+}
+
+TEST(ToyBruteForce, RecoversPlantedSeed) {
+  Xoshiro256 rng(1);
+  const hash::Sha3SeedHash hash;
+  const Seed256 secret{0x2a5, 0, 0, 0};  // within 12 bits
+  const auto result =
+      brute_force_toy_space<hash::Sha3SeedHash>(hash(secret), 12, rng);
+  EXPECT_TRUE(result.broken);
+  EXPECT_EQ(result.recovered, secret);
+  EXPECT_LE(result.tries, 1ULL << 12);
+}
+
+TEST(ToyBruteForce, UnbreakableWhenTargetOutsideSpace) {
+  Xoshiro256 rng(2);
+  const hash::Sha1SeedHash hash;
+  Seed256 outside;
+  outside.set_bit(200);  // not representable in a 10-bit toy space
+  const auto result =
+      brute_force_toy_space<hash::Sha1SeedHash>(hash(outside), 10, rng);
+  EXPECT_FALSE(result.broken);
+  EXPECT_EQ(result.tries, 1ULL << 10);
+}
+
+TEST(ToyBruteForce, ExpectedTriesIsHalfTheSpace) {
+  // Empirical check of the E[tries] = 2^(w-1) assumption that
+  // estimate_break_cost extrapolates to 256 bits.
+  Xoshiro256 rng(3);
+  const hash::Sha1SeedHash hash;
+  const int width = 10;
+  const u64 space = 1ULL << width;
+  double total_tries = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const Seed256 secret{rng.next_below(space), 0, 0, 0};
+    const auto result =
+        brute_force_toy_space<hash::Sha1SeedHash>(hash(secret), width, rng);
+    ASSERT_TRUE(result.broken);
+    total_tries += static_cast<double>(result.tries);
+  }
+  // mean of uniform[1, 1024] is 512.5; sigma/sqrt(300) ~ 17.
+  EXPECT_NEAR(total_tries / trials, 512.5, 60.0);
+}
+
+TEST(Autotune, BestSitsInTheFlatRegionWithPaperChoiceNearby) {
+  sim::GpuModel gpu;
+  const auto tuned = sim::autotune_gpu(gpu, 5, hash::HashAlgo::kSha3_256);
+  EXPECT_EQ(tuned.grid.size(), 72u);
+  EXPECT_GT(tuned.near_optimal_count, 5);
+  // The paper's (100, 128) must be near-optimal.
+  for (const auto& p : tuned.grid) {
+    if (p.seeds_per_thread == 100 && p.threads_per_block == 128) {
+      EXPECT_LE(p.time_s, tuned.best.time_s * 1.05);
+    }
+  }
+  EXPECT_GT(tuned.best.time_s, 0.0);
+}
+
+TEST(Autotune, AdaptsToWorkloadSize) {
+  sim::GpuModel gpu;
+  // A small d = 2 ball (33k seeds) cannot keep 9e7 threads busy; the tuner
+  // must pick far fewer seeds per thread than for d = 5.
+  const auto small = sim::autotune_gpu(gpu, 2, hash::HashAlgo::kSha3_256);
+  const auto large = sim::autotune_gpu(gpu, 5, hash::HashAlgo::kSha3_256);
+  EXPECT_LE(small.best.seeds_per_thread, large.best.seeds_per_thread);
+  EXPECT_LT(small.best.time_s, large.best.time_s);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,85 @@
+// for_each_in_ball — the single-threaded Hamming-ball visitor used by
+// reference checks and the quickstart path.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "combinatorics/algorithm515.hpp"
+#include "combinatorics/chase382.hpp"
+#include "combinatorics/gosper.hpp"
+#include "combinatorics/shell.hpp"
+#include "common/rng.hpp"
+
+namespace rbc::comb {
+namespace {
+
+TEST(ForEachInBall, VisitsExactlyTheBall) {
+  Xoshiro256 rng(1);
+  const Seed256 base = Seed256::random(rng);
+  ChaseFactory factory;
+  std::set<std::string> seen;
+  u64 count = 0;
+  const u64 visited = for_each_in_ball(
+      factory, base, 2,
+      [&](const Seed256& candidate, int shell) {
+        EXPECT_EQ(hamming_distance(candidate, base), shell);
+        EXPECT_LE(shell, 2);
+        EXPECT_TRUE(seen.insert(candidate.to_hex()).second);
+        ++count;
+        return true;
+      });
+  EXPECT_EQ(visited, 32897u);  // u(2)
+  EXPECT_EQ(count, visited);
+}
+
+TEST(ForEachInBall, EarlyStopHonoured) {
+  Xoshiro256 rng(2);
+  const Seed256 base = Seed256::random(rng);
+  GosperFactory factory;
+  u64 count = 0;
+  const u64 visited = for_each_in_ball(
+      factory, base, 2,
+      [&](const Seed256&, int) { return ++count < 100; });
+  EXPECT_EQ(visited, 100u);
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(ForEachInBall, DistanceZeroVisitsOnlyBase) {
+  Xoshiro256 rng(3);
+  const Seed256 base = Seed256::random(rng);
+  Algorithm515Factory factory;
+  u64 count = 0;
+  const u64 visited = for_each_in_ball(factory, base, 0,
+                                       [&](const Seed256& candidate, int shell) {
+                                         EXPECT_EQ(candidate, base);
+                                         EXPECT_EQ(shell, 0);
+                                         ++count;
+                                         return true;
+                                       });
+  EXPECT_EQ(visited, 1u);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ForEachInBall, ShellOrderIsNonDecreasing) {
+  Xoshiro256 rng(4);
+  const Seed256 base = Seed256::random(rng);
+  ChaseFactory factory;
+  int last_shell = -1;
+  for_each_in_ball(factory, base, 2, [&](const Seed256&, int shell) {
+    EXPECT_GE(shell, last_shell);
+    last_shell = shell;
+    return true;
+  });
+  EXPECT_EQ(last_shell, 2);
+}
+
+TEST(ForEachInBall, SmallWidthSpaces) {
+  // n_bits = 10: the ball of radius 3 has 1 + 10 + 45 + 120 = 176 members.
+  GosperFactory factory(10);
+  const u64 visited = for_each_in_ball(
+      factory, Seed256::zero(), 3, [](const Seed256&, int) { return true; });
+  EXPECT_EQ(visited, 176u);
+}
+
+}  // namespace
+}  // namespace rbc::comb

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "combinatorics/combination.hpp"
+#include "common/rng.hpp"
+
+namespace rbc::comb {
+namespace {
+
+TEST(Combination, FirstIsIdentityPrefix) {
+  const auto c = Combination::first(4);
+  EXPECT_EQ(c.k(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(c.position(i), i);
+  EXPECT_TRUE(c.is_valid());
+}
+
+TEST(Combination, InitializerListValidation) {
+  EXPECT_NO_THROW(Combination({0, 5, 255}));
+  EXPECT_THROW(Combination({5, 5}), rbc::CheckFailure);     // not increasing
+  EXPECT_THROW(Combination({5, 3}), rbc::CheckFailure);     // decreasing
+  EXPECT_THROW(Combination({256}), rbc::CheckFailure);      // out of range
+}
+
+TEST(Combination, MaskRoundTrip) {
+  const Combination c({1, 63, 64, 200});
+  const Seed256 mask = c.to_mask();
+  EXPECT_EQ(mask.popcount(), 4);
+  EXPECT_TRUE(mask.bit(1));
+  EXPECT_TRUE(mask.bit(63));
+  EXPECT_TRUE(mask.bit(64));
+  EXPECT_TRUE(mask.bit(200));
+  EXPECT_EQ(Combination::from_mask(mask), c);
+}
+
+TEST(Combination, ApplyFlipsExactlyKBits) {
+  rbc::Xoshiro256 rng(1);
+  const Seed256 base = Seed256::random(rng);
+  const Combination c({7, 100, 255});
+  const Seed256 candidate = c.apply(base);
+  EXPECT_EQ(hamming_distance(base, candidate), 3);
+  // Applying twice restores the base seed.
+  EXPECT_EQ(c.apply(candidate), base);
+}
+
+TEST(Combination, EmptyCombinationIsIdentity) {
+  rbc::Xoshiro256 rng(2);
+  const Seed256 base = Seed256::random(rng);
+  EXPECT_EQ(Combination{}.apply(base), base);
+}
+
+TEST(Combination, ToStringFormatting) {
+  EXPECT_EQ(Combination({1, 2, 10}).to_string(), "{1,2,10}");
+  EXPECT_EQ(Combination{}.to_string(), "{}");
+}
+
+TEST(NextLexicographic, EnumeratesAllInOrder) {
+  // n=7, k=3: expect exactly C(7,3)=35 combinations, strictly increasing in
+  // lexicographic rank.
+  const int n = 7, k = 3;
+  Combination c = Combination::first(k);
+  std::vector<Combination> all;
+  do {
+    all.push_back(c);
+  } while (next_lexicographic(c, n));
+  EXPECT_EQ(all.size(), 35u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(rank_lexicographic(all[i], n), static_cast<u128>(i));
+    EXPECT_TRUE(all[i].is_valid(n));
+  }
+}
+
+TEST(NextLexicographic, StopsAtLastCombination) {
+  Combination c({253, 254, 255});
+  EXPECT_FALSE(next_lexicographic(c));
+  EXPECT_EQ(c, Combination({253, 254, 255}));
+}
+
+TEST(NextLexicographic, EmptyCombinationHasNoSuccessor) {
+  Combination c;
+  EXPECT_FALSE(next_lexicographic(c));
+}
+
+TEST(RankLexicographic, FirstAndLast) {
+  EXPECT_EQ(rank_lexicographic(Combination::first(5)), 0u);
+  const Combination last({251, 252, 253, 254, 255});
+  EXPECT_EQ(rank_lexicographic(last), binomial128(256, 5) - 1);
+}
+
+TEST(RankColex, MatchesNumericMaskOrder) {
+  // In colex order the rank ordering equals the numeric ordering of masks.
+  const int n = 9, k = 4;
+  std::vector<std::pair<Seed256, u128>> items;
+  Combination c = Combination::first(k);
+  do {
+    items.emplace_back(c.to_mask(), rank_colexicographic(c));
+  } while (next_lexicographic(c, n));
+  ASSERT_EQ(items.size(), 126u);
+  std::set<std::string> seen;
+  for (const auto& [mask, rank] : items) {
+    EXPECT_LT(rank, binomial128(n, k));
+    seen.insert(u128_to_string(rank));
+  }
+  EXPECT_EQ(seen.size(), items.size());
+  // Numeric comparison of masks must agree with colex rank comparison.
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    for (std::size_t j = 0; j < i; j += 7) {
+      EXPECT_EQ(items[i].first > items[j].first,
+                items[i].second > items[j].second);
+    }
+  }
+}
+
+class ColexRoundTrip : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ColexRoundTrip, UnrankIsInverseOfRank) {
+  const auto [n, k] = GetParam();
+  const u128 total = binomial128(n, k);
+  for (u128 r = 0; r < total; ++r) {
+    const Combination c = unrank_colexicographic(r, k, n);
+    EXPECT_TRUE(c.is_valid(n));
+    EXPECT_EQ(rank_colexicographic(c), r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSpaces, ColexRoundTrip,
+                         ::testing::Values(std::pair{5, 1}, std::pair{6, 3},
+                                           std::pair{8, 4}, std::pair{10, 2},
+                                           std::pair{10, 5}, std::pair{12, 3}));
+
+TEST(ColexUnrank, FullWidthSpace) {
+  // Round-trip spot checks in the real 256-bit domain.
+  rbc::Xoshiro256 rng(3);
+  for (int k : {1, 2, 3, 5, 8}) {
+    const u128 total = binomial128(256, k);
+    for (int i = 0; i < 50; ++i) {
+      const u128 r = static_cast<u128>(rng.next()) % total;
+      const Combination c = unrank_colexicographic(r, k);
+      EXPECT_EQ(rank_colexicographic(c), r);
+      EXPECT_EQ(c.k(), k);
+    }
+  }
+}
+
+TEST(ColexUnrank, OutOfRangeRankRejected) {
+  EXPECT_THROW(unrank_colexicographic(binomial128(8, 3), 3, 8),
+               rbc::CheckFailure);
+}
+
+}  // namespace
+}  // namespace rbc::comb

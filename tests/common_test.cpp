@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/expected.hpp"
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  const std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "0001abff7f");
+  EXPECT_EQ(from_hex(hex), data);
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, UppercaseAccepted) {
+  EXPECT_EQ(from_hex("ABCDEF"), (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(SplitMix64, KnownSequenceFromZeroSeed) {
+  // Reference values for SplitMix64 seeded with 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Xoshiro256, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (u64 bound : {1ULL, 2ULL, 3ULL, 10ULL, 255ULL, 1000000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversAllResidues) {
+  Xoshiro256 rng(11);
+  std::set<u64> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, BernoulliRoughlyCalibrated) {
+  Xoshiro256 rng(5);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) heads += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.3, 0.02);
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    RBC_CHECK_MSG(1 == 2, "custom context");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { EXPECT_NO_THROW(RBC_CHECK(2 + 2 == 4)); }
+
+TEST(Expected, HoldsValue) {
+  Expected<int, std::string> e(5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 5);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int, std::string> e = unexpected(std::string("bad frame"));
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), "bad frame");
+}
+
+TEST(Expected, ValueOnErrorThrows) {
+  Expected<int, std::string> e = unexpected(std::string("nope"));
+  EXPECT_THROW(e.value(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "rbc/enrollment_db.hpp"
+
+namespace rbc {
+namespace {
+
+crypto::Aes128::Key master_key() {
+  crypto::Aes128::Key k{};
+  for (std::size_t i = 0; i < k.size(); ++i) k[i] = static_cast<u8>(i * 7 + 1);
+  return k;
+}
+
+puf::SramPufModel make_device(u64 serial) {
+  puf::SramPufModel::Params p;
+  p.num_addresses = 4;
+  p.erratic_cell_fraction = 0.05;
+  p.stable_flip_probability = 0.005;
+  p.erratic_flip_probability = 0.3;
+  return puf::SramPufModel(p, serial);
+}
+
+TEST(EnrollmentDatabase, EnrollAndLoadRoundTrip) {
+  EnrollmentDatabase db(master_key());
+  const auto device = make_device(100);
+  Xoshiro256 rng(1);
+  db.enroll(100, device, 50, 0.05, rng);
+
+  ASSERT_TRUE(db.contains(100));
+  const EnrollmentRecord record = db.load(100);
+  EXPECT_EQ(record.image.num_addresses(), 4u);
+  EXPECT_EQ(record.masks.size(), 4u);
+  for (u32 a = 0; a < 4; ++a)
+    EXPECT_EQ(record.image.word(a), device.enrolled_word(a));
+}
+
+TEST(EnrollmentDatabase, AtRestBytesAreEncrypted) {
+  EnrollmentDatabase db(master_key());
+  const auto device = make_device(200);
+  Xoshiro256 rng(2);
+  db.enroll(200, device, 50, 0.05, rng);
+
+  const Bytes& blob = db.ciphertext(200);
+  // The plaintext image words must not appear in the at-rest bytes.
+  const auto word0 = device.enrolled_word(0).to_bytes();
+  const auto it = std::search(blob.begin(), blob.end(), word0.begin(),
+                              word0.end());
+  EXPECT_EQ(it, blob.end()) << "enrolled word leaked in at-rest ciphertext";
+}
+
+TEST(EnrollmentDatabase, DifferentMasterKeysGiveDifferentCiphertext) {
+  auto k2 = master_key();
+  k2[0] ^= 0xff;
+  EnrollmentDatabase a(master_key());
+  EnrollmentDatabase b(k2);
+  const auto device = make_device(300);
+  Xoshiro256 rng1(3), rng2(3);
+  a.enroll(300, device, 50, 0.05, rng1);
+  b.enroll(300, device, 50, 0.05, rng2);
+  EXPECT_NE(a.ciphertext(300), b.ciphertext(300));
+}
+
+TEST(EnrollmentDatabase, PerDeviceNonceDiversifiesCiphertext) {
+  // Same key, same device contents, different device id -> different bytes.
+  EnrollmentDatabase db(master_key());
+  const auto device = make_device(400);
+  Xoshiro256 rng1(4), rng2(4);
+  db.enroll(400, device, 50, 0.05, rng1);
+  db.enroll(401, device, 50, 0.05, rng2);
+  EXPECT_NE(db.ciphertext(400), db.ciphertext(401));
+}
+
+TEST(EnrollmentDatabase, DoubleEnrollRejected) {
+  EnrollmentDatabase db(master_key());
+  const auto device = make_device(500);
+  Xoshiro256 rng(5);
+  db.enroll(500, device, 20, 0.05, rng);
+  EXPECT_THROW(db.enroll(500, device, 20, 0.05, rng), CheckFailure);
+}
+
+TEST(EnrollmentDatabase, UnknownDeviceRejected) {
+  EnrollmentDatabase db(master_key());
+  EXPECT_FALSE(db.contains(9));
+  EXPECT_THROW(db.load(9), CheckFailure);
+  EXPECT_THROW(db.ciphertext(9), CheckFailure);
+}
+
+TEST(EnrollmentDatabase, MasksSurviveEncryptionRoundTrip) {
+  EnrollmentDatabase db(master_key());
+  const auto device = make_device(600);
+  Xoshiro256 rng(6);
+  // Calibrate reference masks with an identical RNG stream.
+  Xoshiro256 rng_copy(6);
+  std::vector<puf::TapkiMask> expected;
+  for (u32 a = 0; a < device.num_addresses(); ++a)
+    expected.push_back(
+        puf::TapkiMask::calibrate(device, a, 50, 0.05, rng_copy));
+  db.enroll(600, device, 50, 0.05, rng);
+
+  const EnrollmentRecord record = db.load(600);
+  for (u32 a = 0; a < device.num_addresses(); ++a) {
+    EXPECT_EQ(record.masks[a].stable_bits(), expected[a].stable_bits())
+        << "address " << a;
+  }
+}
+
+TEST(EnrollmentDatabase, SizeTracksEnrollments) {
+  EnrollmentDatabase db(master_key());
+  EXPECT_EQ(db.size(), 0u);
+  Xoshiro256 rng(7);
+  db.enroll(1, make_device(1), 20, 0.05, rng);
+  db.enroll(2, make_device(2), 20, 0.05, rng);
+  EXPECT_EQ(db.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,123 @@
+// Deterministic fuzzing: the network-facing deserializer and the protocol
+// front door must survive arbitrary bytes, and core value types must uphold
+// their algebraic laws under random inputs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
+#include "rbc/engines.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(FuzzDeserialize, RandomFramesNeverCrash) {
+  Xoshiro256 rng(0xF022);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::size_t len = rng.next_below(64);
+    Bytes frame(len);
+    for (auto& b : frame) b = static_cast<u8>(rng.next());
+    // Must return either a valid message or a typed error — never throw.
+    const auto result = net::deserialize(frame);
+    if (!result.has_value()) {
+      EXPECT_FALSE(net::to_string(result.error()).empty());
+    }
+  }
+}
+
+TEST(FuzzDeserialize, BitflippedValidFramesNeverCrash) {
+  // Start from well-formed frames and flip single bits — the adversarial
+  // neighbourhood a parser is most likely to mishandle.
+  net::DigestSubmission digest;
+  digest.hash_algo = hash::HashAlgo::kSha3_256;
+  digest.digest.assign(32, 0x5a);
+  const net::Message msgs[] = {
+      net::Message{net::HandshakeRequest{}},
+      net::Message{net::Challenge{}},
+      net::Message{digest},
+      net::Message{net::AuthResult{}},
+  };
+  for (const auto& msg : msgs) {
+    const Bytes base = net::serialize(msg);
+    for (std::size_t byte = 0; byte < base.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        Bytes frame = base;
+        frame[byte] = static_cast<u8>(frame[byte] ^ (1u << bit));
+        (void)net::deserialize(frame);  // must not throw or crash
+      }
+    }
+  }
+}
+
+TEST(FuzzDeserialize, RoundTripSurvivesRandomValidMessages) {
+  Xoshiro256 rng(0xF033);
+  for (int trial = 0; trial < 500; ++trial) {
+    net::Challenge c;
+    c.puf_address = static_cast<u32>(rng.next());
+    c.tapki_enabled = rng.next_bool(0.5);
+    c.stable_mask = Seed256::random(rng);
+    const auto decoded = net::deserialize(net::serialize(net::Message{c}));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(std::get<net::Challenge>(decoded.value()), c);
+  }
+}
+
+TEST(FuzzChannel, GarbageInjectionSurfacesErrorsNotCrashes) {
+  Xoshiro256 rng(0xF044);
+  net::Channel endpoint{net::LatencyModel(0.0)};
+  int errors = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    Bytes frame(rng.next_below(40));
+    for (auto& b : frame) b = static_cast<u8>(rng.next());
+    endpoint.inject_raw(frame);
+    const auto msg = endpoint.receive();
+    errors += !msg.has_value();
+  }
+  EXPECT_GT(errors, 900) << "random bytes should almost never parse";
+}
+
+TEST(FuzzSeed256, AlgebraicLawsUnderRandomInputs) {
+  Xoshiro256 rng(0xF055);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Seed256 a = Seed256::random(rng);
+    const Seed256 b = Seed256::random(rng);
+    const Seed256 c = Seed256::random(rng);
+    // Addition: commutative, associative, inverse.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + b - b, a);
+    // XOR distributes over itself; De Morgan.
+    EXPECT_EQ(~(a & b), (~a | ~b));
+    // Hamming distance: triangle inequality + symmetry.
+    EXPECT_EQ(hamming_distance(a, b), hamming_distance(b, a));
+    EXPECT_LE(hamming_distance(a, c),
+              hamming_distance(a, b) + hamming_distance(b, c));
+    // Rotation preserves popcount; shifting never increases it.
+    const int r = static_cast<int>(rng.next_below(256));
+    EXPECT_EQ(a.rotl(r).popcount(), a.popcount());
+    EXPECT_LE((a << r).popcount(), a.popcount());
+  }
+}
+
+TEST(FuzzSearchEngine, RandomDigestsNeverAuthenticate) {
+  // The front door: an attacker submitting random digests of the right
+  // length must never be authenticated (up to hash-collision probability,
+  // which is negligible at these trial counts).
+  EngineConfig cfg;
+  cfg.host_threads = 2;
+  auto backend = make_backend("cpu", cfg);
+  Xoshiro256 rng(0xF066);
+  const Seed256 s_init = Seed256::random(rng);
+  SearchOptions opts;
+  opts.max_distance = 1;
+  for (int trial = 0; trial < 30; ++trial) {
+    Bytes digest(32);
+    for (auto& b : digest) b = static_cast<u8>(rng.next());
+    const auto report =
+        backend->search(s_init, digest, hash::HashAlgo::kSha3_256, opts);
+    EXPECT_FALSE(report.result.found);
+  }
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,165 @@
+// The CUDA-like execution framework and the SALTED-GPU kernel written in
+// the paper's §3.2 shape.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "gpu/salted_kernel.hpp"
+
+namespace rbc::gpu {
+namespace {
+
+TEST(LaunchKernel, EveryThreadRunsExactlyOnce) {
+  par::ThreadPool pool(4);
+  const Dim3 grid{7, 1, 1};
+  const Dim3 block{32, 1, 1};
+  std::vector<std::atomic<int>> hits(7 * 32);
+  launch_kernel(pool, grid, block, 0, [&](const KernelCtx& ctx) {
+    hits[ctx.global_thread_id()]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(LaunchKernel, IndexingMatchesCudaConvention) {
+  par::ThreadPool pool(2);
+  std::atomic<u64> checks{0};
+  launch_kernel(pool, Dim3{3, 1, 1}, Dim3{64, 1, 1}, 0,
+                [&](const KernelCtx& ctx) {
+                  EXPECT_EQ(ctx.global_thread_id(),
+                            static_cast<u64>(ctx.blockIdx.x) * 64 +
+                                ctx.threadIdx.x);
+                  EXPECT_EQ(ctx.total_threads(), 192u);
+                  EXPECT_LT(ctx.threadIdx.x, ctx.blockDim.x);
+                  EXPECT_LT(ctx.blockIdx.x, ctx.gridDim.x);
+                  checks++;
+                });
+  EXPECT_EQ(checks.load(), 192u);
+}
+
+TEST(LaunchKernel, SharedMemoryIsBlockLocalAndZeroed) {
+  par::ThreadPool pool(4);
+  // Each block writes its blockIdx into shared memory at thread 0 and every
+  // thread verifies it reads its OWN block's value (no cross-block bleed).
+  std::atomic<int> violations{0};
+  launch_kernel(pool, Dim3{16, 1, 1}, Dim3{8, 1, 1}, sizeof(u32),
+                [&](const KernelCtx& ctx) {
+                  auto* word = reinterpret_cast<u32*>(ctx.shared.data());
+                  if (ctx.threadIdx.x == 0) {
+                    if (*word != 0) violations++;  // must start zeroed
+                    *word = ctx.blockIdx.x + 1;
+                  } else if (*word != ctx.blockIdx.x + 1) {
+                    violations++;
+                  }
+                });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(LaunchKernel, RejectsMultiDimensionalLaunches) {
+  par::ThreadPool pool(1);
+  EXPECT_THROW(
+      launch_kernel(pool, Dim3{1, 2, 1}, Dim3{32, 1, 1}, 0,
+                    [](const KernelCtx&) {}),
+      CheckFailure);
+}
+
+TEST(UnifiedFlagTest, HostAndDeviceViews) {
+  UnifiedFlag flag;
+  EXPECT_FALSE(flag.get());
+  par::ThreadPool pool(2);
+  launch_kernel(pool, Dim3{4, 1, 1}, Dim3{16, 1, 1}, 0,
+                [&](const KernelCtx& ctx) {
+                  if (ctx.global_thread_id() == 33) flag.set();
+                });
+  EXPECT_TRUE(flag.get());  // host observes the device write
+  flag.clear();
+  EXPECT_FALSE(flag.get());
+}
+
+TEST(GridFor, CeilDivision) {
+  EXPECT_EQ(grid_for(100, 32).x, 4u);
+  EXPECT_EQ(grid_for(128, 32).x, 4u);
+  EXPECT_EQ(grid_for(1, 128).x, 1u);
+}
+
+// --- the SALTED kernel ---------------------------------------------------------
+
+Seed256 flipped(Seed256 s, std::initializer_list<int> bits) {
+  for (int b : bits) s.flip_bit(b);
+  return s;
+}
+
+TEST(SaltedKernel, FindsSeedAtEachDistance) {
+  par::ThreadPool pool(4);
+  Xoshiro256 rng(1);
+  const hash::Sha3SeedHash hash;
+  for (int d : {0, 1, 2}) {
+    const Seed256 base = Seed256::random(rng);
+    Seed256 truth = base;
+    for (int i = 0; i < d; ++i) truth.flip_bit(30 + 60 * i);
+    const auto r = gpu_emulated_search<hash::Sha3SeedHash>(
+        pool, base, hash(truth), 2, [](int) { return 8; },
+        /*threads_per_block=*/32, hash);
+    EXPECT_TRUE(r.found) << "d=" << d;
+    EXPECT_EQ(r.distance, d);
+    EXPECT_EQ(r.seed, truth);
+  }
+}
+
+TEST(SaltedKernel, HostSkipsLaterShellsAfterFlag) {
+  // Seed at d=1: the host must not launch the d=2 kernel, so far fewer than
+  // 32897 candidates are hashed.
+  par::ThreadPool pool(2);
+  Xoshiro256 rng(2);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = flipped(base, {100});
+  const hash::Sha1SeedHash hash;
+  const auto r = gpu_emulated_search<hash::Sha1SeedHash>(
+      pool, base, hash(truth), 2, [](int) { return 4; }, 32, hash);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.distance, 1);
+  EXPECT_LE(r.seeds_hashed, 512u);
+}
+
+TEST(SaltedKernel, ExhaustsShellWhenTargetAbsent) {
+  par::ThreadPool pool(4);
+  Xoshiro256 rng(3);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 unrelated = Seed256::random(rng);
+  const hash::Sha1SeedHash hash;
+  const auto r = gpu_emulated_search<hash::Sha1SeedHash>(
+      pool, base, hash(unrelated), 2, [](int k) { return k == 1 ? 4 : 16; },
+      32, hash);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.seeds_hashed, 32897u);
+}
+
+TEST(SaltedKernel, GuardThreadsBeyondPartitionAreInert) {
+  // p=5 partitions with block size 32: 27 guard threads must not hash.
+  par::ThreadPool pool(2);
+  Xoshiro256 rng(4);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 unrelated = Seed256::random(rng);
+  const hash::Sha1SeedHash hash;
+  const auto r = gpu_emulated_search<hash::Sha1SeedHash>(
+      pool, base, hash(unrelated), 1, [](int) { return 5; }, 32, hash);
+  EXPECT_EQ(r.seeds_hashed, 257u);  // exactly the ball, no double counting
+}
+
+TEST(SaltedKernel, AgreesWithReferenceEngineAcrossPartitionWidths) {
+  par::ThreadPool pool(4);
+  Xoshiro256 rng(5);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = flipped(base, {17, 211});
+  const hash::Sha3SeedHash hash;
+  for (int p : {1, 3, 16, 64}) {
+    const auto r = gpu_emulated_search<hash::Sha3SeedHash>(
+        pool, base, hash(truth), 2, [p](int) { return p; }, 32, hash);
+    EXPECT_TRUE(r.found) << "p=" << p;
+    EXPECT_EQ(r.seed, truth);
+    EXPECT_EQ(r.distance, 2);
+  }
+}
+
+}  // namespace
+}  // namespace rbc::gpu

@@ -1,0 +1,230 @@
+// Session-key lifecycle (one-time keys, §1/§2.1) and enrollment-database
+// persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "rbc/protocol.hpp"
+
+namespace rbc {
+namespace {
+
+// --- RegistrationAuthority lifecycle ------------------------------------------
+
+TEST(SessionKeys, LookupHonoursTtl) {
+  RegistrationAuthority ra;
+  ra.set_key_ttl(10.0);
+  ra.update(1, Bytes{1, 2, 3});
+  ASSERT_NE(ra.lookup(1), nullptr);
+  ra.advance_time(9.99);
+  EXPECT_NE(ra.lookup(1), nullptr);
+  ra.advance_time(0.02);
+  EXPECT_EQ(ra.lookup(1), nullptr) << "key must expire after TTL";
+  // Audit entry survives expiry.
+  ASSERT_NE(ra.entry(1), nullptr);
+  EXPECT_EQ(ra.entry(1)->public_key, (Bytes{1, 2, 3}));
+}
+
+TEST(SessionKeys, UpdateRotatesAndRefreshes) {
+  RegistrationAuthority ra;
+  ra.set_key_ttl(5.0);
+  ra.update(7, Bytes{1});
+  EXPECT_EQ(ra.entry(7)->rotation, 0u);
+  ra.advance_time(4.0);
+  ra.update(7, Bytes{2});
+  EXPECT_EQ(ra.entry(7)->rotation, 1u);
+  ra.advance_time(4.0);  // 8.0 total; second key registered at 4.0, ttl 5
+  EXPECT_NE(ra.lookup(7), nullptr);
+  EXPECT_EQ(*ra.lookup(7), (Bytes{2}));
+}
+
+TEST(SessionKeys, RevokeInvalidatesImmediately) {
+  RegistrationAuthority ra;
+  ra.update(3, Bytes{9});
+  ASSERT_NE(ra.lookup(3), nullptr);
+  EXPECT_TRUE(ra.revoke(3));
+  EXPECT_EQ(ra.lookup(3), nullptr);
+  EXPECT_FALSE(ra.revoke(99));
+}
+
+TEST(SessionKeys, ValidationOfArguments) {
+  RegistrationAuthority ra;
+  EXPECT_THROW(ra.set_key_ttl(0.0), CheckFailure);
+  EXPECT_THROW(ra.advance_time(-1.0), CheckFailure);
+}
+
+TEST(SessionKeys, ReauthenticationRotatesTheSessionKey) {
+  // The one-time-key property end to end: because each session's recovered
+  // seed carries fresh PUF noise, consecutive authentications register
+  // different public keys for the same device.
+  puf::SramPufModel::Params params;
+  params.num_addresses = 1;  // force the same address every session
+  puf::SramPufModel device(params, 777);
+  EnrollmentDatabase db(crypto::Aes128::Key{0x21});
+  Xoshiro256 rng(3);
+  db.enroll(1, device, 60, 0.05, rng);
+  RegistrationAuthority ra;
+  CaConfig cfg;
+  cfg.max_distance = 2;
+  EngineConfig ecfg;
+  ecfg.host_threads = 2;
+  CertificateAuthority ca(cfg, std::move(db), make_backend("cpu", ecfg), &ra);
+  ClientConfig ccfg;
+  ccfg.device_id = 1;
+  ccfg.injected_distance = 2;
+  Client client(ccfg, &device, 5);
+
+  const auto s1 = run_authentication(client, ca, ra);
+  ASSERT_TRUE(s1.result.authenticated);
+  const Bytes key1 = s1.registered_public_key;
+  const auto s2 = run_authentication(client, ca, ra);
+  ASSERT_TRUE(s2.result.authenticated);
+  EXPECT_NE(s2.registered_public_key, key1)
+      << "fresh noise must produce a fresh session key";
+  EXPECT_EQ(ra.entry(1)->rotation, 1u);
+}
+
+// --- database persistence -------------------------------------------------------
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+crypto::Aes128::Key db_key() {
+  crypto::Aes128::Key k{};
+  k[5] = 0xdb;
+  return k;
+}
+
+TEST(DatabasePersistence, SaveLoadRoundTrip) {
+  TempFile file("rbc_db_roundtrip.bin");
+  puf::SramPufModel::Params params;
+  params.num_addresses = 3;
+  puf::SramPufModel device_a(params, 1), device_b(params, 2);
+
+  EnrollmentDatabase db(db_key());
+  Xoshiro256 rng(1);
+  db.enroll(10, device_a, 40, 0.05, rng);
+  db.enroll(20, device_b, 40, 0.05, rng);
+  db.save(file.path);
+
+  const EnrollmentDatabase loaded =
+      EnrollmentDatabase::load_from_file(file.path, db_key());
+  EXPECT_EQ(loaded.size(), 2u);
+  for (u64 id : {10ULL, 20ULL}) {
+    ASSERT_TRUE(loaded.contains(id));
+    const auto original = db.load(id);
+    const auto restored = loaded.load(id);
+    ASSERT_EQ(restored.image.num_addresses(), original.image.num_addresses());
+    for (u32 a = 0; a < original.image.num_addresses(); ++a) {
+      EXPECT_EQ(restored.image.word(a), original.image.word(a));
+      EXPECT_EQ(restored.masks[a].stable_bits(),
+                original.masks[a].stable_bits());
+    }
+  }
+}
+
+TEST(DatabasePersistence, FileStaysEncrypted) {
+  TempFile file("rbc_db_encrypted.bin");
+  puf::SramPufModel::Params params;
+  params.num_addresses = 2;
+  puf::SramPufModel device(params, 3);
+  EnrollmentDatabase db(db_key());
+  Xoshiro256 rng(2);
+  db.enroll(1, device, 40, 0.05, rng);
+  db.save(file.path);
+
+  std::ifstream in(file.path, std::ios::binary);
+  Bytes contents((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  const auto word = device.enrolled_word(0).to_bytes();
+  EXPECT_EQ(std::search(contents.begin(), contents.end(), word.begin(),
+                        word.end()),
+            contents.end())
+      << "plaintext PUF image leaked into the database file";
+}
+
+TEST(DatabasePersistence, WrongKeyYieldsGarbageNotPlaintext) {
+  TempFile file("rbc_db_wrongkey.bin");
+  puf::SramPufModel::Params params;
+  params.num_addresses = 2;
+  puf::SramPufModel device(params, 4);
+  EnrollmentDatabase db(db_key());
+  Xoshiro256 rng(3);
+  db.enroll(1, device, 40, 0.05, rng);
+  db.save(file.path);
+
+  crypto::Aes128::Key wrong = db_key();
+  wrong[0] ^= 0x01;
+  const EnrollmentDatabase loaded =
+      EnrollmentDatabase::load_from_file(file.path, wrong);
+  // Decryption with the wrong key corrupts the length header, which the
+  // record parser rejects.
+  EXPECT_THROW(loaded.load(1), CheckFailure);
+}
+
+TEST(DatabasePersistence, RejectsMissingAndCorruptFiles) {
+  EXPECT_THROW(
+      EnrollmentDatabase::load_from_file("/nonexistent/rbc.bin", db_key()),
+      CheckFailure);
+
+  TempFile file("rbc_db_corrupt.bin");
+  {
+    std::ofstream out(file.path, std::ios::binary);
+    out << "NOTADATABASE";
+  }
+  EXPECT_THROW(EnrollmentDatabase::load_from_file(file.path, db_key()),
+               CheckFailure);
+}
+
+TEST(DatabasePersistence, TruncatedFileRejected) {
+  TempFile file("rbc_db_trunc.bin");
+  puf::SramPufModel::Params params;
+  params.num_addresses = 2;
+  puf::SramPufModel device(params, 5);
+  EnrollmentDatabase db(db_key());
+  Xoshiro256 rng(4);
+  db.enroll(1, device, 40, 0.05, rng);
+  db.save(file.path);
+
+  // Chop the file part-way through the record.
+  const auto full_size = std::filesystem::file_size(file.path);
+  std::filesystem::resize_file(file.path, full_size - 16);
+  EXPECT_THROW(EnrollmentDatabase::load_from_file(file.path, db_key()),
+               CheckFailure);
+}
+
+TEST(DatabasePersistence, LoadedDatabaseServesAuthentication) {
+  TempFile file("rbc_db_serve.bin");
+  puf::SramPufModel::Params params;
+  params.num_addresses = 2;
+  puf::SramPufModel device(params, 6);
+  {
+    EnrollmentDatabase db(db_key());
+    Xoshiro256 rng(5);
+    db.enroll(1, device, 60, 0.05, rng);
+    db.save(file.path);
+  }
+
+  EnrollmentDatabase db = EnrollmentDatabase::load_from_file(file.path, db_key());
+  RegistrationAuthority ra;
+  CaConfig cfg;
+  cfg.max_distance = 2;
+  EngineConfig ecfg;
+  ecfg.host_threads = 2;
+  CertificateAuthority ca(cfg, std::move(db), make_backend("gpu", ecfg), &ra);
+  ClientConfig ccfg;
+  ccfg.device_id = 1;
+  ccfg.injected_distance = 1;
+  Client client(ccfg, &device, 8);
+  const auto session = run_authentication(client, ca, ra);
+  EXPECT_TRUE(session.result.authenticated);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "net/message.hpp"
+
+namespace rbc::net {
+namespace {
+
+template <typename T>
+T round_trip(const T& msg) {
+  const Bytes frame = serialize(Message{msg});
+  auto decoded = deserialize(frame);
+  EXPECT_TRUE(decoded.has_value());
+  return std::get<T>(decoded.value());
+}
+
+TEST(Message, HandshakeRoundTrip) {
+  HandshakeRequest m;
+  m.device_id = 0xdeadbeefcafef00dULL;
+  m.hash_algo = hash::HashAlgo::kSha1;
+  m.keygen_algo = crypto::KeygenAlgo::kSaberLike;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Message, ChallengeRoundTrip) {
+  Challenge m;
+  m.puf_address = 42;
+  m.tapki_enabled = true;
+  m.stable_mask = Seed256::low_bits(100);
+  m.requested_noise = 4;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Message, DigestSubmissionRoundTripSha3) {
+  DigestSubmission m;
+  m.hash_algo = hash::HashAlgo::kSha3_256;
+  m.digest.assign(32, 0xab);
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Message, DigestSubmissionRoundTripSha1) {
+  DigestSubmission m;
+  m.hash_algo = hash::HashAlgo::kSha1;
+  m.digest.assign(20, 0x17);
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Message, AuthResultRoundTrip) {
+  AuthResult m;
+  m.authenticated = true;
+  m.found_distance = 4;
+  m.search_seconds = 2.625;
+  m.timed_out = false;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Message, AuthResultNegativeDistance) {
+  AuthResult m;
+  m.authenticated = false;
+  m.found_distance = -1;
+  m.timed_out = true;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Deserialize, EmptyFrame) {
+  auto r = deserialize(Bytes{});
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), WireError::kEmptyFrame);
+}
+
+TEST(Deserialize, UnknownTag) {
+  const Bytes frame = {0x7f, 0x00};
+  auto r = deserialize(frame);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), WireError::kUnknownTag);
+}
+
+TEST(Deserialize, TruncatedFramesRejected) {
+  // Truncate every message type at every byte boundary; none may decode and
+  // none may crash.
+  const Message msgs[] = {
+      Message{HandshakeRequest{}},
+      Message{Challenge{}},
+      Message{DigestSubmission{hash::HashAlgo::kSha3_256, Bytes(32, 1)}},
+      Message{AuthResult{}},
+  };
+  for (const auto& msg : msgs) {
+    const Bytes full = serialize(msg);
+    for (std::size_t len = 1; len < full.size(); ++len) {
+      auto r = deserialize(ByteSpan{full.data(), len});
+      EXPECT_FALSE(r.has_value()) << "prefix of length " << len << " decoded";
+    }
+  }
+}
+
+TEST(Deserialize, TrailingBytesRejected) {
+  Bytes frame = serialize(Message{HandshakeRequest{}});
+  frame.push_back(0x00);
+  auto r = deserialize(frame);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), WireError::kTrailingBytes);
+}
+
+TEST(Deserialize, BadHashEnumRejected) {
+  Bytes frame = serialize(Message{HandshakeRequest{}});
+  frame[9] = 0x77;  // hash algo byte
+  auto r = deserialize(frame);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), WireError::kBadEnumValue);
+}
+
+TEST(Deserialize, DigestLengthMustMatchAlgorithm) {
+  DigestSubmission m;
+  m.hash_algo = hash::HashAlgo::kSha3_256;
+  m.digest.assign(20, 0);  // SHA-1 length with SHA-3 tag
+  const Bytes frame = serialize(Message{m});
+  auto r = deserialize(frame);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), WireError::kBadDigestLength);
+}
+
+TEST(WireErrorStrings, AllDistinct) {
+  const WireError all[] = {WireError::kEmptyFrame,   WireError::kUnknownTag,
+                           WireError::kTruncated,    WireError::kTrailingBytes,
+                           WireError::kBadEnumValue, WireError::kBadDigestLength};
+  for (const auto& a : all) {
+    EXPECT_FALSE(to_string(a).empty());
+    for (const auto& b : all) {
+      if (&a != &b) {
+        EXPECT_NE(to_string(a), to_string(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rbc::net

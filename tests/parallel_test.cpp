@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/early_exit.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rbc::par {
+namespace {
+
+TEST(EarlyExitToken, StartsUntriggered) {
+  EarlyExitToken token;
+  EXPECT_FALSE(token.triggered());
+}
+
+TEST(EarlyExitToken, TriggerAndReset) {
+  EarlyExitToken token;
+  token.trigger();
+  EXPECT_TRUE(token.triggered());
+  token.trigger();  // idempotent
+  EXPECT_TRUE(token.triggered());
+  token.reset();
+  EXPECT_FALSE(token.triggered());
+}
+
+TEST(CheckThrottle, IntervalOneChecksEveryCall) {
+  EarlyExitToken token;
+  CheckThrottle throttle(token, 1);
+  EXPECT_FALSE(throttle.should_stop());
+  token.trigger();
+  EXPECT_TRUE(throttle.should_stop());
+}
+
+TEST(CheckThrottle, IntervalNDelaysDetectionByAtMostN) {
+  EarlyExitToken token;
+  CheckThrottle throttle(token, 8);
+  // First call polls (countdown initialized to 1), then every 8th.
+  EXPECT_FALSE(throttle.should_stop());
+  token.trigger();
+  int calls_until_stop = 0;
+  while (!throttle.should_stop()) {
+    ++calls_until_stop;
+    ASSERT_LE(calls_until_stop, 8);
+  }
+  EXPECT_EQ(calls_until_stop, 7);
+}
+
+TEST(CheckThrottle, ZeroIntervalTreatedAsOne) {
+  EarlyExitToken token;
+  token.trigger();
+  CheckThrottle throttle(token, 0);
+  EXPECT_TRUE(throttle.should_stop());
+}
+
+TEST(PartitionRange, ExactDivision) {
+  for (int r = 0; r < 4; ++r) {
+    const auto range = partition_range(100, 4, r);
+    EXPECT_EQ(range.size(), 25u);
+    EXPECT_EQ(range.begin, static_cast<u64>(25 * r));
+  }
+}
+
+TEST(PartitionRange, RemainderSpreadEvenly) {
+  // 10 items over 4 workers: sizes 3,3,2,2.
+  std::vector<u64> sizes;
+  u64 expected_begin = 0;
+  for (int r = 0; r < 4; ++r) {
+    const auto range = partition_range(10, 4, r);
+    EXPECT_EQ(range.begin, expected_begin) << "worker " << r;
+    sizes.push_back(range.size());
+    expected_begin = range.end;
+  }
+  EXPECT_EQ(expected_begin, 10u);
+  EXPECT_EQ(sizes, (std::vector<u64>{3, 3, 2, 2}));
+}
+
+TEST(PartitionRange, MoreWorkersThanItems) {
+  u64 total = 0;
+  for (int r = 0; r < 8; ++r) {
+    const auto range = partition_range(3, 8, r);
+    EXPECT_LE(range.size(), 1u);
+    total += range.size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(PartitionRange, EmptyTotal) {
+  const auto range = partition_range(0, 4, 2);
+  EXPECT_EQ(range.size(), 0u);
+}
+
+TEST(PartitionRange, InvalidWorkerRejected) {
+  EXPECT_THROW(partition_range(10, 4, 4), rbc::CheckFailure);
+  EXPECT_THROW(partition_range(10, 0, 0), rbc::CheckFailure);
+}
+
+TEST(ThreadPool, RunsBodyOnEveryWorker) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.parallel_workers([&](int id) { hits[static_cast<unsigned>(id)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_workers([&](int) { counter++; });
+  }
+  EXPECT_EQ(counter.load(), 150);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  const u64 total = 100000;
+  std::vector<u64> partial(4, 0);
+  pool.parallel_workers([&](int id) {
+    const auto range = partition_range(total, 4, id);
+    u64 sum = 0;
+    for (u64 i = range.begin; i < range.end; ++i) sum += i;
+    partial[static_cast<unsigned>(id)] = sum;
+  });
+  const u64 sum = std::accumulate(partial.begin(), partial.end(), u64{0});
+  EXPECT_EQ(sum, total * (total - 1) / 2);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_workers([](int id) {
+        if (id == 1) throw std::runtime_error("worker failure");
+      }),
+      std::runtime_error);
+  // Pool must stay usable after an exception round.
+  std::atomic<int> counter{0};
+  pool.parallel_workers([&](int) { counter++; });
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, EarlyExitStopsAllWorkers) {
+  ThreadPool pool(4);
+  EarlyExitToken token;
+  std::atomic<u64> iterations{0};
+  pool.parallel_workers([&](int id) {
+    CheckThrottle throttle(token, 4);
+    for (u64 i = 0; i < 1000000; ++i) {
+      if (throttle.should_stop()) return;
+      iterations++;
+      if (id == 0 && i == 100) token.trigger();
+    }
+  });
+  // Workers stop well before completing 4M combined iterations.
+  EXPECT_LT(iterations.load(), 4000000u);
+  EXPECT_TRUE(token.triggered());
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  int value = 0;
+  pool.parallel_workers([&](int id) {
+    EXPECT_EQ(id, 0);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), rbc::CheckFailure);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+}
+
+}  // namespace
+}  // namespace rbc::par

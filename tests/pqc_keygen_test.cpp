@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/pqc_keygen.hpp"
+#include "crypto/salt.hpp"
+
+namespace rbc::crypto {
+namespace {
+
+template <typename Keygen>
+class KeygenTest : public ::testing::Test {
+ protected:
+  Keygen keygen;
+};
+
+using KeygenTypes =
+    ::testing::Types<Aes128Keygen, SaberLikeKeygen, DilithiumLikeKeygen,
+                     KyberLikeKeygen, WotsKeygen>;
+TYPED_TEST_SUITE(KeygenTest, KeygenTypes);
+
+TYPED_TEST(KeygenTest, Deterministic) {
+  Xoshiro256 rng(1);
+  const Seed256 seed = Seed256::random(rng);
+  EXPECT_EQ(this->keygen(seed), this->keygen(seed));
+}
+
+TYPED_TEST(KeygenTest, SeedSensitivity) {
+  Xoshiro256 rng(2);
+  const Seed256 seed = Seed256::random(rng);
+  // A single flipped bit must change the public key (the property the RBC
+  // search relies on to discriminate candidates).
+  for (int bit : {0, 100, 255}) {
+    EXPECT_NE(this->keygen(seed), this->keygen(with_flipped_bit(seed, bit)));
+  }
+}
+
+TYPED_TEST(KeygenTest, NonEmptyAndStableSize) {
+  Xoshiro256 rng(3);
+  const auto pk1 = this->keygen(Seed256::random(rng));
+  const auto pk2 = this->keygen(Seed256::random(rng));
+  EXPECT_FALSE(pk1.empty());
+  EXPECT_EQ(pk1.size(), pk2.size());
+}
+
+TEST(KeygenSizes, MatchSchemeShapes) {
+  Xoshiro256 rng(4);
+  const Seed256 seed = Seed256::random(rng);
+  // AES: two ciphertext blocks.
+  EXPECT_EQ(Aes128Keygen{}(seed).size(), 32u);
+  // SABER-like: 32-byte seed_A + 2 polys * 256 coeffs * 2 bytes.
+  EXPECT_EQ(SaberLikeKeygen{}(seed).size(), 32u + 2u * 256u * 2u);
+  // Dilithium-like: 32-byte seed_A + 6 polys * 256 coeffs * 3 bytes.
+  EXPECT_EQ(DilithiumLikeKeygen{}(seed).size(), 32u + 6u * 256u * 3u);
+  // Kyber-like: 32-byte seed_A + 3 polys * 256 coeffs * 2 bytes.
+  EXPECT_EQ(KyberLikeKeygen{}(seed).size(), 32u + 3u * 256u * 2u);
+  // WOTS+: a single compressed 32-byte root.
+  EXPECT_EQ(WotsKeygen{}(seed).size(), 32u);
+}
+
+TEST(KeygenDispatch, MatchesPolicyObjects) {
+  Xoshiro256 rng(5);
+  const Seed256 seed = Seed256::random(rng);
+  EXPECT_EQ(generate_public_key(seed, KeygenAlgo::kAes128),
+            Aes128Keygen{}(seed));
+  EXPECT_EQ(generate_public_key(seed, KeygenAlgo::kSaberLike),
+            SaberLikeKeygen{}(seed));
+  EXPECT_EQ(generate_public_key(seed, KeygenAlgo::kDilithiumLike),
+            DilithiumLikeKeygen{}(seed));
+  EXPECT_EQ(generate_public_key(seed, KeygenAlgo::kKyberLike),
+            KyberLikeKeygen{}(seed));
+  EXPECT_EQ(generate_public_key(seed, KeygenAlgo::kWots), WotsKeygen{}(seed));
+}
+
+TEST(KeygenAlgoNames, AreStable) {
+  EXPECT_EQ(to_string(KeygenAlgo::kAes128), "AES-128");
+  EXPECT_EQ(to_string(KeygenAlgo::kSaberLike), "LightSABER-like");
+  EXPECT_EQ(to_string(KeygenAlgo::kDilithiumLike), "Dilithium3-like");
+  EXPECT_EQ(to_string(KeygenAlgo::kKyberLike), "Kyber768-like");
+  EXPECT_EQ(to_string(KeygenAlgo::kWots), "WOTS+-like (SPHINCS+)");
+}
+
+TEST(WotsKeygenCost, IsAboutAThousandHashes) {
+  // The property that makes WOTS the starkest legacy-vs-salted contrast:
+  // one keygen costs kChains * kChainLen SHA3 calls (~1072).
+  EXPECT_EQ(WotsKeygen::kChains * WotsKeygen::kChainLen, 1072);
+}
+
+TEST(SaltPolicy, RoundTrip) {
+  Xoshiro256 rng(6);
+  const Seed256 seed = Seed256::random(rng);
+  const SaltPolicy salt(97, Seed256::random(rng));
+  EXPECT_EQ(salt.invert(salt.apply(seed)), seed);
+}
+
+TEST(SaltPolicy, ChangesSeed) {
+  Xoshiro256 rng(7);
+  const Seed256 seed = Seed256::random(rng);
+  const SaltPolicy salt;  // default rotation
+  EXPECT_NE(salt.apply(seed), seed);
+}
+
+TEST(SaltPolicy, InjectiveOnSamples) {
+  Xoshiro256 rng(8);
+  const SaltPolicy salt(33);
+  const Seed256 a = Seed256::random(rng);
+  const Seed256 b = Seed256::random(rng);
+  EXPECT_NE(salt.apply(a), salt.apply(b));
+}
+
+TEST(SaltPolicy, BreaksDigestKeyCorrespondence) {
+  // The public key generated from the salted seed must differ from the one
+  // generated from the raw seed — otherwise salting adds nothing.
+  Xoshiro256 rng(9);
+  const Seed256 seed = Seed256::random(rng);
+  const SaltPolicy salt;
+  Aes128Keygen keygen;
+  EXPECT_NE(keygen(salt.apply(seed)), keygen(seed));
+}
+
+TEST(SaltPolicy, NormalizesRotationCount) {
+  Xoshiro256 rng(10);
+  const Seed256 seed = Seed256::random(rng);
+  EXPECT_EQ(SaltPolicy(97 + 256).apply(seed), SaltPolicy(97).apply(seed));
+  EXPECT_EQ(SaltPolicy(-159).apply(seed), SaltPolicy(97).apply(seed));
+}
+
+TEST(SaltPolicy, EqualityComparesConfiguration) {
+  EXPECT_EQ(SaltPolicy(97), SaltPolicy(97));
+  EXPECT_FALSE(SaltPolicy(97) == SaltPolicy(98));
+}
+
+}  // namespace
+}  // namespace rbc::crypto

@@ -1,0 +1,119 @@
+// Full protocol matrix sweep: every backend x hash x keygen x TAPKI x
+// distance combination must authenticate and agree on the session key.
+// A breadth-first integration net over the whole public API.
+#include <gtest/gtest.h>
+
+#include "rbc/protocol.hpp"
+
+namespace rbc {
+namespace {
+
+struct MatrixCase {
+  const char* backend;
+  hash::HashAlgo hash;
+  crypto::KeygenAlgo keygen;
+  bool tapki;
+  int distance;
+};
+
+std::string case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  const auto& c = info.param;
+  std::string name = c.backend;
+  name += c.hash == hash::HashAlgo::kSha1 ? "_sha1" : "_sha3";
+  switch (c.keygen) {
+    case crypto::KeygenAlgo::kAes128:
+      name += "_aes";
+      break;
+    case crypto::KeygenAlgo::kSaberLike:
+      name += "_saber";
+      break;
+    case crypto::KeygenAlgo::kDilithiumLike:
+      name += "_dilithium";
+      break;
+    case crypto::KeygenAlgo::kKyberLike:
+      name += "_kyber";
+      break;
+    case crypto::KeygenAlgo::kWots:
+      name += "_wots";
+      break;
+  }
+  name += c.tapki ? "_tapki" : "_raw";
+  name += "_d" + std::to_string(c.distance);
+  return name;
+}
+
+class ProtocolMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ProtocolMatrix, AuthenticatesAndAgreesOnKey) {
+  const MatrixCase& c = GetParam();
+
+  // A device without erratic cells: the client's majority vote then equals
+  // the enrolled word with overwhelming probability even with TAPKI off, so
+  // the injected distance is exactly what the server must find. (Erratic
+  // devices with and without TAPKI are exercised in protocol_test and the
+  // TAPKI ablation bench.)
+  puf::SramPufModel::Params params;
+  params.num_addresses = 2;
+  params.erratic_cell_fraction = 0.0;
+  puf::SramPufModel device(params, 0xFACE);
+  EnrollmentDatabase db(crypto::Aes128::Key{0x5c});
+  Xoshiro256 rng(99);
+  db.enroll(5, device, 80, 0.05, rng);
+
+  RegistrationAuthority ra;
+  CaConfig ca_cfg;
+  ca_cfg.max_distance = 2;
+  ca_cfg.tapki_enabled = c.tapki;
+  EngineConfig ecfg;
+  ecfg.host_threads = 2;
+  CertificateAuthority ca(ca_cfg, std::move(db),
+                          make_backend(c.backend, ecfg), &ra);
+
+  ClientConfig ccfg;
+  ccfg.device_id = 5;
+  ccfg.hash_algo = c.hash;
+  ccfg.keygen_algo = c.keygen;
+  ccfg.injected_distance = c.distance;
+  Client client(ccfg, &device, 0xBEE);
+
+  const SessionReport session = run_authentication(client, ca, ra);
+  ASSERT_TRUE(session.result.authenticated) << case_name({GetParam(), 0});
+  EXPECT_EQ(session.result.found_distance, c.distance);
+  EXPECT_FALSE(session.result.timed_out);
+  ASSERT_FALSE(session.registered_public_key.empty());
+  EXPECT_EQ(session.registered_public_key,
+            client.derive_public_key(ca.config().salt));
+  EXPECT_NEAR(session.comm_time_s, 0.90, 1e-9);
+}
+
+std::vector<MatrixCase> all_cases() {
+  std::vector<MatrixCase> cases;
+  for (const char* backend : {"cpu", "gpu", "apu"}) {
+    for (auto h : {hash::HashAlgo::kSha1, hash::HashAlgo::kSha3_256}) {
+      for (auto kg :
+           {crypto::KeygenAlgo::kAes128, crypto::KeygenAlgo::kSaberLike}) {
+        for (bool tapki : {true, false}) {
+          for (int d : {1, 2}) {
+            cases.push_back({backend, h, kg, tapki, d});
+          }
+        }
+      }
+    }
+  }
+  // Spot checks for the slowest keygens (one keygen per authentication).
+  cases.push_back({"gpu", hash::HashAlgo::kSha3_256,
+                   crypto::KeygenAlgo::kDilithiumLike, true, 2});
+  cases.push_back({"cpu", hash::HashAlgo::kSha1,
+                   crypto::KeygenAlgo::kDilithiumLike, false, 1});
+  cases.push_back({"apu", hash::HashAlgo::kSha3_256,
+                   crypto::KeygenAlgo::kKyberLike, true, 1});
+  cases.push_back({"gpu", hash::HashAlgo::kSha1, crypto::KeygenAlgo::kWots,
+                   true, 2});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, ProtocolMatrix,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,327 @@
+// End-to-end integration tests of the Fig. 1 protocol: client + CA + RA over
+// a simulated channel, on every backend, with TAPKI, noise injection,
+// timeouts, and failure injection.
+#include <gtest/gtest.h>
+
+#include "rbc/protocol.hpp"
+#include "rbc/trial.hpp"
+
+namespace rbc {
+namespace {
+
+crypto::Aes128::Key master_key() {
+  crypto::Aes128::Key k{};
+  k[0] = 0x42;
+  return k;
+}
+
+puf::SramPufModel::Params device_params() {
+  puf::SramPufModel::Params p;
+  p.num_addresses = 4;
+  p.erratic_cell_fraction = 0.04;
+  p.stable_flip_probability = 0.004;
+  p.erratic_flip_probability = 0.30;
+  return p;
+}
+
+struct Fixture {
+  puf::SramPufModel device;
+  RegistrationAuthority ra;
+  std::unique_ptr<CertificateAuthority> ca;
+  std::unique_ptr<Client> client;
+
+  // Default timeout well above T so sanitizer-slowed builds don't trip it;
+  // the timeout behaviour itself is tested with an explicit 0-second budget.
+  Fixture(u64 device_id, int injected_distance, int max_distance,
+          const char* backend_name = "cpu",
+          hash::HashAlgo hash = hash::HashAlgo::kSha3_256,
+          crypto::KeygenAlgo keygen = crypto::KeygenAlgo::kAes128,
+          bool tapki = true, double timeout_s = 600.0)
+      : device(device_params(), device_id) {
+    EnrollmentDatabase db(master_key());
+    Xoshiro256 enroll_rng(device_id ^ 0xE27011);
+    db.enroll(device_id, device, 100, 0.05, enroll_rng);
+
+    CaConfig ca_cfg;
+    ca_cfg.max_distance = max_distance;
+    ca_cfg.tapki_enabled = tapki;
+    ca_cfg.time_threshold_s = timeout_s;
+
+    EngineConfig engine_cfg;
+    engine_cfg.host_threads = 2;
+    ca = std::make_unique<CertificateAuthority>(
+        ca_cfg, std::move(db), make_backend(backend_name, engine_cfg), &ra);
+
+    ClientConfig client_cfg;
+    client_cfg.device_id = device_id;
+    client_cfg.hash_algo = hash;
+    client_cfg.keygen_algo = keygen;
+    client_cfg.injected_distance = injected_distance;
+    client = std::make_unique<Client>(client_cfg, &device, device_id ^ 0xC11e);
+  }
+};
+
+TEST(Protocol, AuthenticatesCleanClient) {
+  Fixture f(1, /*injected_distance=*/0, /*max_distance=*/2);
+  const auto session = run_authentication(*f.client, *f.ca, f.ra);
+  EXPECT_TRUE(session.result.authenticated);
+  EXPECT_EQ(session.result.found_distance, 0);
+  EXPECT_FALSE(session.result.timed_out);
+}
+
+class ProtocolAtDistance : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolAtDistance, AuthenticatesAtInjectedDistance) {
+  const int d = GetParam();
+  Fixture f(10 + static_cast<u64>(d), d, /*max_distance=*/3);
+  const auto session = run_authentication(*f.client, *f.ca, f.ra);
+  EXPECT_TRUE(session.result.authenticated);
+  EXPECT_EQ(session.result.found_distance, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ProtocolAtDistance,
+                         ::testing::Values(0, 1, 2, 3));
+
+class ProtocolBackends : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProtocolBackends, FullSessionOnEveryDevice) {
+  Fixture f(20, /*injected_distance=*/2, /*max_distance=*/2, GetParam());
+  const auto session = run_authentication(*f.client, *f.ca, f.ra);
+  EXPECT_TRUE(session.result.authenticated);
+  EXPECT_EQ(session.result.found_distance, 2);
+  EXPECT_GT(session.engine.modeled_device_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, ProtocolBackends,
+                         ::testing::Values("cpu", "gpu", "apu"));
+
+TEST(Protocol, Sha1SessionWorks) {
+  Fixture f(30, 1, 2, "cpu", hash::HashAlgo::kSha1);
+  const auto session = run_authentication(*f.client, *f.ca, f.ra);
+  EXPECT_TRUE(session.result.authenticated);
+}
+
+TEST(Protocol, KeyAgreement) {
+  // Fig. 1 steps 7-8: after authentication the RA holds keygen(salt(seed)),
+  // and the client derives the same key from its own seed.
+  for (auto keygen : {crypto::KeygenAlgo::kAes128,
+                      crypto::KeygenAlgo::kSaberLike,
+                      crypto::KeygenAlgo::kDilithiumLike}) {
+    Fixture f(40 + static_cast<u64>(keygen), 1, 2, "cpu",
+              hash::HashAlgo::kSha3_256, keygen);
+    const auto session = run_authentication(*f.client, *f.ca, f.ra);
+    ASSERT_TRUE(session.result.authenticated);
+    ASSERT_FALSE(session.registered_public_key.empty());
+    EXPECT_EQ(session.registered_public_key,
+              f.client->derive_public_key(f.ca->config().salt))
+        << "client and CA disagree on the session key for "
+        << crypto::to_string(keygen);
+  }
+}
+
+TEST(Protocol, RejectsWhenNoiseExceedsSearchBudget) {
+  // Client injects distance 3 but the CA only searches to 2.
+  Fixture f(50, 3, 2);
+  const auto session = run_authentication(*f.client, *f.ca, f.ra);
+  EXPECT_FALSE(session.result.authenticated);
+  EXPECT_EQ(session.result.found_distance, -1);
+  EXPECT_EQ(f.ra.lookup(50), nullptr) << "RA must not register failed auths";
+}
+
+TEST(Protocol, TimeoutProducesTimedOutResult) {
+  Fixture f(60, 3, 3, "cpu", hash::HashAlgo::kSha3_256,
+            crypto::KeygenAlgo::kAes128, true, /*timeout_s=*/0.0);
+  const auto session = run_authentication(*f.client, *f.ca, f.ra);
+  EXPECT_FALSE(session.result.authenticated);
+  EXPECT_TRUE(session.result.timed_out);
+}
+
+TEST(Protocol, CommBudgetMatchesTable5) {
+  Fixture f(70, 1, 2);
+  const auto session = run_authentication(*f.client, *f.ca, f.ra);
+  // 4 messages x 0.15 s + 0.30 s PUF read = 0.90 s.
+  EXPECT_NEAR(session.comm_time_s, 0.90, 1e-9);
+  EXPECT_NEAR(session.total_time_s,
+              0.90 + session.result.search_seconds, 1e-9);
+}
+
+TEST(Protocol, TapkiMasksErraticDevice) {
+  // A device with many erratic cells: with TAPKI the masked stream stays
+  // within the injected distance; without TAPKI raw noise regularly exceeds
+  // the search budget.
+  puf::SramPufModel::Params noisy = device_params();
+  noisy.erratic_cell_fraction = 0.15;
+  noisy.erratic_flip_probability = 0.4;
+
+  int tapki_ok = 0, raw_ok = 0;
+  const int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    for (bool tapki : {true, false}) {
+      puf::SramPufModel device(noisy, 80);
+      EnrollmentDatabase db(master_key());
+      Xoshiro256 rng(900 + static_cast<u64>(t));
+      db.enroll(80, device, 150, 0.05, rng);
+      RegistrationAuthority ra;
+      CaConfig cfg;
+      cfg.max_distance = 2;
+      cfg.tapki_enabled = tapki;
+      EngineConfig ecfg;
+      ecfg.host_threads = 2;
+      CertificateAuthority ca(cfg, std::move(db), make_backend("cpu", ecfg),
+                              &ra);
+      ClientConfig ccfg;
+      ccfg.device_id = 80;
+      ccfg.injected_distance = -1;  // submit raw masked reading
+      Client client(ccfg, &device, 1000 + static_cast<u64>(t));
+      const auto session = run_authentication(client, ca, ra);
+      (tapki ? tapki_ok : raw_ok) += session.result.authenticated;
+    }
+  }
+  EXPECT_GT(tapki_ok, raw_ok) << "TAPKI should rescue the erratic device";
+  EXPECT_GE(tapki_ok, 8);
+}
+
+TEST(Protocol, UnenrolledDeviceRejected) {
+  Fixture f(90, 1, 2);
+  ClientConfig rogue_cfg;
+  rogue_cfg.device_id = 9999;  // never enrolled
+  Client rogue(rogue_cfg, &f.device, 123);
+  EXPECT_THROW(run_authentication(rogue, *f.ca, f.ra), CheckFailure);
+}
+
+TEST(Protocol, RepeatedSessionsRotateChallenges) {
+  Fixture f(100, 1, 2);
+  net::HandshakeRequest handshake;
+  handshake.device_id = 100;
+  std::set<u32> addresses;
+  for (int i = 0; i < 20; ++i)
+    addresses.insert(f.ca->issue_challenge(handshake).puf_address);
+  EXPECT_GT(addresses.size(), 1u) << "challenges must vary across sessions";
+}
+
+TEST(Protocol, MismatchedSaltBreaksKeyAgreement) {
+  // Client and CA must share the SaltPolicy (Fig. 1 step 7): a client
+  // deriving with a different salt gets a different key than the RA holds —
+  // authentication still succeeds (the search is salt-independent) but the
+  // session key would be useless, which is how a misconfiguration surfaces.
+  Fixture f(170, 1, 2);
+  const auto session = run_authentication(*f.client, *f.ca, f.ra);
+  ASSERT_TRUE(session.result.authenticated);
+  const crypto::SaltPolicy wrong_salt(13);
+  ASSERT_FALSE(f.ca->config().salt == wrong_salt);
+  EXPECT_NE(session.registered_public_key,
+            f.client->derive_public_key(wrong_salt));
+  EXPECT_EQ(session.registered_public_key,
+            f.client->derive_public_key(f.ca->config().salt));
+}
+
+TEST(Protocol, MultiGpuBackendServesTheProtocol) {
+  puf::SramPufModel device(device_params(), 180);
+  EnrollmentDatabase db(master_key());
+  Xoshiro256 rng(181);
+  db.enroll(180, device, 100, 0.05, rng);
+  RegistrationAuthority ra;
+  CaConfig cfg;
+  cfg.max_distance = 2;
+  EngineConfig ecfg;
+  ecfg.host_threads = 2;
+  ecfg.num_devices = 3;
+  CertificateAuthority ca(cfg, std::move(db), make_backend("gpu", ecfg), &ra);
+  ClientConfig ccfg;
+  ccfg.device_id = 180;
+  ccfg.injected_distance = 2;
+  Client client(ccfg, &device, 182);
+  const auto session = run_authentication(client, ca, ra);
+  EXPECT_TRUE(session.result.authenticated);
+  EXPECT_EQ(session.engine.device_name, "3x NVIDIA A100");
+}
+
+TEST(Protocol, CaDirectedNoiseInjection) {
+  // §5 extension end-to-end: the CA requests noise up to its budget in the
+  // Challenge; a kFollowChallenge client injects exactly that much, and the
+  // search finds the seed at the requested distance.
+  Fixture f(150, ClientConfig::kFollowChallenge, /*max_distance=*/2);
+  // Re-point the CA config: request noise injection.
+  CaConfig cfg = f.ca->config();
+  EXPECT_FALSE(cfg.request_noise_injection);  // default off
+
+  // Build a fresh CA with the flag on (Fixture holds immutable config).
+  EnrollmentDatabase db(crypto::Aes128::Key{0x42});
+  Xoshiro256 rng(151);
+  db.enroll(150, f.device, 100, 0.05, rng);
+  RegistrationAuthority ra;
+  CaConfig on;
+  on.max_distance = 2;
+  on.request_noise_injection = true;
+  EngineConfig ecfg;
+  ecfg.host_threads = 2;
+  CertificateAuthority ca(on, std::move(db), make_backend("cpu", ecfg), &ra);
+
+  const auto session = run_authentication(*f.client, ca, ra);
+  EXPECT_TRUE(session.result.authenticated);
+  EXPECT_EQ(session.result.found_distance, 2)
+      << "client must inject exactly the CA-requested distance";
+}
+
+TEST(Protocol, FollowChallengeWithoutRequestSubmitsRawReading) {
+  // kFollowChallenge + a CA that does not request noise: the client submits
+  // its raw masked reading (usually distance 0-1 on a quiet device).
+  Fixture f(160, ClientConfig::kFollowChallenge, 2);
+  const auto session = run_authentication(*f.client, *f.ca, f.ra);
+  EXPECT_TRUE(session.result.authenticated);
+  EXPECT_LE(session.result.found_distance, 2);
+}
+
+TEST(Protocol, FullyDeterministicForFixedSeeds) {
+  // Reproducibility guarantee: two independently constructed stacks with
+  // identical RNG seeds must produce byte-identical sessions — the property
+  // every trial-based result in EXPERIMENTS.md relies on.
+  auto run_once = [] {
+    Fixture f(130, 2, 2);
+    return run_authentication(*f.client, *f.ca, f.ra);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  // Wall-clock fields (search_seconds) and thread-interleaving-dependent
+  // counters are excluded; the protocol-level outcome must be identical.
+  EXPECT_EQ(a.result.authenticated, b.result.authenticated);
+  EXPECT_EQ(a.result.found_distance, b.result.found_distance);
+  EXPECT_EQ(a.result.timed_out, b.result.timed_out);
+  EXPECT_EQ(a.registered_public_key, b.registered_public_key);
+  EXPECT_EQ(a.engine.result.seed, b.engine.result.seed);
+  EXPECT_DOUBLE_EQ(a.comm_time_s, b.comm_time_s);
+}
+
+TEST(TrialHarness, PercentilesAvailable) {
+  Fixture f(140, 1, 2);
+  const TrialStats stats = run_trials(*f.client, *f.ca, f.ra, 8);
+  EXPECT_EQ(stats.host_search_samples.size(), 8u);
+  EXPECT_LE(stats.host_search_percentile(0.5),
+            stats.host_search_percentile(0.95));
+  EXPECT_EQ(stats.modeled_device_stats.count(), 8u);
+  EXPECT_GT(stats.modeled_device_stats.mean(), 0.0);
+}
+
+TEST(TrialHarness, AggregatesStatistics) {
+  Fixture f(110, 2, 2);
+  const TrialStats stats = run_trials(*f.client, *f.ca, f.ra, 12);
+  EXPECT_EQ(stats.trials, 12);
+  EXPECT_EQ(stats.authenticated, 12);
+  EXPECT_DOUBLE_EQ(stats.auth_rate(), 1.0);
+  EXPECT_EQ(stats.timed_out, 0);
+  EXPECT_GT(stats.mean_seeds_hashed(), 1.0);
+  EXPECT_GT(stats.mean_modeled_device_s(), 0.0);
+  // All finds at the injected distance.
+  EXPECT_EQ(stats.found_distance_histogram[2], 12);
+}
+
+TEST(TrialHarness, MixedOutcomesWhenBudgetTight) {
+  // Injected distance exceeds the budget -> zero auth rate.
+  Fixture f(120, 3, 2);
+  const TrialStats stats = run_trials(*f.client, *f.ca, f.ra, 5);
+  EXPECT_EQ(stats.authenticated, 0);
+  EXPECT_DOUBLE_EQ(stats.auth_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/ring.hpp"
+
+namespace rbc::crypto {
+namespace {
+
+Poly random_poly(Xoshiro256& rng, u32 q) {
+  Poly p;
+  for (auto& c : p.c) c = static_cast<u32>(rng.next_below(q));
+  return p;
+}
+
+TEST(PrimitiveRoot, DilithiumModulusHasRoot) {
+  const u32 psi = find_primitive_root_2n(8380417, 256);
+  ASSERT_NE(psi, 0u);
+  // psi^256 == -1 and psi^512 == 1 (mod q).
+  u64 p = 1;
+  for (int i = 0; i < 256; ++i) p = p * psi % 8380417;
+  EXPECT_EQ(p, 8380416u);
+  for (int i = 0; i < 256; ++i) p = p * psi % 8380417;
+  EXPECT_EQ(p, 1u);
+}
+
+TEST(PrimitiveRoot, PowerOfTwoModulusHasNone) {
+  EXPECT_EQ(find_primitive_root_2n(8192, 256), 0u);
+}
+
+TEST(PolyRing, NttAvailabilityMatchesModulus) {
+  EXPECT_TRUE(PolyRing(8380417).ntt_available());
+  EXPECT_FALSE(PolyRing(8192).ntt_available());
+}
+
+TEST(PolyRing, AddSubRoundTrip) {
+  PolyRing ring(8380417);
+  Xoshiro256 rng(1);
+  const Poly a = random_poly(rng, ring.q());
+  const Poly b = random_poly(rng, ring.q());
+  EXPECT_EQ(ring.sub(ring.add(a, b), b), a);
+  EXPECT_EQ(ring.sub(a, a), Poly{});
+}
+
+TEST(PolyRing, SchoolbookNegacyclicWrap) {
+  // (X^255) * (X) = X^256 = -1: coefficient 0 becomes q-1.
+  PolyRing ring(97);
+  Poly a{}, b{};
+  a.c[255] = 1;
+  b.c[1] = 1;
+  const Poly r = ring.mul_schoolbook(a, b);
+  EXPECT_EQ(r.c[0], 96u);
+  for (int i = 1; i < kRingDegree; ++i) EXPECT_EQ(r.c[static_cast<unsigned>(i)], 0u);
+}
+
+TEST(PolyRing, MultiplicationByOneIsIdentity) {
+  for (u32 q : {8380417u, 8192u}) {
+    PolyRing ring(q);
+    Xoshiro256 rng(2);
+    const Poly a = random_poly(rng, q);
+    Poly one{};
+    one.c[0] = 1;
+    EXPECT_EQ(ring.mul(a, one), a) << "q=" << q;
+  }
+}
+
+TEST(PolyRing, NttMatchesSchoolbook) {
+  PolyRing ring(8380417);
+  ASSERT_TRUE(ring.ntt_available());
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Poly a = random_poly(rng, ring.q());
+    const Poly b = random_poly(rng, ring.q());
+    EXPECT_EQ(ring.mul(a, b), ring.mul_schoolbook(a, b)) << "trial " << trial;
+  }
+}
+
+TEST(PolyRing, MultiplicationIsCommutative) {
+  PolyRing ring(8192);
+  Xoshiro256 rng(4);
+  const Poly a = random_poly(rng, ring.q());
+  const Poly b = random_poly(rng, ring.q());
+  EXPECT_EQ(ring.mul(a, b), ring.mul(b, a));
+}
+
+TEST(PolyRing, MultiplicationDistributesOverAddition) {
+  PolyRing ring(8380417);
+  Xoshiro256 rng(5);
+  const Poly a = random_poly(rng, ring.q());
+  const Poly b = random_poly(rng, ring.q());
+  const Poly c = random_poly(rng, ring.q());
+  EXPECT_EQ(ring.mul(a, ring.add(b, c)),
+            ring.add(ring.mul(a, b), ring.mul(a, c)));
+}
+
+TEST(PolyRing, RoundShift) {
+  PolyRing ring(8192);
+  Poly a{};
+  a.c[0] = 0;     // -> 0
+  a.c[1] = 3;     // +4 >> 3 = 0
+  a.c[2] = 4;     // +4 >> 3 = 1
+  a.c[3] = 8191;  // +4 >> 3 = 1024
+  const Poly r = ring.round_shift(a, 3);
+  EXPECT_EQ(r.c[0], 0u);
+  EXPECT_EQ(r.c[1], 0u);
+  EXPECT_EQ(r.c[2], 1u);
+  EXPECT_EQ(r.c[3], 1024u);
+}
+
+TEST(PolyRing, SampleUniformInRangeAndDeterministic) {
+  PolyRing ring(8380417);
+  hash::Shake128 xof1, xof2;
+  const u8 seed[4] = {1, 2, 3, 4};
+  xof1.absorb(ByteSpan{seed, 4});
+  xof2.absorb(ByteSpan{seed, 4});
+  const Poly a = ring.sample_uniform(xof1);
+  const Poly b = ring.sample_uniform(xof2);
+  EXPECT_EQ(a, b);
+  for (u32 c : a.c) EXPECT_LT(c, ring.q());
+  // Coefficients should span a wide range (not constant).
+  u32 mn = ~0u, mx = 0;
+  for (u32 c : a.c) {
+    mn = std::min(mn, c);
+    mx = std::max(mx, c);
+  }
+  EXPECT_GT(mx - mn, ring.q() / 4);
+}
+
+TEST(PolyRing, SampleSmallWithinEta) {
+  PolyRing ring(8380417);
+  hash::Shake256 xof;
+  const u8 seed[1] = {9};
+  xof.absorb(ByteSpan{seed, 1});
+  const int eta = 4;
+  const Poly s = ring.sample_small(xof, eta);
+  for (u32 c : s.c) {
+    const bool small_pos = c <= static_cast<u32>(eta);
+    const bool small_neg = c >= ring.q() - static_cast<u32>(eta);
+    EXPECT_TRUE(small_pos || small_neg) << "coefficient " << c;
+  }
+}
+
+TEST(PolyRing, SampleSmallIsRoughlyCentered) {
+  PolyRing ring(8380417);
+  hash::Shake256 xof;
+  const u8 seed[1] = {10};
+  xof.absorb(ByteSpan{seed, 1});
+  double sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    const Poly s = ring.sample_small(xof, 4);
+    for (u32 c : s.c)
+      sum += (c <= 4) ? static_cast<double>(c)
+                      : -static_cast<double>(ring.q() - c);
+  }
+  EXPECT_NEAR(sum / (8 * 256), 0.0, 0.2);
+}
+
+TEST(PolyRing, RejectsTinyModulus) {
+  EXPECT_THROW(PolyRing(1), rbc::CheckFailure);
+}
+
+}  // namespace
+}  // namespace rbc::crypto

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "combinatorics/algorithm515.hpp"
+#include "combinatorics/chase382.hpp"
+#include "combinatorics/gosper.hpp"
+#include "common/rng.hpp"
+#include "rbc/search.hpp"
+
+namespace rbc {
+namespace {
+
+using hash::Sha1SeedHash;
+using hash::Sha3SeedHash;
+
+// A seed at distance `d` from base, with deterministic flipped positions.
+Seed256 seed_at_distance(const Seed256& base, int d, u64 rng_seed) {
+  Xoshiro256 rng(rng_seed);
+  Seed256 s = base;
+  int flipped = 0;
+  while (flipped < d) {
+    const int bit = static_cast<int>(rng.next_below(256));
+    if ((s ^ base).bit(bit)) continue;
+    s.flip_bit(bit);
+    ++flipped;
+  }
+  return s;
+}
+
+template <typename Hash, typename Factory>
+SearchResult search_for(const Seed256& base, const Seed256& truth,
+                        int max_distance, int threads,
+                        bool early_exit = true) {
+  Factory factory;
+  par::ThreadPool pool(threads);
+  SearchOptions opts;
+  opts.max_distance = max_distance;
+  opts.num_threads = threads;
+  opts.early_exit = early_exit;
+  // These tests exercise search correctness, not the T threshold; keep the
+  // budget generous so sanitizer/valgrind builds don't trip it.
+  opts.timeout_s = 600.0;
+  const Hash hash;
+  return rbc_search<Hash>(base, hash(truth), factory, pool, opts, hash);
+}
+
+TEST(RbcSearch, FindsSeedAtDistanceZero) {
+  Xoshiro256 rng(1);
+  const Seed256 base = Seed256::random(rng);
+  const auto r =
+      search_for<Sha3SeedHash, comb::ChaseFactory>(base, base, 3, 2);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.distance, 0);
+  EXPECT_EQ(r.seed, base);
+  EXPECT_EQ(r.seeds_hashed, 1u);
+}
+
+class SearchAtDistance : public ::testing::TestWithParam<int> {};
+
+TEST_P(SearchAtDistance, Sha3ChaseFindsExactSeed) {
+  const int d = GetParam();
+  Xoshiro256 rng(2);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, d, 77);
+  const auto r =
+      search_for<Sha3SeedHash, comb::ChaseFactory>(base, truth, 3, 4);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.distance, d);
+  EXPECT_EQ(r.seed, truth);
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST_P(SearchAtDistance, Sha1Alg515FindsExactSeed) {
+  const int d = GetParam();
+  Xoshiro256 rng(3);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, d, 78);
+  const auto r =
+      search_for<Sha1SeedHash, comb::Algorithm515Factory>(base, truth, 3, 3);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.distance, d);
+  EXPECT_EQ(r.seed, truth);
+}
+
+TEST_P(SearchAtDistance, Sha3GosperFindsExactSeed) {
+  const int d = GetParam();
+  Xoshiro256 rng(4);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, d, 79);
+  const auto r =
+      search_for<Sha3SeedHash, comb::GosperFactory>(base, truth, 3, 2);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.distance, d);
+  EXPECT_EQ(r.seed, truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, SearchAtDistance,
+                         ::testing::Values(1, 2, 3));
+
+TEST(RbcSearch, FailsWhenSeedBeyondMaxDistance) {
+  Xoshiro256 rng(5);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 4, 80);
+  const auto r =
+      search_for<Sha3SeedHash, comb::ChaseFactory>(base, truth, 2, 2);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.distance, -1);
+  // Must have searched the full d<=2 ball: 1 + 256 + 32640 seeds.
+  EXPECT_EQ(r.seeds_hashed, 32897u);
+}
+
+TEST(RbcSearch, ExhaustiveModeVisitsWholeBall) {
+  Xoshiro256 rng(6);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 1, 81);
+  const auto r = search_for<Sha3SeedHash, comb::ChaseFactory>(
+      base, truth, 2, 4, /*early_exit=*/false);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.distance, 1);
+  // No early exit: all 32897 seeds hashed even though truth is at d=1.
+  EXPECT_EQ(r.seeds_hashed, 32897u);
+}
+
+TEST(RbcSearch, EarlyExitVisitsFewerSeeds) {
+  Xoshiro256 rng(7);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 1, 82);
+  const auto r =
+      search_for<Sha3SeedHash, comb::ChaseFactory>(base, truth, 2, 4);
+  EXPECT_TRUE(r.found);
+  EXPECT_LT(r.seeds_hashed, 32897u);
+}
+
+TEST(RbcSearch, SingleThreadMatchesMultiThread) {
+  Xoshiro256 rng(8);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 2, 83);
+  const auto r1 =
+      search_for<Sha3SeedHash, comb::ChaseFactory>(base, truth, 2, 1);
+  const auto r4 =
+      search_for<Sha3SeedHash, comb::ChaseFactory>(base, truth, 2, 4);
+  EXPECT_TRUE(r1.found);
+  EXPECT_TRUE(r4.found);
+  EXPECT_EQ(r1.seed, r4.seed);
+  EXPECT_EQ(r1.distance, r4.distance);
+}
+
+TEST(RbcSearch, TimeoutAbortsSearch) {
+  Xoshiro256 rng(9);
+  const Seed256 base = Seed256::random(rng);
+  // Target nowhere in the ball; zero timeout must abort almost immediately.
+  const Seed256 truth = seed_at_distance(base, 10, 84);
+  comb::ChaseFactory factory;
+  par::ThreadPool pool(2);
+  SearchOptions opts;
+  opts.max_distance = 3;
+  opts.num_threads = 2;
+  opts.timeout_s = 0.0;
+  const hash::Sha3SeedHash hash;
+  const auto r =
+      rbc_search<Sha3SeedHash>(base, hash(truth), factory, pool, opts, hash);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LT(r.seeds_hashed, 32897u);
+}
+
+TEST(RbcSearch, CheckIntervalDoesNotAffectCorrectness) {
+  // §4.4: the flag-polling interval must not change results.
+  Xoshiro256 rng(10);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 2, 85);
+  for (u32 interval : {1u, 4u, 16u, 64u}) {
+    comb::ChaseFactory factory;
+    par::ThreadPool pool(3);
+    SearchOptions opts;
+    opts.max_distance = 2;
+    opts.num_threads = 3;
+    opts.check_interval = interval;
+    const hash::Sha3SeedHash hash;
+    const auto r = rbc_search<Sha3SeedHash>(base, hash(truth), factory, pool,
+                                            opts, hash);
+    EXPECT_TRUE(r.found) << "interval " << interval;
+    EXPECT_EQ(r.seed, truth);
+  }
+}
+
+TEST(RbcSearch, WrongDigestNeverAuthenticates) {
+  Xoshiro256 rng(11);
+  const Seed256 base = Seed256::random(rng);
+  // Digest of a completely unrelated seed.
+  const Seed256 unrelated = Seed256::random(rng);
+  const auto r =
+      search_for<Sha3SeedHash, comb::ChaseFactory>(base, unrelated, 2, 2);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(RbcSearch, RejectsInvalidOptions) {
+  Xoshiro256 rng(12);
+  const Seed256 base = Seed256::random(rng);
+  comb::ChaseFactory factory;
+  par::ThreadPool pool(2);
+  const hash::Sha3SeedHash hash;
+  SearchOptions opts;
+  opts.max_distance = 99;  // beyond kMaxK
+  opts.num_threads = 2;
+  EXPECT_THROW(
+      rbc_search<Sha3SeedHash>(base, hash(base), factory, pool, opts, hash),
+      CheckFailure);
+  opts.max_distance = 2;
+  opts.num_threads = 5;  // more than the pool has
+  EXPECT_THROW(
+      rbc_search<Sha3SeedHash>(base, hash(base), factory, pool, opts, hash),
+      CheckFailure);
+}
+
+TEST(RbcSearch, AllIteratorsAgreeOnSeedsHashedWhenExhaustive) {
+  Xoshiro256 rng(13);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 5, 86);  // not findable at d=2
+  const auto chase =
+      search_for<Sha1SeedHash, comb::ChaseFactory>(base, truth, 2, 3);
+  const auto alg515 =
+      search_for<Sha1SeedHash, comb::Algorithm515Factory>(base, truth, 2, 3);
+  const auto gosper =
+      search_for<Sha1SeedHash, comb::GosperFactory>(base, truth, 2, 3);
+  EXPECT_EQ(chase.seeds_hashed, 32897u);
+  EXPECT_EQ(alg515.seeds_hashed, 32897u);
+  EXPECT_EQ(gosper.seeds_hashed, 32897u);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bits/seed256.hpp"
+#include "common/rng.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(Seed256, DefaultIsZero) {
+  Seed256 s;
+  EXPECT_TRUE(s.is_zero());
+  EXPECT_EQ(s.popcount(), 0);
+  EXPECT_EQ(s, Seed256::zero());
+}
+
+TEST(Seed256, BitSetClearFlipAcrossWordBoundaries) {
+  Seed256 s;
+  for (int bit : {0, 1, 63, 64, 127, 128, 191, 192, 255}) {
+    EXPECT_FALSE(s.bit(bit));
+    s.set_bit(bit);
+    EXPECT_TRUE(s.bit(bit));
+  }
+  EXPECT_EQ(s.popcount(), 9);
+  s.flip_bit(64);
+  EXPECT_FALSE(s.bit(64));
+  s.clear_bit(255);
+  EXPECT_FALSE(s.bit(255));
+  EXPECT_EQ(s.popcount(), 7);
+}
+
+TEST(Seed256, OnesHasAllBits) {
+  const Seed256 s = Seed256::ones();
+  EXPECT_EQ(s.popcount(), 256);
+  EXPECT_EQ(~s, Seed256::zero());
+}
+
+TEST(Seed256, LowBits) {
+  EXPECT_EQ(Seed256::low_bits(0), Seed256::zero());
+  EXPECT_EQ(Seed256::low_bits(1), Seed256::one());
+  const Seed256 s = Seed256::low_bits(70);
+  EXPECT_EQ(s.popcount(), 70);
+  EXPECT_TRUE(s.bit(69));
+  EXPECT_FALSE(s.bit(70));
+}
+
+TEST(Seed256, HammingDistance) {
+  Seed256 a, b;
+  EXPECT_EQ(hamming_distance(a, b), 0);
+  b.set_bit(3);
+  b.set_bit(200);
+  EXPECT_EQ(hamming_distance(a, b), 2);
+  a.set_bit(3);
+  EXPECT_EQ(hamming_distance(a, b), 1);
+  EXPECT_EQ(hamming_distance(Seed256::zero(), Seed256::ones()), 256);
+}
+
+TEST(Seed256, AdditionWithCarryPropagation) {
+  // 2^64 - 1 + 1 = 2^64: carry must ripple into word 1.
+  const Seed256 a{~0ULL, 0, 0, 0};
+  const Seed256 r = a + Seed256::one();
+  EXPECT_EQ(r, (Seed256{0, 1, 0, 0}));
+
+  // Carry chain across all words: (2^256 - 1) + 1 == 0 (mod 2^256).
+  EXPECT_EQ(Seed256::ones() + Seed256::one(), Seed256::zero());
+}
+
+TEST(Seed256, SubtractionIsInverseOfAddition) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const Seed256 a = Seed256::random(rng);
+    const Seed256 b = Seed256::random(rng);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a - a, Seed256::zero());
+  }
+}
+
+TEST(Seed256, NegateIsTwosComplement) {
+  EXPECT_EQ(Seed256::one().negate(), Seed256::ones());
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Seed256 a = Seed256::random(rng);
+    EXPECT_EQ(a + a.negate(), Seed256::zero());
+  }
+}
+
+TEST(Seed256, IsolateLowestSetBit) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 200; ++i) {
+    Seed256 a = Seed256::random(rng);
+    if (a.is_zero()) continue;
+    const Seed256 lsb = a & a.negate();
+    EXPECT_EQ(lsb.popcount(), 1);
+    EXPECT_EQ(lsb.count_trailing_zeros(), a.count_trailing_zeros());
+  }
+}
+
+TEST(Seed256, ShiftLeftMatchesRepeatedDoubling) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 50; ++i) {
+    const Seed256 a = Seed256::random(rng);
+    Seed256 doubled = a;
+    for (int s = 0; s < 7; ++s) doubled = doubled + doubled;
+    EXPECT_EQ(a << 7, doubled);
+  }
+}
+
+TEST(Seed256, ShiftsByWordMultiples) {
+  Seed256 a{0x1111111111111111ULL, 0x2222222222222222ULL,
+            0x3333333333333333ULL, 0x4444444444444444ULL};
+  EXPECT_EQ(a << 64,
+            (Seed256{0, 0x1111111111111111ULL, 0x2222222222222222ULL,
+                     0x3333333333333333ULL}));
+  EXPECT_EQ(a >> 128,
+            (Seed256{0x3333333333333333ULL, 0x4444444444444444ULL, 0, 0}));
+  EXPECT_EQ(a << 0, a);
+  EXPECT_EQ(a >> 0, a);
+  EXPECT_EQ(a << 256, Seed256::zero());
+  EXPECT_EQ(a >> 256, Seed256::zero());
+}
+
+TEST(Seed256, ShiftRoundTrip) {
+  Xoshiro256 rng(31);
+  for (int shift : {1, 13, 63, 64, 65, 127, 200, 255}) {
+    const Seed256 a = Seed256::random(rng);
+    // Left then right shift keeps the low bits that were not pushed out.
+    const Seed256 kept = (a << shift) >> shift;
+    Seed256 expected = a;
+    for (int b = 256 - shift; b < 256; ++b) expected.clear_bit(b);
+    EXPECT_EQ(kept, expected) << "shift=" << shift;
+  }
+}
+
+TEST(Seed256, RotationPreservesPopcountAndInverts) {
+  Xoshiro256 rng(41);
+  for (int n : {0, 1, 17, 64, 97, 128, 255}) {
+    const Seed256 a = Seed256::random(rng);
+    const Seed256 r = a.rotl(n);
+    EXPECT_EQ(r.popcount(), a.popcount());
+    EXPECT_EQ(r.rotr(n), a) << "rot=" << n;
+  }
+}
+
+TEST(Seed256, RotationMovesBits) {
+  Seed256 a;
+  a.set_bit(0);
+  EXPECT_TRUE(a.rotl(1).bit(1));
+  EXPECT_TRUE(a.rotl(255).bit(255));
+  EXPECT_TRUE(a.rotr(1).bit(255));
+  // Full rotation is identity.
+  Xoshiro256 rng(43);
+  const Seed256 b = Seed256::random(rng);
+  EXPECT_EQ(b.rotl(256 % 256), b);
+}
+
+TEST(Seed256, CountTrailingZeros) {
+  EXPECT_EQ(Seed256::zero().count_trailing_zeros(), 256);
+  for (int bit : {0, 5, 63, 64, 100, 192, 255}) {
+    Seed256 s;
+    s.set_bit(bit);
+    EXPECT_EQ(s.count_trailing_zeros(), bit);
+  }
+}
+
+TEST(Seed256, HighestSetBit) {
+  EXPECT_EQ(Seed256::zero().highest_set_bit(), -1);
+  for (int bit : {0, 63, 64, 191, 255}) {
+    Seed256 s;
+    s.set_bit(bit);
+    s.set_bit(0);
+    EXPECT_EQ(s.highest_set_bit(), bit == 0 ? 0 : bit);
+  }
+}
+
+TEST(Seed256, ComparisonIsNumeric) {
+  const Seed256 small{~0ULL, ~0ULL, ~0ULL, 0};
+  Seed256 big;
+  big.set_bit(192);
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_EQ(big <=> big, std::strong_ordering::equal);
+}
+
+TEST(Seed256, BytesRoundTrip) {
+  Xoshiro256 rng(51);
+  for (int i = 0; i < 50; ++i) {
+    const Seed256 a = Seed256::random(rng);
+    const auto bytes = a.to_bytes();
+    EXPECT_EQ(Seed256::from_bytes(bytes), a);
+  }
+}
+
+TEST(Seed256, BytesAreLittleEndian) {
+  Seed256 s;
+  s.set_bit(0);   // byte 0, bit 0
+  s.set_bit(71);  // word 1 bit 7 -> byte 8, bit 7
+  const auto bytes = s.to_bytes();
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[8], 0x80);
+}
+
+TEST(Seed256, FromBytesRejectsWrongLength) {
+  Bytes short_buf(31, 0);
+  EXPECT_THROW(Seed256::from_bytes(short_buf), CheckFailure);
+}
+
+TEST(Seed256, HexRoundTrip) {
+  Xoshiro256 rng(61);
+  for (int i = 0; i < 50; ++i) {
+    const Seed256 a = Seed256::random(rng);
+    EXPECT_EQ(Seed256::from_hex(a.to_hex()), a);
+  }
+}
+
+TEST(Seed256, HexIsBigEndianPresentation) {
+  Seed256 s;
+  s.set_bit(255);
+  const std::string hex = s.to_hex();
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex[0], '8');
+  EXPECT_EQ(Seed256::one().to_hex().back(), '1');
+}
+
+TEST(Seed256, FromHexRejectsBadInput) {
+  EXPECT_THROW(Seed256::from_hex("abcd"), std::invalid_argument);
+}
+
+TEST(Seed256, XorIsSelfInverse) {
+  Xoshiro256 rng(71);
+  for (int i = 0; i < 100; ++i) {
+    const Seed256 a = Seed256::random(rng);
+    const Seed256 b = Seed256::random(rng);
+    EXPECT_EQ((a ^ b) ^ b, a);
+  }
+}
+
+TEST(Seed256, WithFlippedBit) {
+  const Seed256 s = Seed256::zero();
+  const Seed256 f = with_flipped_bit(s, 100);
+  EXPECT_TRUE(f.bit(100));
+  EXPECT_EQ(hamming_distance(s, f), 1);
+  EXPECT_EQ(with_flipped_bit(f, 100), s);
+}
+
+TEST(Seed256, RandomSeedsAreDistinct) {
+  Xoshiro256 rng(81);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(Seed256::random(rng).to_hex());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+}  // namespace
+}  // namespace rbc

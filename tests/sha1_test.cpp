@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bits/seed256.hpp"
+#include "common/rng.hpp"
+#include "hash/sha1.hpp"
+
+namespace rbc::hash {
+namespace {
+
+ByteSpan as_bytes(const std::string& s) {
+  return ByteSpan{reinterpret_cast<const u8*>(s.data()), s.size()};
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha1, EmptyMessage) {
+  EXPECT_EQ(Sha1::hash(as_bytes("")).to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(Sha1::hash(as_bytes("abc")).to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha1::hash(as_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+          .to_hex(),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(chunk));
+  EXPECT_EQ(h.finalize().to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, ExactlyOneBlockMessage) {
+  // 64-byte message forces the padding into a second compression.
+  const std::string msg(64, 'x');
+  const auto d1 = Sha1::hash(as_bytes(msg));
+  Sha1 h;
+  h.update(as_bytes(msg.substr(0, 31)));
+  h.update(as_bytes(msg.substr(31)));
+  EXPECT_EQ(h.finalize(), d1);
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Xoshiro256 rng(1);
+  Bytes msg(317);
+  for (auto& b : msg) b = static_cast<u8>(rng.next());
+  const auto one_shot = Sha1::hash(msg);
+  for (std::size_t split = 0; split <= msg.size(); split += 37) {
+    Sha1 h;
+    h.update(ByteSpan{msg.data(), split});
+    h.update(ByteSpan{msg.data() + split, msg.size() - split});
+    EXPECT_EQ(h.finalize(), one_shot) << "split=" << split;
+  }
+}
+
+TEST(Sha1, FinalizeResetsForReuse) {
+  Sha1 h;
+  h.update(as_bytes("abc"));
+  const auto first = h.finalize();
+  h.update(as_bytes("abc"));
+  EXPECT_EQ(h.finalize(), first);
+}
+
+TEST(Sha1, SeedFastPathMatchesGenericPath) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Seed256 s = Seed256::random(rng);
+    EXPECT_EQ(sha1_seed(s), sha1_seed_generic(s));
+  }
+}
+
+TEST(Sha1, SeedFastPathKnownAnswer) {
+  // SHA-1 of 32 zero bytes.
+  EXPECT_EQ(sha1_seed(Seed256::zero()).to_hex(),
+            Sha1::hash(Bytes(32, 0)).to_hex());
+}
+
+TEST(Sha1, SeedHashIsSensitiveToEveryBit) {
+  const Seed256 base = Seed256::zero();
+  const auto base_digest = sha1_seed(base);
+  for (int bit = 0; bit < 256; bit += 13) {
+    EXPECT_NE(sha1_seed(with_flipped_bit(base, bit)), base_digest)
+        << "bit=" << bit;
+  }
+}
+
+TEST(Sha1, DigestComparisonAndHex) {
+  const auto d = Sha1::hash(as_bytes("abc"));
+  EXPECT_EQ(Digest160::from_hex(d.to_hex()), d);
+  EXPECT_THROW(Digest160::from_hex("abcd"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbc::hash

@@ -1,0 +1,385 @@
+// Validates the calibrated device models against the paper's published
+// numbers. Anchored cells must land within ~2%; derived (non-anchored)
+// cells — average-case rows, scaling curves, heatmap shape, crossovers —
+// must land within ~10%, since they follow from model structure alone.
+#include <gtest/gtest.h>
+
+#include "hash/traits.hpp"
+#include "sim/apu_model.hpp"
+#include "sim/cpu_model.hpp"
+#include "sim/energy.hpp"
+#include "sim/gpu_model.hpp"
+#include "sim/multi_gpu.hpp"
+
+namespace rbc::sim {
+namespace {
+
+using hash::HashAlgo;
+
+constexpr double kAnchorTol = 0.02;   // relative
+constexpr double kDerivedTol = 0.10;  // relative
+
+void expect_near_rel(double actual, double expected, double tol,
+                     const std::string& what) {
+  EXPECT_NEAR(actual / expected, 1.0, tol) << what << ": actual=" << actual
+                                           << " expected=" << expected;
+}
+
+// --- Table 5: search-only times, d = 5 --------------------------------------
+
+TEST(Table5Anchors, GpuExhaustive) {
+  GpuModel gpu;
+  expect_near_rel(gpu.exhaustive_time_s(5, HashAlgo::kSha1), 1.56, kAnchorTol,
+                  "GPU SHA-1 exhaustive");
+  expect_near_rel(gpu.exhaustive_time_s(5, HashAlgo::kSha3_256), 4.67,
+                  kAnchorTol, "GPU SHA-3 exhaustive");
+}
+
+TEST(Table5Anchors, ApuExhaustive) {
+  ApuModel apu;
+  expect_near_rel(apu.exhaustive_time_s(5, HashAlgo::kSha1), 1.62, kAnchorTol,
+                  "APU SHA-1 exhaustive");
+  expect_near_rel(apu.exhaustive_time_s(5, HashAlgo::kSha3_256), 13.95,
+                  kAnchorTol, "APU SHA-3 exhaustive");
+}
+
+TEST(Table5Anchors, CpuExhaustive) {
+  CpuModel cpu;
+  expect_near_rel(cpu.exhaustive_time_s(5, HashAlgo::kSha1, 64), 12.09,
+                  kAnchorTol, "CPU SHA-1 exhaustive");
+  expect_near_rel(cpu.exhaustive_time_s(5, HashAlgo::kSha3_256, 64), 60.68,
+                  kAnchorTol, "CPU SHA-3 exhaustive");
+}
+
+TEST(Table5Derived, AverageCaseRows) {
+  // The average-case rows are NOT calibrated; they follow from Eq. 3.
+  GpuModel gpu;
+  ApuModel apu;
+  CpuModel cpu;
+  expect_near_rel(gpu.average_time_s(5, HashAlgo::kSha1), 0.85, kDerivedTol,
+                  "GPU SHA-1 average");
+  expect_near_rel(gpu.average_time_s(5, HashAlgo::kSha3_256), 2.42,
+                  kDerivedTol, "GPU SHA-3 average");
+  expect_near_rel(apu.average_time_s(5, HashAlgo::kSha1), 0.83, kDerivedTol,
+                  "APU SHA-1 average");
+  expect_near_rel(apu.average_time_s(5, HashAlgo::kSha3_256), 7.05,
+                  kDerivedTol, "APU SHA-3 average");
+  expect_near_rel(cpu.average_time_s(5, HashAlgo::kSha1, 64), 6.04,
+                  kDerivedTol, "CPU SHA-1 average");
+  expect_near_rel(cpu.average_time_s(5, HashAlgo::kSha3_256, 64), 30.52,
+                  kDerivedTol, "CPU SHA-3 average");
+}
+
+TEST(Table5Derived, CrossPlatformOrdering) {
+  // §4.6: GPU ~ APU on SHA-1; GPU ~3x APU on SHA-3; CPU slowest everywhere.
+  GpuModel gpu;
+  ApuModel apu;
+  CpuModel cpu;
+  const double g1 = gpu.exhaustive_time_s(5, HashAlgo::kSha1);
+  const double a1 = apu.exhaustive_time_s(5, HashAlgo::kSha1);
+  const double c1 = cpu.exhaustive_time_s(5, HashAlgo::kSha1, 64);
+  EXPECT_NEAR(a1 / g1, 1.0, 0.15) << "GPU and APU roughly tie on SHA-1";
+  EXPECT_GT(c1 / g1, 4.0) << "CPU much slower than GPU on SHA-1";
+
+  const double g3 = gpu.exhaustive_time_s(5, HashAlgo::kSha3_256);
+  const double a3 = apu.exhaustive_time_s(5, HashAlgo::kSha3_256);
+  const double c3 = cpu.exhaustive_time_s(5, HashAlgo::kSha3_256, 64);
+  EXPECT_NEAR(a3 / g3, 2.99, 0.3) << "GPU ~3x APU on SHA-3";
+  EXPECT_NEAR(c3 / g3, 13.06, 1.5) << "GPU ~13x CPU on SHA-3";
+}
+
+TEST(Table5Derived, TimeThresholdConclusions) {
+  // §4.6: everything fits T=20s on SHA-1; only SALTED-CPU exceeds on SHA-3.
+  GpuModel gpu;
+  ApuModel apu;
+  CpuModel cpu;
+  const double T = 20.0;
+  EXPECT_LT(gpu.exhaustive_time_s(5, HashAlgo::kSha1) + 0.9, T);
+  EXPECT_LT(apu.exhaustive_time_s(5, HashAlgo::kSha1) + 0.9, T);
+  EXPECT_LT(cpu.exhaustive_time_s(5, HashAlgo::kSha1, 64) + 0.9, T);
+  EXPECT_LT(gpu.exhaustive_time_s(5, HashAlgo::kSha3_256) + 0.9, T);
+  EXPECT_LT(apu.exhaustive_time_s(5, HashAlgo::kSha3_256) + 0.9, T);
+  EXPECT_GT(cpu.exhaustive_time_s(5, HashAlgo::kSha3_256, 64) + 0.9, T);
+}
+
+// --- Table 4: seed iterators -------------------------------------------------
+
+TEST(Table4Anchors, IteratorComparison) {
+  GpuModel gpu;
+  expect_near_rel(
+      gpu.exhaustive_time_s(5, HashAlgo::kSha3_256, IterAlgo::kChase382), 4.67,
+      kAnchorTol, "Alg 382");
+  expect_near_rel(
+      gpu.exhaustive_time_s(5, HashAlgo::kSha3_256, IterAlgo::kAlg515), 7.53,
+      kAnchorTol, "Alg 515");
+  expect_near_rel(
+      gpu.exhaustive_time_s(5, HashAlgo::kSha3_256, IterAlgo::kGosper), 6.04,
+      kAnchorTol, "Gosper");
+}
+
+TEST(Table4Derived, ChaseWinsForBothHashes) {
+  GpuModel gpu;
+  for (HashAlgo h : {HashAlgo::kSha1, HashAlgo::kSha3_256}) {
+    const double chase = gpu.exhaustive_time_s(5, h, IterAlgo::kChase382);
+    EXPECT_LT(chase, gpu.exhaustive_time_s(5, h, IterAlgo::kAlg515));
+    EXPECT_LT(chase, gpu.exhaustive_time_s(5, h, IterAlgo::kGosper));
+  }
+}
+
+// --- Fig. 3: GPU parameter grid search ---------------------------------------
+
+TEST(Fig3Derived, BestConfigurationIsNearPaperChoice) {
+  GpuModel gpu;
+  double best = 1e30;
+  int best_n = 0, best_b = 0;
+  for (int n : {1, 5, 10, 25, 50, 100, 200, 400, 800, 1600, 3200, 12800}) {
+    for (int b : {32, 64, 128, 256, 512, 1024}) {
+      GpuSearchConfig proto;
+      proto.seeds_per_thread = n;
+      proto.threads_per_block = b;
+      const double t = gpu.ball_time_s(5, proto);
+      if (t < best) {
+        best = t;
+        best_n = n;
+        best_b = b;
+      }
+    }
+  }
+  // Paper: minimum at n=100, b=128 with a broad flat region. Accept the
+  // minimum anywhere in the flat middle but require (100,128) within 3%.
+  GpuSearchConfig paper_cfg;
+  paper_cfg.seeds_per_thread = 100;
+  paper_cfg.threads_per_block = 128;
+  EXPECT_LE(gpu.ball_time_s(5, paper_cfg), best * 1.03)
+      << "paper's (100,128) must sit in the flat optimum; model best was ("
+      << best_n << "," << best_b << ")";
+  EXPECT_GE(best_n, 25);
+  EXPECT_LE(best_n, 1600);
+}
+
+TEST(Fig3Derived, ExtremesArePenalized) {
+  GpuModel gpu;
+  auto time_at = [&](int n, int b) {
+    GpuSearchConfig proto;
+    proto.seeds_per_thread = n;
+    proto.threads_per_block = b;
+    return gpu.ball_time_s(5, proto);
+  };
+  const double mid = time_at(100, 128);
+  // One thread per seed ("over 8 billion seeds" §4.4) must be clearly worse.
+  EXPECT_GT(time_at(1, 128), mid * 1.10);
+  // Huge blocks blow the shared-memory budget for the iterator state.
+  EXPECT_GT(time_at(100, 1024), mid * 1.01);
+}
+
+TEST(Fig3Model, OccupancyAccounting) {
+  GpuModel gpu;
+  GpuSearchConfig cfg;
+  cfg.seeds = 1000000;
+  cfg.seeds_per_thread = 100;
+  cfg.threads_per_block = 128;
+  const GpuOccupancy occ = gpu.occupancy(cfg);
+  EXPECT_EQ(occ.total_threads, 10000u);
+  EXPECT_EQ(occ.total_blocks, 79u);  // ceil(10000/128)
+  EXPECT_GT(occ.blocks_per_sm, 0);
+  EXPECT_LE(occ.threads_per_sm, 2048);
+  EXPECT_GE(occ.waves, 1u);
+  EXPECT_FALSE(occ.shared_memory_spill);
+}
+
+TEST(Fig3Model, InvalidConfigsRejected) {
+  GpuModel gpu;
+  GpuSearchConfig cfg;
+  cfg.seeds = 100;
+  cfg.seeds_per_thread = 0;
+  EXPECT_THROW(gpu.search_time_s(cfg), rbc::CheckFailure);
+  cfg.seeds_per_thread = 10;
+  cfg.threads_per_block = 48;  // not a warp multiple
+  EXPECT_THROW(gpu.search_time_s(cfg), rbc::CheckFailure);
+}
+
+// --- §3.3: APU PE arithmetic --------------------------------------------------
+
+TEST(ApuModelTest, PeCountsMatchPaper) {
+  ApuModel apu;
+  EXPECT_EQ(apu.pe_count(HashAlgo::kSha1), 65536);   // "65k PEs"
+  EXPECT_EQ(apu.pe_count(HashAlgo::kSha3_256), 26176);  // "26k PEs"
+  EXPECT_EQ(apu.spec().total_bps(), 131072);
+}
+
+TEST(ApuModelTest, Sha1RunsMorePesThanSha3) {
+  ApuModel apu;
+  EXPECT_NEAR(static_cast<double>(apu.pe_count(HashAlgo::kSha1)) /
+                  apu.pe_count(HashAlgo::kSha3_256),
+              2.5, 0.01);  // §3.3: "2.5x more PEs ... for SHA-1"
+}
+
+// --- §4.3: CPU strong scaling -------------------------------------------------
+
+TEST(CpuScalingDerived, SpeedupsMatchPaper) {
+  CpuModel cpu;
+  EXPECT_NEAR(cpu.speedup(HashAlgo::kSha1, 64), 59.0, 1.5);
+  EXPECT_NEAR(cpu.speedup(HashAlgo::kSha3_256, 64), 63.0, 1.0);
+}
+
+TEST(CpuScalingDerived, MonotonicInThreads) {
+  CpuModel cpu;
+  double prev = 0;
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    const double s = cpu.speedup(HashAlgo::kSha3_256, p);
+    EXPECT_GT(s, prev);
+    EXPECT_LE(s, p + 1e-9);
+    prev = s;
+  }
+}
+
+// --- Table 6: energy -----------------------------------------------------------
+
+TEST(Table6Anchors, EnergyTotals) {
+  GpuModel gpu;
+  ApuModel apu;
+  EnergyModel energy;
+  const double tol = 0.04;
+  expect_near_rel(
+      energy.gpu_energy(a100(), HashAlgo::kSha1,
+                        gpu.exhaustive_time_s(5, HashAlgo::kSha1)).total_joules,
+      317.20, tol, "GPU SHA-1 joules");
+  expect_near_rel(
+      energy.gpu_energy(a100(), HashAlgo::kSha3_256,
+                        gpu.exhaustive_time_s(5, HashAlgo::kSha3_256)).total_joules,
+      946.55, tol, "GPU SHA-3 joules");
+  expect_near_rel(
+      energy.apu_energy(gemini_apu(), HashAlgo::kSha1,
+                        apu.exhaustive_time_s(5, HashAlgo::kSha1)).total_joules,
+      124.43, tol, "APU SHA-1 joules");
+  expect_near_rel(
+      energy.apu_energy(gemini_apu(), HashAlgo::kSha3_256,
+                        apu.exhaustive_time_s(5, HashAlgo::kSha3_256)).total_joules,
+      974.06, tol, "APU SHA-3 joules");
+}
+
+TEST(Table6Derived, QualitativeFindings) {
+  GpuModel gpu;
+  ApuModel apu;
+  EnergyModel energy;
+  // §4.7: on SHA-1 the APU needs ~39.2% of the GPU's joules.
+  const double gpu1 =
+      energy.gpu_energy(a100(), HashAlgo::kSha1,
+                        gpu.exhaustive_time_s(5, HashAlgo::kSha1)).total_joules;
+  const double apu1 =
+      energy.apu_energy(gemini_apu(), HashAlgo::kSha1,
+                        apu.exhaustive_time_s(5, HashAlgo::kSha1)).total_joules;
+  EXPECT_NEAR(apu1 / gpu1, 0.392, 0.04);
+  // On SHA-3 the two are roughly equivalent.
+  const double gpu3 = energy
+                          .gpu_energy(a100(), HashAlgo::kSha3_256,
+                                      gpu.exhaustive_time_s(5, HashAlgo::kSha3_256))
+                          .total_joules;
+  const double apu3 = energy
+                          .apu_energy(gemini_apu(), HashAlgo::kSha3_256,
+                                      apu.exhaustive_time_s(5, HashAlgo::kSha3_256))
+                          .total_joules;
+  EXPECT_NEAR(apu3 / gpu3, 1.0, 0.10);
+}
+
+// --- Fig. 4: multi-GPU scaling ---------------------------------------------------
+
+TEST(Fig4Anchors, Sha3Speedups) {
+  MultiGpuModel multi;
+  const auto ex = multi.scaling_curve(5, HashAlgo::kSha3_256, false, 3);
+  EXPECT_NEAR(ex[2].speedup, 2.87, 0.06);
+  const auto ee = multi.scaling_curve(5, HashAlgo::kSha3_256, true, 3);
+  EXPECT_NEAR(ee[2].speedup, 2.66, 0.08);
+}
+
+TEST(Fig4Derived, QualitativeShape) {
+  MultiGpuModel multi;
+  for (HashAlgo h : {HashAlgo::kSha1, HashAlgo::kSha3_256}) {
+    const auto ex = multi.scaling_curve(5, h, false, 3);
+    const auto ee = multi.scaling_curve(5, h, true, 3);
+    // Speedup increases with GPU count; exhaustive scales better than
+    // early-exit (§4.8).
+    EXPECT_GT(ex[1].speedup, 1.5);
+    EXPECT_GT(ex[2].speedup, ex[1].speedup);
+    EXPECT_GT(ex[2].speedup, ee[2].speedup);
+    EXPECT_EQ(ex[0].speedup, 1.0);
+  }
+  // SHA-3 scales better than SHA-1 for a given search type.
+  const auto s1 = multi.scaling_curve(5, HashAlgo::kSha1, false, 3);
+  const auto s3 = multi.scaling_curve(5, HashAlgo::kSha3_256, false, 3);
+  EXPECT_GT(s3[2].speedup, s1[2].speedup);
+  // Minimum advertised speedup in the abstract: 2.66x on 3 GPUs (SHA-3 EE).
+  const auto ee3 = multi.scaling_curve(5, HashAlgo::kSha3_256, true, 3);
+  EXPECT_GE(ee3[2].speedup, 2.58);
+}
+
+// --- Table 7: prior-work comparison ----------------------------------------------
+
+TEST(Table7Anchors, LegacyEngineTimes) {
+  CpuModel cpu;
+  GpuLegacyModel gpu_legacy;
+  const u64 n5 = 8987138113ULL;
+  const u64 n4 = 177589057ULL;
+  expect_near_rel(cpu.legacy_time_for_seeds_s(n5, crypto::KeygenAlgo::kAes128, 64),
+                  44.7, kAnchorTol, "AES CPU d=5");
+  expect_near_rel(gpu_legacy.time_for_seeds_s(n5, crypto::KeygenAlgo::kAes128),
+                  2.56, kAnchorTol, "AES GPU d=5");
+  expect_near_rel(
+      cpu.legacy_time_for_seeds_s(n4, crypto::KeygenAlgo::kSaberLike, 64),
+      44.58, kAnchorTol, "SABER CPU d=4");
+  expect_near_rel(
+      gpu_legacy.time_for_seeds_s(n4, crypto::KeygenAlgo::kSaberLike), 14.03,
+      kAnchorTol, "SABER GPU d=4");
+  expect_near_rel(
+      cpu.legacy_time_for_seeds_s(n4, crypto::KeygenAlgo::kDilithiumLike, 64),
+      204.92, kAnchorTol, "Dilithium CPU d=4");
+  expect_near_rel(
+      gpu_legacy.time_for_seeds_s(n4, crypto::KeygenAlgo::kDilithiumLike),
+      27.91, kAnchorTol, "Dilithium GPU d=4");
+}
+
+TEST(RelatedWork, V100VersusCpuCoreThroughput) {
+  // Wright et al. [39]: "a single Nvidia V100 GPU achieves the same search
+  // throughput as roughly 300 CPU cores" for the AES-based RBC search. The
+  // prior-work GPU kernels were less optimized per-candidate than the EPYC
+  // AES path (GPU registers were the bottleneck, §1); with the V100's raw
+  // throughput and the calibrated per-candidate costs, the model must land
+  // in the low hundreds of CPU-core equivalents.
+  GpuLegacyModel v100_legacy(v100());
+  CpuModel cpu;
+  const u64 n5 = 8987138113ULL;
+  const double v100_keys_per_s =
+      static_cast<double>(n5) /
+      v100_legacy.time_for_seeds_s(n5, crypto::KeygenAlgo::kAes128);
+  const double core_keys_per_s =
+      static_cast<double>(n5) /
+      cpu.legacy_time_for_seeds_s(n5, crypto::KeygenAlgo::kAes128, 1);
+  const double core_equivalents = v100_keys_per_s / core_keys_per_s;
+  EXPECT_GT(core_equivalents, 100.0);
+  EXPECT_LT(core_equivalents, 1000.0);
+}
+
+TEST(Table7Derived, SaltedBeatsPqcBaselines) {
+  // §4.9: SALTED-GPU searches d=5 in under 5 s while the PQC baselines need
+  // over 5 s for d=4 only; SALTED-APU also beats both PQC GPU baselines.
+  GpuModel gpu;
+  ApuModel apu;
+  GpuLegacyModel legacy;
+  const u64 n4 = 177589057ULL;
+  const double salted_gpu = gpu.exhaustive_time_s(5, HashAlgo::kSha3_256);
+  EXPECT_LT(salted_gpu, 5.0);
+  EXPECT_GT(legacy.time_for_seeds_s(n4, crypto::KeygenAlgo::kSaberLike), 5.0);
+  EXPECT_GT(legacy.time_for_seeds_s(n4, crypto::KeygenAlgo::kDilithiumLike),
+            5.0);
+  const double salted_apu = apu.exhaustive_time_s(5, HashAlgo::kSha3_256);
+  EXPECT_LT(salted_apu,
+            legacy.time_for_seeds_s(n4, crypto::KeygenAlgo::kSaberLike));
+  // §4.9: AES prior work is ~45% faster than SALTED-GPU SHA-3 (2.56 vs 4.67).
+  const u64 n5 = 8987138113ULL;
+  const double aes = legacy.time_for_seeds_s(n5, crypto::KeygenAlgo::kAes128);
+  EXPECT_LT(aes, salted_gpu);
+  EXPECT_NEAR(salted_gpu / aes, 4.67 / 2.56, 0.2);
+}
+
+}  // namespace
+}  // namespace rbc::sim

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace rbc {
+namespace {
+
+TEST(RunningStats, MeanAndVarianceMatchClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, StableUnderLargeOffsets) {
+  // Welford's method must not lose precision when the mean is huge relative
+  // to the spread (the failure mode of the naive sum-of-squares formula).
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Percentile, MedianAndQuartiles) {
+  const std::vector<double> v = {15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 35.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 50.0);
+  // Interpolated quartile: pos = 0.25*4 = 1 exactly -> 20.
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 20.0);
+  // Interpolation between order statistics: q=0.1 -> pos 0.4 -> 15+0.4*5.
+  EXPECT_DOUBLE_EQ(percentile(v, 0.1), 17.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW(percentile({}, 0.5), CheckFailure);
+  EXPECT_THROW(percentile({1.0}, 1.5), CheckFailure);
+  EXPECT_DOUBLE_EQ(percentile({3.0}, 0.99), 3.0);
+}
+
+}  // namespace
+}  // namespace rbc

@@ -1,0 +1,83 @@
+// Golden wire-format tests: exact byte layouts of every protocol message.
+// These freeze the format — any change that would break deployed clients
+// fails here first.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "net/message.hpp"
+
+namespace rbc::net {
+namespace {
+
+std::string frame_hex(const Message& m) { return to_hex(serialize(m)); }
+
+TEST(WireGolden, HandshakeRequest) {
+  HandshakeRequest m;
+  m.device_id = 0x0102030405060708ULL;
+  m.hash_algo = hash::HashAlgo::kSha3_256;
+  m.keygen_algo = crypto::KeygenAlgo::kSaberLike;
+  // tag 01 | device id LE | hash 03 | keygen 01
+  EXPECT_EQ(frame_hex(Message{m}), "0108070605040302010301");
+}
+
+TEST(WireGolden, HandshakeSha1Aes) {
+  HandshakeRequest m;
+  m.device_id = 1;
+  m.hash_algo = hash::HashAlgo::kSha1;
+  m.keygen_algo = crypto::KeygenAlgo::kAes128;
+  EXPECT_EQ(frame_hex(Message{m}), "0101000000000000000100");
+}
+
+TEST(WireGolden, Challenge) {
+  Challenge m;
+  m.puf_address = 0x00000007;
+  m.tapki_enabled = true;
+  m.stable_mask = Seed256::one();  // bit 0 set -> first byte 01
+  m.requested_noise = 5;
+  const std::string hex = frame_hex(Message{m});
+  // tag 02 | address LE (07000000) | tapki 01 | 32 mask bytes LE | noise 05
+  EXPECT_EQ(hex.substr(0, 12), "020700000001");
+  EXPECT_EQ(hex.substr(12, 2), "01");          // mask byte 0
+  EXPECT_EQ(hex.size(), 2u * (1 + 4 + 1 + 32 + 1));
+  EXPECT_EQ(hex.substr(14, 62), std::string(62, '0'));
+  EXPECT_EQ(hex.substr(76, 2), "05");
+}
+
+TEST(WireGolden, ChallengeDefaultHasNoNoiseRequest) {
+  const std::string hex = frame_hex(Message{Challenge{}});
+  EXPECT_EQ(hex.substr(hex.size() - 2), "ff");  // kNoNoiseRequest sentinel
+}
+
+TEST(WireGolden, DigestSubmission) {
+  DigestSubmission m;
+  m.hash_algo = hash::HashAlgo::kSha1;
+  m.digest.assign(20, 0xab);
+  const std::string hex = frame_hex(Message{m});
+  // tag 03 | hash 01 | length LE (14000000) | 20 digest bytes
+  EXPECT_EQ(hex.substr(0, 12), "030114000000");
+  std::string digest_hex;
+  for (int i = 0; i < 20; ++i) digest_hex += "ab";
+  EXPECT_EQ(hex.substr(12), digest_hex);
+}
+
+TEST(WireGolden, AuthResult) {
+  AuthResult m;
+  m.authenticated = true;
+  m.found_distance = 3;
+  m.search_seconds = 1.0;  // IEEE-754 LE: 000000000000f03f
+  m.timed_out = false;
+  EXPECT_EQ(frame_hex(Message{m}), "040103000000000000000000f03f00");
+}
+
+TEST(WireGolden, FrameSizesAreStable) {
+  EXPECT_EQ(serialize(Message{HandshakeRequest{}}).size(), 11u);
+  EXPECT_EQ(serialize(Message{Challenge{}}).size(), 39u);
+  EXPECT_EQ(serialize(Message{AuthResult{}}).size(), 15u);
+  DigestSubmission d;
+  d.hash_algo = hash::HashAlgo::kSha3_256;
+  d.digest.assign(32, 0);
+  EXPECT_EQ(serialize(Message{d}).size(), 38u);
+}
+
+}  // namespace
+}  // namespace rbc::net
