@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flag_interval.dir/bench/bench_ablation_flag_interval.cpp.o"
+  "CMakeFiles/bench_ablation_flag_interval.dir/bench/bench_ablation_flag_interval.cpp.o.d"
+  "bench/bench_ablation_flag_interval"
+  "bench/bench_ablation_flag_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flag_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

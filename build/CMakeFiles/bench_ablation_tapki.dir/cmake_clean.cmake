@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tapki.dir/bench/bench_ablation_tapki.cpp.o"
+  "CMakeFiles/bench_ablation_tapki.dir/bench/bench_ablation_tapki.cpp.o.d"
+  "bench/bench_ablation_tapki"
+  "bench/bench_ablation_tapki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tapki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

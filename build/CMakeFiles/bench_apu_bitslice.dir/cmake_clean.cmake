@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apu_bitslice.dir/bench/bench_apu_bitslice.cpp.o"
+  "CMakeFiles/bench_apu_bitslice.dir/bench/bench_apu_bitslice.cpp.o.d"
+  "bench/bench_apu_bitslice"
+  "bench/bench_apu_bitslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apu_bitslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

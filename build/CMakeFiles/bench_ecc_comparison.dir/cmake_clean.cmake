@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ecc_comparison.dir/bench/bench_ecc_comparison.cpp.o"
+  "CMakeFiles/bench_ecc_comparison.dir/bench/bench_ecc_comparison.cpp.o.d"
+  "bench/bench_ecc_comparison"
+  "bench/bench_ecc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_gpu_gridsearch.dir/bench/bench_fig3_gpu_gridsearch.cpp.o"
+  "CMakeFiles/bench_fig3_gpu_gridsearch.dir/bench/bench_fig3_gpu_gridsearch.cpp.o.d"
+  "bench/bench_fig3_gpu_gridsearch"
+  "bench/bench_fig3_gpu_gridsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_gpu_gridsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

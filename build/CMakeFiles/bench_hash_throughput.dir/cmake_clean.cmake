@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hash_throughput.dir/bench/bench_hash_throughput.cpp.o"
+  "CMakeFiles/bench_hash_throughput.dir/bench/bench_hash_throughput.cpp.o.d"
+  "bench/bench_hash_throughput"
+  "bench/bench_hash_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hash_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

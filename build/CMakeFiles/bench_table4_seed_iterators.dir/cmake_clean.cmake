@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_seed_iterators.dir/bench/bench_table4_seed_iterators.cpp.o"
+  "CMakeFiles/bench_table4_seed_iterators.dir/bench/bench_table4_seed_iterators.cpp.o.d"
+  "bench/bench_table4_seed_iterators"
+  "bench/bench_table4_seed_iterators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_seed_iterators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_end_to_end.cpp" "CMakeFiles/bench_table5_end_to_end.dir/bench/bench_table5_end_to_end.cpp.o" "gcc" "CMakeFiles/bench_table5_end_to_end.dir/bench/bench_table5_end_to_end.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rbc/CMakeFiles/rbc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/rbc_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rbc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rbc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rbc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rbc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rbc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinatorics/CMakeFiles/rbc_comb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/rbc_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rbc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_energy.dir/bench/bench_table6_energy.cpp.o"
+  "CMakeFiles/bench_table6_energy.dir/bench/bench_table6_energy.cpp.o.d"
+  "bench/bench_table6_energy"
+  "bench/bench_table6_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_search.dir/distributed_search.cpp.o"
+  "CMakeFiles/distributed_search.dir/distributed_search.cpp.o.d"
+  "distributed_search"
+  "distributed_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_fleet_authentication.dir/iot_fleet_authentication.cpp.o"
+  "CMakeFiles/iot_fleet_authentication.dir/iot_fleet_authentication.cpp.o.d"
+  "iot_fleet_authentication"
+  "iot_fleet_authentication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_fleet_authentication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puf_error_study.dir/puf_error_study.cpp.o"
+  "CMakeFiles/puf_error_study.dir/puf_error_study.cpp.o.d"
+  "puf_error_study"
+  "puf_error_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puf_error_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_ca_tool.dir/rbc_ca_tool.cpp.o"
+  "CMakeFiles/rbc_ca_tool.dir/rbc_ca_tool.cpp.o.d"
+  "rbc_ca_tool"
+  "rbc_ca_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_ca_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

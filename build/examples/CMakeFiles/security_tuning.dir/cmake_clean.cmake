@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_tuning.dir/security_tuning.cpp.o"
+  "CMakeFiles/security_tuning.dir/security_tuning.cpp.o.d"
+  "security_tuning"
+  "security_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("bits")
+subdirs("hash")
+subdirs("combinatorics")
+subdirs("puf")
+subdirs("crypto")
+subdirs("net")
+subdirs("parallel")
+subdirs("sim")
+subdirs("rbc")
+subdirs("apu")
+subdirs("gpu")
+subdirs("dist")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apu/keccak_kernel.cpp" "src/apu/CMakeFiles/rbc_apu.dir/keccak_kernel.cpp.o" "gcc" "src/apu/CMakeFiles/rbc_apu.dir/keccak_kernel.cpp.o.d"
+  "/root/repo/src/apu/sha1_kernel.cpp" "src/apu/CMakeFiles/rbc_apu.dir/sha1_kernel.cpp.o" "gcc" "src/apu/CMakeFiles/rbc_apu.dir/sha1_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/rbc_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rbc_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_apu.dir/keccak_kernel.cpp.o"
+  "CMakeFiles/rbc_apu.dir/keccak_kernel.cpp.o.d"
+  "CMakeFiles/rbc_apu.dir/sha1_kernel.cpp.o"
+  "CMakeFiles/rbc_apu.dir/sha1_kernel.cpp.o.d"
+  "librbc_apu.a"
+  "librbc_apu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_apu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

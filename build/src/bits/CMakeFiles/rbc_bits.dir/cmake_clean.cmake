@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_bits.dir/seed256.cpp.o"
+  "CMakeFiles/rbc_bits.dir/seed256.cpp.o.d"
+  "librbc_bits.a"
+  "librbc_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

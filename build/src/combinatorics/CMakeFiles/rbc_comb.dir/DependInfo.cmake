@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/combinatorics/algorithm515.cpp" "src/combinatorics/CMakeFiles/rbc_comb.dir/algorithm515.cpp.o" "gcc" "src/combinatorics/CMakeFiles/rbc_comb.dir/algorithm515.cpp.o.d"
+  "/root/repo/src/combinatorics/binomial.cpp" "src/combinatorics/CMakeFiles/rbc_comb.dir/binomial.cpp.o" "gcc" "src/combinatorics/CMakeFiles/rbc_comb.dir/binomial.cpp.o.d"
+  "/root/repo/src/combinatorics/chase382.cpp" "src/combinatorics/CMakeFiles/rbc_comb.dir/chase382.cpp.o" "gcc" "src/combinatorics/CMakeFiles/rbc_comb.dir/chase382.cpp.o.d"
+  "/root/repo/src/combinatorics/combination.cpp" "src/combinatorics/CMakeFiles/rbc_comb.dir/combination.cpp.o" "gcc" "src/combinatorics/CMakeFiles/rbc_comb.dir/combination.cpp.o.d"
+  "/root/repo/src/combinatorics/gosper.cpp" "src/combinatorics/CMakeFiles/rbc_comb.dir/gosper.cpp.o" "gcc" "src/combinatorics/CMakeFiles/rbc_comb.dir/gosper.cpp.o.d"
+  "/root/repo/src/combinatorics/shell.cpp" "src/combinatorics/CMakeFiles/rbc_comb.dir/shell.cpp.o" "gcc" "src/combinatorics/CMakeFiles/rbc_comb.dir/shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/rbc_bits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

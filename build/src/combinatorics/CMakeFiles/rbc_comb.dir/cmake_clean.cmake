@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_comb.dir/algorithm515.cpp.o"
+  "CMakeFiles/rbc_comb.dir/algorithm515.cpp.o.d"
+  "CMakeFiles/rbc_comb.dir/binomial.cpp.o"
+  "CMakeFiles/rbc_comb.dir/binomial.cpp.o.d"
+  "CMakeFiles/rbc_comb.dir/chase382.cpp.o"
+  "CMakeFiles/rbc_comb.dir/chase382.cpp.o.d"
+  "CMakeFiles/rbc_comb.dir/combination.cpp.o"
+  "CMakeFiles/rbc_comb.dir/combination.cpp.o.d"
+  "CMakeFiles/rbc_comb.dir/gosper.cpp.o"
+  "CMakeFiles/rbc_comb.dir/gosper.cpp.o.d"
+  "CMakeFiles/rbc_comb.dir/shell.cpp.o"
+  "CMakeFiles/rbc_comb.dir/shell.cpp.o.d"
+  "librbc_comb.a"
+  "librbc_comb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_comb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_common.dir/hex.cpp.o"
+  "CMakeFiles/rbc_common.dir/hex.cpp.o.d"
+  "CMakeFiles/rbc_common.dir/rng.cpp.o"
+  "CMakeFiles/rbc_common.dir/rng.cpp.o.d"
+  "librbc_common.a"
+  "librbc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

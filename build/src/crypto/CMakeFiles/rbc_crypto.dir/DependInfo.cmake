@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/crypto/CMakeFiles/rbc_crypto.dir/aes128.cpp.o" "gcc" "src/crypto/CMakeFiles/rbc_crypto.dir/aes128.cpp.o.d"
+  "/root/repo/src/crypto/pqc_keygen.cpp" "src/crypto/CMakeFiles/rbc_crypto.dir/pqc_keygen.cpp.o" "gcc" "src/crypto/CMakeFiles/rbc_crypto.dir/pqc_keygen.cpp.o.d"
+  "/root/repo/src/crypto/ring.cpp" "src/crypto/CMakeFiles/rbc_crypto.dir/ring.cpp.o" "gcc" "src/crypto/CMakeFiles/rbc_crypto.dir/ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/rbc_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rbc_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

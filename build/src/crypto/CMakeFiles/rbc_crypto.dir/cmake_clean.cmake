@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/rbc_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/rbc_crypto.dir/pqc_keygen.cpp.o"
+  "CMakeFiles/rbc_crypto.dir/pqc_keygen.cpp.o.d"
+  "CMakeFiles/rbc_crypto.dir/ring.cpp.o"
+  "CMakeFiles/rbc_crypto.dir/ring.cpp.o.d"
+  "librbc_crypto.a"
+  "librbc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_dist.dir/comm.cpp.o"
+  "CMakeFiles/rbc_dist.dir/comm.cpp.o.d"
+  "librbc_dist.a"
+  "librbc_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_gpu.dir/launch.cpp.o"
+  "CMakeFiles/rbc_gpu.dir/launch.cpp.o.d"
+  "librbc_gpu.a"
+  "librbc_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/keccak.cpp" "src/hash/CMakeFiles/rbc_hash.dir/keccak.cpp.o" "gcc" "src/hash/CMakeFiles/rbc_hash.dir/keccak.cpp.o.d"
+  "/root/repo/src/hash/sha1.cpp" "src/hash/CMakeFiles/rbc_hash.dir/sha1.cpp.o" "gcc" "src/hash/CMakeFiles/rbc_hash.dir/sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/rbc_bits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

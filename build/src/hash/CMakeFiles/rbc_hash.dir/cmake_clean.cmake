@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_hash.dir/keccak.cpp.o"
+  "CMakeFiles/rbc_hash.dir/keccak.cpp.o.d"
+  "CMakeFiles/rbc_hash.dir/sha1.cpp.o"
+  "CMakeFiles/rbc_hash.dir/sha1.cpp.o.d"
+  "librbc_hash.a"
+  "librbc_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

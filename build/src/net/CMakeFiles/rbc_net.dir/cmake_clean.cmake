@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_net.dir/message.cpp.o"
+  "CMakeFiles/rbc_net.dir/message.cpp.o.d"
+  "librbc_net.a"
+  "librbc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/rbc_parallel.dir/thread_pool.cpp.o.d"
+  "librbc_parallel.a"
+  "librbc_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_puf.dir/puf.cpp.o"
+  "CMakeFiles/rbc_puf.dir/puf.cpp.o.d"
+  "librbc_puf.a"
+  "librbc_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

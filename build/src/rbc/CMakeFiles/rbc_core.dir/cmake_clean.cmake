@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_core.dir/engines.cpp.o"
+  "CMakeFiles/rbc_core.dir/engines.cpp.o.d"
+  "CMakeFiles/rbc_core.dir/enrollment_db.cpp.o"
+  "CMakeFiles/rbc_core.dir/enrollment_db.cpp.o.d"
+  "CMakeFiles/rbc_core.dir/protocol.cpp.o"
+  "CMakeFiles/rbc_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/rbc_core.dir/trial.cpp.o"
+  "CMakeFiles/rbc_core.dir/trial.cpp.o.d"
+  "librbc_core.a"
+  "librbc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

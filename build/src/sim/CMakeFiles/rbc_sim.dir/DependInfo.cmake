@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/apu_model.cpp" "src/sim/CMakeFiles/rbc_sim.dir/apu_model.cpp.o" "gcc" "src/sim/CMakeFiles/rbc_sim.dir/apu_model.cpp.o.d"
+  "/root/repo/src/sim/cpu_model.cpp" "src/sim/CMakeFiles/rbc_sim.dir/cpu_model.cpp.o" "gcc" "src/sim/CMakeFiles/rbc_sim.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "src/sim/CMakeFiles/rbc_sim.dir/energy.cpp.o" "gcc" "src/sim/CMakeFiles/rbc_sim.dir/energy.cpp.o.d"
+  "/root/repo/src/sim/gpu_model.cpp" "src/sim/CMakeFiles/rbc_sim.dir/gpu_model.cpp.o" "gcc" "src/sim/CMakeFiles/rbc_sim.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/sim/multi_gpu.cpp" "src/sim/CMakeFiles/rbc_sim.dir/multi_gpu.cpp.o" "gcc" "src/sim/CMakeFiles/rbc_sim.dir/multi_gpu.cpp.o.d"
+  "/root/repo/src/sim/probe.cpp" "src/sim/CMakeFiles/rbc_sim.dir/probe.cpp.o" "gcc" "src/sim/CMakeFiles/rbc_sim.dir/probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/rbc_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rbc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinatorics/CMakeFiles/rbc_comb.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rbc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_sim.dir/apu_model.cpp.o"
+  "CMakeFiles/rbc_sim.dir/apu_model.cpp.o.d"
+  "CMakeFiles/rbc_sim.dir/cpu_model.cpp.o"
+  "CMakeFiles/rbc_sim.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/rbc_sim.dir/energy.cpp.o"
+  "CMakeFiles/rbc_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/rbc_sim.dir/gpu_model.cpp.o"
+  "CMakeFiles/rbc_sim.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/rbc_sim.dir/multi_gpu.cpp.o"
+  "CMakeFiles/rbc_sim.dir/multi_gpu.cpp.o.d"
+  "CMakeFiles/rbc_sim.dir/probe.cpp.o"
+  "CMakeFiles/rbc_sim.dir/probe.cpp.o.d"
+  "librbc_sim.a"
+  "librbc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

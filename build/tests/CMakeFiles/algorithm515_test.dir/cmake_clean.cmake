@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm515_test.dir/algorithm515_test.cpp.o"
+  "CMakeFiles/algorithm515_test.dir/algorithm515_test.cpp.o.d"
+  "algorithm515_test"
+  "algorithm515_test.pdb"
+  "algorithm515_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm515_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

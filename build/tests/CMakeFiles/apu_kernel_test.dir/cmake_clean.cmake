@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apu_kernel_test.dir/apu_kernel_test.cpp.o"
+  "CMakeFiles/apu_kernel_test.dir/apu_kernel_test.cpp.o.d"
+  "apu_kernel_test"
+  "apu_kernel_test.pdb"
+  "apu_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apu_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apu_search_test.dir/apu_search_test.cpp.o"
+  "CMakeFiles/apu_search_test.dir/apu_search_test.cpp.o.d"
+  "apu_search_test"
+  "apu_search_test.pdb"
+  "apu_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apu_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/average_case_test.dir/average_case_test.cpp.o"
+  "CMakeFiles/average_case_test.dir/average_case_test.cpp.o.d"
+  "average_case_test"
+  "average_case_test.pdb"
+  "average_case_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/average_case_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase382_test.dir/chase382_test.cpp.o"
+  "CMakeFiles/chase382_test.dir/chase382_test.cpp.o.d"
+  "chase382_test"
+  "chase382_test.pdb"
+  "chase382_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase382_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/combination_test.cpp" "tests/CMakeFiles/combination_test.dir/combination_test.cpp.o" "gcc" "tests/CMakeFiles/combination_test.dir/combination_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/combinatorics/CMakeFiles/rbc_comb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/rbc_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enrollment_db_test.dir/enrollment_db_test.cpp.o"
+  "CMakeFiles/enrollment_db_test.dir/enrollment_db_test.cpp.o.d"
+  "enrollment_db_test"
+  "enrollment_db_test.pdb"
+  "enrollment_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enrollment_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_extractor_test.dir/fuzzy_extractor_test.cpp.o"
+  "CMakeFiles/fuzzy_extractor_test.dir/fuzzy_extractor_test.cpp.o.d"
+  "fuzzy_extractor_test"
+  "fuzzy_extractor_test.pdb"
+  "fuzzy_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gosper_test.dir/gosper_test.cpp.o"
+  "CMakeFiles/gosper_test.dir/gosper_test.cpp.o.d"
+  "gosper_test"
+  "gosper_test.pdb"
+  "gosper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gosper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterator_equivalence_test.dir/iterator_equivalence_test.cpp.o"
+  "CMakeFiles/iterator_equivalence_test.dir/iterator_equivalence_test.cpp.o.d"
+  "iterator_equivalence_test"
+  "iterator_equivalence_test.pdb"
+  "iterator_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterator_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqc_keygen_test.dir/pqc_keygen_test.cpp.o"
+  "CMakeFiles/pqc_keygen_test.dir/pqc_keygen_test.cpp.o.d"
+  "pqc_keygen_test"
+  "pqc_keygen_test.pdb"
+  "pqc_keygen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqc_keygen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

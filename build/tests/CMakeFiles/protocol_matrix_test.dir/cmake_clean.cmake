@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_matrix_test.dir/protocol_matrix_test.cpp.o"
+  "CMakeFiles/protocol_matrix_test.dir/protocol_matrix_test.cpp.o.d"
+  "protocol_matrix_test"
+  "protocol_matrix_test.pdb"
+  "protocol_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed256_test.dir/seed256_test.cpp.o"
+  "CMakeFiles/seed256_test.dir/seed256_test.cpp.o.d"
+  "seed256_test"
+  "seed256_test.pdb"
+  "seed256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

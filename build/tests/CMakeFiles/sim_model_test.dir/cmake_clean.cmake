@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_model_test.dir/sim_model_test.cpp.o"
+  "CMakeFiles/sim_model_test.dir/sim_model_test.cpp.o.d"
+  "sim_model_test"
+  "sim_model_test.pdb"
+  "sim_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
