@@ -31,3 +31,4 @@ rbc_add_bench(bench_apu_bitslice rbc_apu rbc_comb rbc_sim)
 
 rbc_add_bench(bench_hash_throughput rbc_hash rbc_comb rbc_crypto benchmark::benchmark)
 rbc_add_bench(bench_ecc_comparison rbc_core)
+rbc_add_bench(bench_server_throughput rbc_server rbc_core)

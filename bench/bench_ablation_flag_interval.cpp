@@ -23,7 +23,7 @@ int main() {
   const hash::Sha3SeedHash hash;
   const auto target = hash(unrelated);
 
-  par::ThreadPool pool(par::ThreadPool::default_threads());
+  par::WorkerGroup& pool = par::WorkerGroup::shared();
 
   Table table({"check interval", "seeds hashed", "host time (s)",
                "vs interval=1"});

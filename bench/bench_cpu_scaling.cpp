@@ -30,7 +30,7 @@ int main() {
               cpu.speedup(HashAlgo::kSha3_256, 64));
 
   print_title("Host measurement — real engine strong scaling (d = 2, SHA-3)");
-  const int max_threads = par::ThreadPool::default_threads();
+  const int max_threads = par::WorkerGroup::default_threads();
   Xoshiro256 rng(3);
   const Seed256 base = Seed256::random(rng);
   const Seed256 unrelated = Seed256::random(rng);
@@ -40,7 +40,7 @@ int main() {
   Table host({"threads", "host time (s)", "speedup", "efficiency"});
   double t1 = 0.0;
   for (int p = 1; p <= max_threads; p *= 2) {
-    par::ThreadPool pool(p);
+    par::WorkerGroup pool(p);  // dedicated group: p is the variable under study
     comb::ChaseFactory factory;
     SearchOptions opts;
     opts.max_distance = 2;

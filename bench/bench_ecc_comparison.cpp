@@ -100,7 +100,7 @@ int main() {
     const puf::SramPufModel device(params, 99);
     Xoshiro256 rng(77);
     const Seed256 reading = device.read(0, rng);
-    par::ThreadPool pool(par::ThreadPool::default_threads());
+    par::WorkerGroup& pool = par::WorkerGroup::shared();
     comb::ChaseFactory factory;
     const hash::Sha3SeedHash hash;
     SearchOptions opts;

@@ -76,7 +76,7 @@ void functional_section() {
       CaConfig cfg;
       cfg.max_distance = 2;
       EngineConfig ecfg;
-      ecfg.host_threads = par::ThreadPool::default_threads();
+      ecfg.host_threads = par::WorkerGroup::default_threads();
       CertificateAuthority ca(cfg, std::move(db),
                               make_backend(backend, ecfg), &ra);
       ClientConfig ccfg;

@@ -97,7 +97,7 @@ void functional_race_section() {
   Seed256 truth = base;
   truth.flip_bit(200);
 
-  par::ThreadPool pool(par::ThreadPool::default_threads());
+  par::WorkerGroup& pool = par::WorkerGroup::shared();
   SearchOptions opts;
   opts.max_distance = 1;
   opts.num_threads = pool.size();

@@ -75,7 +75,7 @@ int main() {
               result.authenticated ? "true" : "false");
 
   // Key agreement check.
-  const Bytes* registered = ra.lookup(42);
+  const std::optional<Bytes> registered = ra.lookup(42);
   const Bytes derived = client.derive_public_key(ca.config().salt);
   std::printf("[RA]         session key registered: %zu bytes, rotation %llu, "
               "expires at t=%.0f s\n",
@@ -89,7 +89,7 @@ int main() {
   ra.advance_time(ra.key_ttl() + 1.0);
   std::printf("[clock]      +%.0f s -> key expired, lookup now %s\n",
               ra.key_ttl() + 1.0,
-              ra.lookup(42) == nullptr ? "empty" : "still valid?!");
+              ra.lookup(42) ? "still valid?!" : "empty");
   const auto session2 = run_authentication(client, ca, ra);
   std::printf("[re-auth]    new session: authenticated=%s, key rotation=%llu, "
               "key differs from old: %s\n",

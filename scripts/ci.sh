@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate: build + full test suite in the default config, then rebuild with
+# ThreadSanitizer and re-run the concurrency-sensitive suites. The TSan pass
+# is what keeps the multi-session server honest — the stress tests exercise
+# submitters -> admission queue -> drivers -> shared WorkerGroup -> RA at
+# once, so any missing synchronization shows up as a race report here.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== [1/4] configure + build (default) ==="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$JOBS"
+
+echo "=== [2/4] ctest (default) ==="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [3/4] configure + build (ThreadSanitizer) ==="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$JOBS"
+
+echo "=== [4/4] ctest (tsan: concurrency suites) ==="
+# TSan slows execution ~5-15x; run the suites that exercise cross-thread
+# seams rather than the whole (mostly single-threaded) matrix.
+# (ctest registers gtest CASE names, so the filter matches suite prefixes.)
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
+  --output-on-failure -j "$JOBS" \
+  -R 'WorkerGroup|SearchContext|ServerStress|RbcSearch|Backend|Protocol|LaunchKernel|SaltedKernel|DistSearch|Communicator'
+
+echo "CI: all gates green"

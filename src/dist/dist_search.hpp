@@ -17,6 +17,7 @@
 #include "combinatorics/algorithm515.hpp"
 #include "dist/comm.hpp"
 #include "hash/traits.hpp"
+#include "parallel/search_context.hpp"
 #include "rbc/search.hpp"
 
 namespace rbc::dist {
@@ -26,7 +27,8 @@ struct DistSearchResult {
   Seed256 seed;
   int distance = -1;
   int finder_rank = -1;
-  u64 seeds_hashed = 0;  // aggregated over all ranks
+  u64 seeds_hashed = 0;   // aggregated over all ranks
+  bool timed_out = false; // session deadline expired before the ball was done
 };
 
 namespace detail {
@@ -46,12 +48,19 @@ inline Bytes encode_found(const Seed256& seed, int shell) {
 /// partition: rank r owns the r-th of `size` contiguous chunks of each
 /// shell's lexicographic sequence (Algorithm 515 unranking gives each rank
 /// its start without coordination — the property §3.2.1 credits it for).
+///
+/// `session`, when non-null, carries the authentication deadline and
+/// external cancellation: every rank polls it at its mailbox cadence (the
+/// shared-nothing analogue of the unified-memory flag — here the context IS
+/// shared because ranks are host threads; a true MPI deployment would
+/// broadcast the expiry as a STOP message, which rank 0 also does).
 template <hash::SeedHash Hash>
 DistSearchResult distributed_search(Communicator& comm, const Seed256& s_init,
                                     const typename Hash::digest_type& target,
                                     int max_distance,
                                     u32 poll_interval = 64,
-                                    const Hash& hash = {}) {
+                                    const Hash& hash = {},
+                                    par::SearchContext* session = nullptr) {
   RBC_CHECK(max_distance >= 0 && max_distance <= comb::kMaxK);
   DistSearchResult result;
   std::mutex result_mutex;
@@ -65,6 +74,7 @@ DistSearchResult distributed_search(Communicator& comm, const Seed256& s_init,
     auto poll_stop = [&]() {
       Packet packet;
       if (ctx.try_recv(detail::kTagStop, packet)) stop = true;
+      if (session != nullptr && session->cancel_requested()) stop = true;
       return stop;
     };
 
@@ -93,7 +103,11 @@ DistSearchResult distributed_search(Communicator& comm, const Seed256& s_init,
             result.finder_rank = packet.source;
           }
         }
-        if (result.found) {
+        // A found seed or an expired session budget both end the search;
+        // rank 0 turns either into explicit STOP traffic (the only
+        // mechanism a real distributed deployment has).
+        if (result.found ||
+            (session != nullptr && session->check_deadline())) {
           for (int r = 0; r < size; ++r)
             ctx.send(r, detail::kTagStop, Bytes{});
         }
@@ -115,6 +129,7 @@ DistSearchResult distributed_search(Communicator& comm, const Seed256& s_init,
         }
         if (++since_poll >= poll_interval) {
           since_poll = 0;
+          if (session != nullptr) session->check_deadline();
           if (poll_stop()) break;
         }
       }
@@ -135,6 +150,7 @@ DistSearchResult distributed_search(Communicator& comm, const Seed256& s_init,
         }
       }
     }
+    if (session != nullptr) session->add_progress(local_hashed);
     Bytes count(8);
     std::memcpy(count.data(), &local_hashed, 8);
     ctx.send(0, detail::kTagCount, std::move(count));
@@ -155,6 +171,9 @@ DistSearchResult distributed_search(Communicator& comm, const Seed256& s_init,
     }
   });
 
+  if (!result.found && session != nullptr) {
+    result.timed_out = session->timed_out();
+  }
   return result;
 }
 

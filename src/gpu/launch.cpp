@@ -1,8 +1,10 @@
 #include "gpu/launch.hpp"
 
+#include <algorithm>
+
 namespace rbc::gpu {
 
-void launch_kernel(par::ThreadPool& pool, Dim3 grid, Dim3 block,
+void launch_kernel(par::WorkerGroup& workers, Dim3 grid, Dim3 block,
                    std::size_t shared_bytes, const Kernel& kernel) {
   RBC_CHECK_MSG(grid.y == 1 && grid.z == 1 && block.y == 1 && block.z == 1,
                 "the emulator supports 1-D launches (as the paper's kernels)");
@@ -12,7 +14,12 @@ void launch_kernel(par::ThreadPool& pool, Dim3 grid, Dim3 block,
   const u64 num_blocks = grid.x;
   std::atomic<u64> next_block{0};
 
-  pool.parallel_workers([&](int /*worker*/) {
+  // Width: enough SPMD units to occupy the group; each unit drains blocks
+  // off the shared counter, so fewer units than blocks is just coarser
+  // scheduling, never lost work.
+  const int width = static_cast<int>(
+      std::min<u64>(num_blocks, static_cast<u64>(workers.size())));
+  workers.parallel_workers(width, [&](int /*worker*/) {
     std::vector<u8> shared(shared_bytes);
     while (true) {
       const u64 b = next_block.fetch_add(1, std::memory_order_relaxed);

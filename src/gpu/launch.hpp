@@ -20,7 +20,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/worker_group.hpp"
 
 namespace rbc::gpu {
 
@@ -65,9 +65,10 @@ struct KernelCtx {
 using Kernel = std::function<void(const KernelCtx&)>;
 
 /// Launches `kernel` over grid x block threads; blocks run in parallel on
-/// `pool`, each with its own `shared_bytes` arena. Blocks until the whole
+/// `workers` (multiplexed with any other in-flight launches or search
+/// rounds), each with its own `shared_bytes` arena. Blocks until the whole
 /// grid has retired (cudaDeviceSynchronize semantics).
-void launch_kernel(par::ThreadPool& pool, Dim3 grid, Dim3 block,
+void launch_kernel(par::WorkerGroup& workers, Dim3 grid, Dim3 block,
                    std::size_t shared_bytes, const Kernel& kernel);
 
 /// Helper mirroring the common CUDA sizing idiom:

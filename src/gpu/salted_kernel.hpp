@@ -41,13 +41,19 @@ struct ShellLaunchStats {
 /// `snapshots` partitions the shell's Chase sequence (one per thread; the
 /// launch spawns exactly snapshots.size() logical threads rounded up to
 /// whole blocks). Returns per-launch statistics.
+///
+/// `ctx`, when non-null, is the session's cancellation context: device
+/// threads poll it alongside the unified flag (the CUDA analogue is the
+/// host raising the flag from another stream) and latch its deadline at a
+/// coarse cadence, so a session budget can stop a kernel mid-shell instead
+/// of only between launches.
 template <hash::SeedHash Hash>
 ShellLaunchStats launch_salted_shell(
-    par::ThreadPool& pool, const Seed256& s_init,
+    par::WorkerGroup& workers, const Seed256& s_init,
     const typename Hash::digest_type& target, int shell,
     const std::vector<comb::ChaseState>& snapshots, u64 shell_total,
     u32 threads_per_block, UnifiedFlag& flag, FoundSlot& slot,
-    const Hash& hash = {}) {
+    const Hash& hash = {}, par::SearchContext* ctx = nullptr) {
   const u64 p = snapshots.size();
   RBC_CHECK(p >= 1);
   const Dim3 grid = grid_for(p, threads_per_block);
@@ -57,14 +63,14 @@ ShellLaunchStats launch_salted_shell(
   // Shared memory: one ChaseState slot per thread in the block (§3.2.3).
   const std::size_t shared_bytes = sizeof(comb::ChaseState) * threads_per_block;
 
-  launch_kernel(pool, grid, block, shared_bytes, [&](const KernelCtx& ctx) {
-    const u64 r = ctx.global_thread_id();
+  launch_kernel(workers, grid, block, shared_bytes, [&](const KernelCtx& kctx) {
+    const u64 r = kctx.global_thread_id();
     if (r >= p) return;  // guard threads beyond the last partition
 
     // Copy this thread's iterator state into the block's shared arena.
     auto* shared_states =
-        reinterpret_cast<comb::ChaseState*>(ctx.shared.data());
-    comb::ChaseState& state = shared_states[ctx.threadIdx.x];
+        reinterpret_cast<comb::ChaseState*>(kctx.shared.data());
+    comb::ChaseState& state = shared_states[kctx.threadIdx.x];
     state = snapshots[static_cast<std::size_t>(r)];
 
     // This thread's slice: [state.step_index, next snapshot's step_index).
@@ -76,7 +82,9 @@ ShellLaunchStats launch_salted_shell(
     comb::ChaseSequence seq(state);
     u64 local = 0;
     for (u64 i = begin; i < end; ++i) {
-      if (flag.get()) break;  // unified-memory early exit (§3.2)
+      // Unified-memory early exit (§3.2), plus session cancellation.
+      if (flag.get() || (ctx != nullptr && ctx->cancel_requested())) break;
+      if (ctx != nullptr && (local & 0xffff) == 0xffff) ctx->check_deadline();
       const Seed256 candidate = s_init ^ seq.mask();
       ++local;
       if (hash(candidate) == target) {
@@ -94,6 +102,7 @@ ShellLaunchStats launch_salted_shell(
       if (i + 1 < end) seq.advance();
     }
     seeds_hashed.fetch_add(local, std::memory_order_relaxed);
+    if (ctx != nullptr) ctx->add_progress(local);
   });
 
   ShellLaunchStats stats;
@@ -109,16 +118,20 @@ ShellLaunchStats launch_salted_shell(
 /// the n = seeds/p tuning of §4.4.
 template <hash::SeedHash Hash>
 rbc::SearchResult gpu_emulated_search(
-    par::ThreadPool& pool, const Seed256& s_init,
+    par::WorkerGroup& workers, const Seed256& s_init,
     const typename Hash::digest_type& target, int max_distance,
     const std::function<int(int)>& threads_for_shell, u32 threads_per_block,
-    const Hash& hash = {}, double timeout_s = 1e30) {
+    const Hash& hash = {}, double timeout_s = 1e30,
+    par::SearchContext* session = nullptr) {
   rbc::SearchResult result;
   WallTimer timer;
+  par::SearchContext local = par::SearchContext::with_budget(timeout_s);
+  par::SearchContext& ctx = session != nullptr ? *session : local;
   UnifiedFlag flag;
   FoundSlot slot;
 
   result.seeds_hashed = 1;
+  ctx.add_progress(1);
   if (hash(s_init) == target) {
     result.found = true;
     result.seed = s_init;
@@ -129,19 +142,16 @@ rbc::SearchResult gpu_emulated_search(
 
   for (int k = 1; k <= max_distance; ++k) {
     if (flag.get()) break;  // host checks the unified flag between launches
-    // The host enforces the T threshold between kernel launches (the CUDA
-    // pattern: a running kernel is only interrupted through the flag).
-    if (timer.elapsed_s() > timeout_s) {
-      result.timed_out = true;
-      break;
-    }
+    // The host enforces the deadline between kernel launches; within one,
+    // the kernel threads poll the context themselves (above).
+    if (ctx.check_deadline()) break;
     const int p = std::max(1, threads_for_shell(k));
     const auto snapshots = comb::make_chase_snapshots(k, p);
     const u64 shell_total =
         static_cast<u64>(comb::binomial128(comb::kSeedBits, k));
     const auto stats = launch_salted_shell<Hash>(
-        pool, s_init, target, k, snapshots, shell_total, threads_per_block,
-        flag, slot, hash);
+        workers, s_init, target, k, snapshots, shell_total, threads_per_block,
+        flag, slot, hash, &ctx);
     result.seeds_hashed += stats.seeds_hashed;
   }
 
@@ -149,9 +159,10 @@ rbc::SearchResult gpu_emulated_search(
     result.found = true;
     result.seed = slot.seed;
     result.distance = slot.distance;
-    result.timed_out = false;
-  } else if (timer.elapsed_s() > timeout_s) {
-    result.timed_out = true;
+  } else {
+    ctx.check_deadline();
+    result.timed_out = ctx.timed_out();
+    result.cancelled = ctx.cancel_requested() && !ctx.timed_out();
   }
   result.host_seconds = timer.elapsed_s();
   return result;

@@ -10,7 +10,9 @@
 // constant.
 #pragma once
 
+#include <chrono>
 #include <deque>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -36,9 +38,21 @@ class LatencyModel {
     return per_message_s_ + jitter_s_ * rng_.next_double();
   }
 
+  /// Realtime mode: sampled latencies are SLEPT in wall-clock time instead
+  /// of only being charged to the logical clock. A multi-session server
+  /// overlaps these waits across sessions exactly as a real one overlaps
+  /// network I/O, so server benchmarks use this to expose concurrency; the
+  /// logical accounting is unchanged either way.
+  LatencyModel& set_realtime(bool on) noexcept {
+    realtime_ = on;
+    return *this;
+  }
+  bool realtime() const noexcept { return realtime_; }
+
  private:
   double per_message_s_;
   double jitter_s_;
+  bool realtime_ = false;
   Xoshiro256 rng_;
 };
 
@@ -59,6 +73,7 @@ class Channel {
     const double lat = latency_.sample();
     elapsed_s_ += lat;
     peer_->elapsed_s_ += lat;  // receiver also waits for the frame
+    if (latency_.realtime()) sleep_for(lat);
     peer_->inbox_.push_back(serialize(msg));
   }
 
@@ -67,6 +82,7 @@ class Channel {
   void charge_local_time(double seconds) {
     RBC_CHECK(seconds >= 0.0);
     elapsed_s_ += seconds;
+    if (latency_.realtime()) sleep_for(seconds);
   }
 
   bool has_message() const noexcept { return !inbox_.empty(); }
@@ -87,6 +103,10 @@ class Channel {
   void inject_raw(Bytes frame) { inbox_.push_back(std::move(frame)); }
 
  private:
+  static void sleep_for(double seconds) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+
   LatencyModel latency_;
   Channel* peer_ = nullptr;
   std::deque<Bytes> inbox_;

@@ -33,22 +33,24 @@ class EarlyExitToken {
   std::atomic<bool> triggered_;
 };
 
-/// Polls an EarlyExitToken every `interval` calls instead of every call —
-/// the §4.4 "seeds iterated between match checks" parameter.
+/// Rations how often a hot loop consults its stop condition: due() returns
+/// true on every `interval`-th call — the §4.4 "seeds iterated between match
+/// checks" parameter. The caller pairs it with whatever predicate applies
+/// (SearchContext::should_stop for the search, a raw token elsewhere), so
+/// one throttle serves both the match flag and cancellation.
 class CheckThrottle {
  public:
-  explicit CheckThrottle(const EarlyExitToken& token, u32 interval = 1) noexcept
-      : token_(&token), interval_(interval == 0 ? 1 : interval), countdown_(1) {}
+  explicit CheckThrottle(u32 interval = 1) noexcept
+      : interval_(interval == 0 ? 1 : interval), countdown_(1) {}
 
-  /// Returns true if the search should stop.
-  bool should_stop() noexcept {
+  /// True when the stop condition should be consulted on this iteration.
+  bool due() noexcept {
     if (--countdown_ != 0) return false;
     countdown_ = interval_;
-    return token_->triggered();
+    return true;
   }
 
  private:
-  const EarlyExitToken* token_;
   u32 interval_;
   u32 countdown_;
 };

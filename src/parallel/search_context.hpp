@@ -1,0 +1,153 @@
+// Per-session cancellation, deadline and progress for the RBC search.
+//
+// The paper's threshold T is a property of the SESSION, not of one search
+// call: the CA must answer within T of admitting the client, which includes
+// queueing, communication, and the search itself. SearchContext is the one
+// object that carries that budget through every layer — the host shell loop,
+// the emulated GPU kernel, the distributed ranks — replacing the former
+// ad-hoc triplication of EarlyExitToken + WallTimer + timed_out flags.
+//
+// Two stop causes are kept distinct, because policy treats them differently:
+//   * match found  — stops the search only under the early-exit policy
+//                    (Algorithm 1 line 15; exhaustive timing runs ignore it);
+//   * cancellation — deadline expiry or an external cancel(); ALWAYS honored,
+//                    regardless of the early-exit policy. A timed-out
+//                    exhaustive search must stop just like an average-case
+//                    one (§3: "RBC uses a time threshold for which it must
+//                    authenticate a client").
+//
+// Workers poll cancel_requested()/match_found() between candidates (at the
+// §4.4 check interval) and call check_deadline() at a coarse cadence so the
+// clock read stays off the per-seed fast path. The deadline is an absolute
+// steady-clock time point, fixed when the context is created (at session
+// admission), so time spent queued counts against the budget.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "parallel/early_exit.hpp"
+
+namespace rbc::par {
+
+class SearchContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: runs until finished or cancelled externally.
+  SearchContext() : start_(Clock::now()), deadline_(Clock::time_point::max()) {}
+
+  /// Budget in seconds of wall clock, counted from NOW (admission time).
+  /// Budgets too large to represent on the steady clock (e.g. the 1e30 the
+  /// callers use for "effectively none") degrade to no deadline at all
+  /// instead of overflowing into the past.
+  static SearchContext with_budget(double seconds) {
+    RBC_CHECK(seconds >= 0.0);
+    SearchContext ctx;
+    const std::chrono::duration<double> budget(seconds);
+    if (budget < Clock::time_point::max() - ctx.start_) {
+      ctx.deadline_ =
+          ctx.start_ + std::chrono::duration_cast<Clock::duration>(budget);
+    }
+    return ctx;
+  }
+
+  SearchContext(const SearchContext&) = delete;
+  SearchContext& operator=(const SearchContext&) = delete;
+  SearchContext(SearchContext&& other) noexcept
+      : start_(other.start_), deadline_(other.deadline_) {
+    if (other.found_.triggered()) found_.trigger();
+    cancelled_.store(other.cancelled_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    timed_out_.store(other.timed_out_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    seeds_visited_.store(other.seeds_visited_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+
+  // --- cancellation -------------------------------------------------------
+
+  /// External cancellation (server shutdown, client disconnect). Idempotent
+  /// and safe from any thread.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once the session is cancelled — by cancel() or a deadline expiry
+  /// observed by check_deadline(). Workers MUST honor this regardless of the
+  /// early-exit policy.
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // --- deadline -----------------------------------------------------------
+
+  /// Reads the clock; if the deadline has passed, latches timed_out and
+  /// requests cancellation. Returns cancel_requested(). Call at a coarse
+  /// cadence (the former `(hashed & 0xffff) == 0` pattern).
+  bool check_deadline() noexcept {
+    if (cancel_requested()) return true;
+    if (Clock::now() >= deadline_) {
+      timed_out_.store(true, std::memory_order_release);
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// True when cancellation was caused by the deadline (vs. external).
+  bool timed_out() const noexcept {
+    return timed_out_.load(std::memory_order_acquire);
+  }
+
+  bool has_deadline() const noexcept {
+    return deadline_ != Clock::time_point::max();
+  }
+
+  /// Seconds until the deadline (infinity when none; clamped at 0).
+  double remaining_s() const noexcept {
+    if (!has_deadline()) return std::numeric_limits<double>::infinity();
+    const auto left = deadline_ - Clock::now();
+    return left.count() <= 0 ? 0.0
+                             : std::chrono::duration<double>(left).count();
+  }
+
+  /// Seconds since the context was created (session admission).
+  double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // --- match signalling (Algorithm 1 lines 7/15) --------------------------
+
+  /// Raised by the worker that finds the client's seed.
+  void signal_match() noexcept { found_.trigger(); }
+  bool match_found() const noexcept { return found_.triggered(); }
+
+  /// Combined stop predicate for a worker's throttled poll: cancellation is
+  /// unconditional, a match stops only the early-exit policy.
+  bool should_stop(bool early_exit) const noexcept {
+    return cancel_requested() || (early_exit && match_found());
+  }
+
+  // --- progress -----------------------------------------------------------
+
+  /// Aggregated candidates visited, updated by workers in batches (relaxed:
+  /// the count is a statistic, not a synchronization point).
+  void add_progress(u64 n) noexcept {
+    seeds_visited_.fetch_add(n, std::memory_order_relaxed);
+  }
+  u64 progress() const noexcept {
+    return seeds_visited_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Clock::time_point start_;
+  Clock::time_point deadline_;
+  EarlyExitToken found_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> timed_out_{false};
+  std::atomic<u64> seeds_visited_{0};
+};
+
+}  // namespace rbc::par

@@ -1,0 +1,114 @@
+#include "parallel/worker_group.hpp"
+
+namespace rbc::par {
+
+WorkerGroup::WorkerGroup(int num_threads) {
+  RBC_CHECK_MSG(num_threads > 0, "worker group needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerGroup::~WorkerGroup() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+WorkerGroup& WorkerGroup::shared() {
+  static WorkerGroup group(default_threads());
+  return group;
+}
+
+bool WorkerGroup::pop_task(std::unique_lock<std::mutex>&, Task& out) {
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    out = std::move(queue.front());
+    queue.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void WorkerGroup::run_round_units(std::unique_lock<std::mutex>& lock,
+                                  Round& round) {
+  while (round.next < round.width) {
+    const int index = round.next++;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*round.body)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !round.first_error) round.first_error = error;
+    if (++round.completed == round.width) round.done_cv.notify_all();
+  }
+}
+
+void WorkerGroup::parallel_workers(int width,
+                                   const std::function<void(int)>& body,
+                                   Priority priority) {
+  RBC_CHECK_MSG(width >= 1, "SPMD round needs at least one unit");
+  auto round = std::make_shared<Round>();
+  round->body = &body;
+  round->width = width;
+
+  std::unique_lock lock(mutex_);
+  // One ticket per worker that could usefully help; each ticket drains the
+  // round's claim counter, so more tickets than workers buy nothing.
+  const int tickets = std::min(width, size());
+  auto& queue = queues_[static_cast<int>(priority)];
+  for (int i = 0; i < tickets; ++i) queue.push_back(Task{round, {}});
+  cv_work_.notify_all();
+
+  // Caller-helps: claim and run this round's units alongside the workers.
+  run_round_units(lock, *round);
+  round->done_cv.wait(lock, [&] { return round->completed == round->width; });
+  const std::exception_ptr error = round->first_error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+std::future<void> WorkerGroup::submit(std::function<void()> fn,
+                                      Priority priority) {
+  RBC_CHECK_MSG(fn != nullptr, "cannot submit an empty task");
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> future = task->get_future();
+  {
+    std::lock_guard lock(mutex_);
+    RBC_CHECK_MSG(!shutdown_, "submit on a shut-down worker group");
+    queues_[static_cast<int>(priority)].push_back(
+        Task{nullptr, [task] { (*task)(); }});
+  }
+  cv_work_.notify_one();
+  return future;
+}
+
+void WorkerGroup::worker_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    Task task;
+    cv_work_.wait(lock, [&] {
+      if (shutdown_) return true;
+      for (const auto& queue : queues_)
+        if (!queue.empty()) return true;
+      return false;
+    });
+    if (shutdown_) return;
+    if (!pop_task(lock, task)) continue;
+    if (task.round) {
+      run_round_units(lock, *task.round);
+    } else {
+      lock.unlock();
+      task.fn();  // packaged_task captures exceptions into its future
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace rbc::par

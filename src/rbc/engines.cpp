@@ -10,15 +10,20 @@ namespace rbc {
 namespace {
 
 int resolve_threads(int requested) {
-  return requested > 0 ? requested : par::ThreadPool::default_threads();
+  return requested > 0 ? requested : par::WorkerGroup::default_threads();
+}
+
+par::WorkerGroup* resolve_workers(par::WorkerGroup* requested) {
+  return requested != nullptr ? requested : &par::WorkerGroup::shared();
 }
 
 /// Bridges the runtime digest bytes into the typed search template, and
 /// dispatches over (hash, iterator).
 template <hash::SeedHash Hash>
 SearchResult run_typed(const Seed256& s_init, ByteSpan digest,
-                       sim::IterAlgo iter, par::ThreadPool& pool,
-                       const SearchOptions& opts) {
+                       sim::IterAlgo iter, par::WorkerGroup& workers,
+                       const SearchOptions& opts,
+                       par::SearchContext* session) {
   typename Hash::digest_type target;
   RBC_CHECK_MSG(digest.size() == target.bytes.size(),
                 "digest length does not match hash algorithm");
@@ -27,15 +32,18 @@ SearchResult run_typed(const Seed256& s_init, ByteSpan digest,
   switch (iter) {
     case sim::IterAlgo::kChase382: {
       comb::ChaseFactory factory;
-      return rbc_search<Hash>(s_init, target, factory, pool, opts);
+      return rbc_search<Hash>(s_init, target, factory, workers, opts, {},
+                              session);
     }
     case sim::IterAlgo::kAlg515: {
       comb::Algorithm515Factory factory(comb::Alg515Mode::kSuccessor);
-      return rbc_search<Hash>(s_init, target, factory, pool, opts);
+      return rbc_search<Hash>(s_init, target, factory, workers, opts, {},
+                              session);
     }
     case sim::IterAlgo::kGosper: {
       comb::GosperFactory factory;
-      return rbc_search<Hash>(s_init, target, factory, pool, opts);
+      return rbc_search<Hash>(s_init, target, factory, workers, opts, {},
+                              session);
     }
   }
   RBC_CHECK_MSG(false, "unknown iterator algorithm");
@@ -44,27 +52,32 @@ SearchResult run_typed(const Seed256& s_init, ByteSpan digest,
 
 SearchResult run_search(const Seed256& s_init, ByteSpan digest,
                         hash::HashAlgo algo, sim::IterAlgo iter,
-                        par::ThreadPool& pool, const SearchOptions& opts) {
+                        par::WorkerGroup& workers, const SearchOptions& opts,
+                        par::SearchContext* session) {
   if (algo == hash::HashAlgo::kSha1)
-    return run_typed<hash::Sha1SeedHash>(s_init, digest, iter, pool, opts);
-  return run_typed<hash::Sha3SeedHash>(s_init, digest, iter, pool, opts);
+    return run_typed<hash::Sha1SeedHash>(s_init, digest, iter, workers, opts,
+                                         session);
+  return run_typed<hash::Sha3SeedHash>(s_init, digest, iter, workers, opts,
+                                       session);
 }
 
 }  // namespace
 
 CpuSearchEngine::CpuSearchEngine(EngineConfig cfg, sim::CpuSpec spec)
-    : cfg_(cfg), model_(std::move(spec)) {
+    : cfg_(cfg), model_(std::move(spec)),
+      workers_(resolve_workers(cfg.workers)) {
   cfg_.host_threads = resolve_threads(cfg_.host_threads);
-  pool_ = std::make_unique<par::ThreadPool>(cfg_.host_threads);
 }
 
 EngineReport CpuSearchEngine::search(const Seed256& s_init, ByteSpan digest,
                                      hash::HashAlgo algo,
-                                     const SearchOptions& opts) {
+                                     const SearchOptions& opts,
+                                     par::SearchContext* session) {
   SearchOptions o = opts;
   o.num_threads = cfg_.host_threads;
   EngineReport report;
-  report.result = run_search(s_init, digest, algo, cfg_.iterator, *pool_, o);
+  report.result =
+      run_search(s_init, digest, algo, cfg_.iterator, *workers_, o, session);
   report.modeled_device_seconds = model_.time_for_seeds_s(
       report.result.seeds_hashed, algo, model_.spec().cores);
   report.device_name = model_.spec().name;
@@ -72,18 +85,20 @@ EngineReport CpuSearchEngine::search(const Seed256& s_init, ByteSpan digest,
 }
 
 GpuSimSearchEngine::GpuSimSearchEngine(EngineConfig cfg, sim::GpuSpec spec)
-    : cfg_(cfg), model_(std::move(spec)) {
+    : cfg_(cfg), model_(std::move(spec)),
+      workers_(resolve_workers(cfg.workers)) {
   cfg_.host_threads = resolve_threads(cfg_.host_threads);
-  pool_ = std::make_unique<par::ThreadPool>(cfg_.host_threads);
 }
 
 EngineReport GpuSimSearchEngine::search(const Seed256& s_init, ByteSpan digest,
                                         hash::HashAlgo algo,
-                                        const SearchOptions& opts) {
+                                        const SearchOptions& opts,
+                                        par::SearchContext* session) {
   SearchOptions o = opts;
   o.num_threads = cfg_.host_threads;
   EngineReport report;
-  report.result = run_search(s_init, digest, algo, cfg_.iterator, *pool_, o);
+  report.result =
+      run_search(s_init, digest, algo, cfg_.iterator, *workers_, o, session);
   report.modeled_device_seconds = model_.time_for_seeds_s(
       report.result.seeds_hashed, algo, cfg_.iterator,
       /*kernels=*/std::max(report.result.distance, 1));
@@ -92,14 +107,15 @@ EngineReport GpuSimSearchEngine::search(const Seed256& s_init, ByteSpan digest,
 }
 
 ApuSimSearchEngine::ApuSimSearchEngine(EngineConfig cfg, sim::ApuSpec spec)
-    : cfg_(cfg), model_(std::move(spec)) {
+    : cfg_(cfg), model_(std::move(spec)),
+      workers_(resolve_workers(cfg.workers)) {
   cfg_.host_threads = resolve_threads(cfg_.host_threads);
-  pool_ = std::make_unique<par::ThreadPool>(cfg_.host_threads);
 }
 
 EngineReport ApuSimSearchEngine::search(const Seed256& s_init, ByteSpan digest,
                                         hash::HashAlgo algo,
-                                        const SearchOptions& opts) {
+                                        const SearchOptions& opts,
+                                        par::SearchContext* session) {
   SearchOptions o = opts;
   o.num_threads = cfg_.host_threads;
   // §3.3: the associative-memory exit flag is checked once per 256-seed
@@ -108,7 +124,8 @@ EngineReport ApuSimSearchEngine::search(const Seed256& s_init, ByteSpan digest,
       o.check_interval,
       static_cast<u32>(model_.calibration().apu_batch_size));
   EngineReport report;
-  report.result = run_search(s_init, digest, algo, cfg_.iterator, *pool_, o);
+  report.result =
+      run_search(s_init, digest, algo, cfg_.iterator, *workers_, o, session);
   report.modeled_device_seconds =
       model_.time_for_seeds_s(report.result.seeds_hashed, algo);
   report.device_name = model_.spec().name;
@@ -132,20 +149,22 @@ double ApuSimSearchEngine::modeled_exhaustive_time_s(
 
 MultiGpuSimSearchEngine::MultiGpuSimSearchEngine(EngineConfig cfg,
                                                  sim::GpuSpec spec)
-    : cfg_(cfg), model_(sim::GpuModel(std::move(spec))) {
+    : cfg_(cfg), model_(sim::GpuModel(std::move(spec))),
+      workers_(resolve_workers(cfg.workers)) {
   RBC_CHECK_MSG(cfg_.num_devices >= 1, "need at least one device");
   cfg_.host_threads = resolve_threads(cfg_.host_threads);
-  pool_ = std::make_unique<par::ThreadPool>(cfg_.host_threads);
 }
 
 EngineReport MultiGpuSimSearchEngine::search(const Seed256& s_init,
                                              ByteSpan digest,
                                              hash::HashAlgo algo,
-                                             const SearchOptions& opts) {
+                                             const SearchOptions& opts,
+                                             par::SearchContext* session) {
   SearchOptions o = opts;
   o.num_threads = cfg_.host_threads;
   EngineReport report;
-  report.result = run_search(s_init, digest, algo, cfg_.iterator, *pool_, o);
+  report.result =
+      run_search(s_init, digest, algo, cfg_.iterator, *workers_, o, session);
   report.modeled_device_seconds = model_.time_for_seeds_s(
       report.result.seeds_hashed, cfg_.num_devices, algo,
       /*early_exit=*/opts.early_exit, cfg_.iterator);
@@ -162,14 +181,15 @@ double MultiGpuSimSearchEngine::modeled_exhaustive_time_s(
 }
 
 GpuEmulatedBackend::GpuEmulatedBackend(EngineConfig cfg, sim::GpuSpec spec)
-    : cfg_(cfg), model_(std::move(spec)) {
+    : cfg_(cfg), model_(std::move(spec)),
+      workers_(resolve_workers(cfg.workers)) {
   cfg_.host_threads = resolve_threads(cfg_.host_threads);
-  pool_ = std::make_unique<par::ThreadPool>(cfg_.host_threads);
 }
 
 EngineReport GpuEmulatedBackend::search(const Seed256& s_init, ByteSpan digest,
                                         hash::HashAlgo algo,
-                                        const SearchOptions& opts) {
+                                        const SearchOptions& opts,
+                                        par::SearchContext* session) {
   // Partition width per shell: a few threads per host worker is enough to
   // exercise the kernel structure; snapshot walks bound the useful width.
   const auto threads_for_shell = [this](int) {
@@ -183,8 +203,8 @@ EngineReport GpuEmulatedBackend::search(const Seed256& s_init, ByteSpan digest,
                   "digest length does not match hash algorithm");
     std::memcpy(target.bytes.data(), digest.data(), digest.size());
     report.result = gpu::gpu_emulated_search<Hash>(
-        *pool_, s_init, target, opts.max_distance, threads_for_shell,
-        /*threads_per_block=*/32, hash, opts.timeout_s);
+        *workers_, s_init, target, opts.max_distance, threads_for_shell,
+        /*threads_per_block=*/32, hash, opts.timeout_s, session);
   };
   if (algo == hash::HashAlgo::kSha1) {
     run(hash::Sha1SeedHash{});

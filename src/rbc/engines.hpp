@@ -42,10 +42,19 @@ class SearchBackend {
   virtual ~SearchBackend() = default;
 
   /// Runs the search for a digest received off the wire (runtime-typed).
-  /// `digest` must have the length of `algo`'s digest.
+  /// `digest` must have the length of `algo`'s digest. `session`, when
+  /// non-null, carries the authentication session's deadline / cancellation
+  /// (see rbc_search); engines are re-entrant — one backend instance may
+  /// serve any number of concurrent sessions over the shared WorkerGroup.
   virtual EngineReport search(const Seed256& s_init, ByteSpan digest,
-                              hash::HashAlgo algo,
-                              const SearchOptions& opts) = 0;
+                              hash::HashAlgo algo, const SearchOptions& opts,
+                              par::SearchContext* session) = 0;
+
+  /// Convenience overload for one-shot callers without a session context.
+  EngineReport search(const Seed256& s_init, ByteSpan digest,
+                      hash::HashAlgo algo, const SearchOptions& opts) {
+    return search(s_init, digest, algo, opts, nullptr);
+  }
 
   /// Worst-case (exhaustive, Eq. 1) search time at distance d on this
   /// backend's modeled platform — the input to the §5 security planner.
@@ -57,55 +66,68 @@ class SearchBackend {
 
 /// Common configuration for the concrete engines.
 struct EngineConfig {
-  int host_threads = 0;  // 0 = hardware concurrency
+  /// SPMD work units per shell (p in Algorithm 1); 0 = hardware
+  /// concurrency. A server tuning for session throughput over single-
+  /// session latency sets this low — units multiplex on the worker group.
+  int host_threads = 0;
   sim::IterAlgo iterator = sim::IterAlgo::kChase382;
   /// Devices for the multi-GPU backend ("gpu" with num_devices > 1, §4.8).
   int num_devices = 1;
+  /// Compute substrate; nullptr = the process-wide WorkerGroup::shared().
+  /// Engines never own threads — N engines multiplex one group instead of
+  /// oversubscribing the host with N private pools.
+  par::WorkerGroup* workers = nullptr;
 };
 
 class CpuSearchEngine final : public SearchBackend {
  public:
   explicit CpuSearchEngine(EngineConfig cfg = {},
                            sim::CpuSpec spec = sim::epyc64());
+  using SearchBackend::search;
   EngineReport search(const Seed256& s_init, ByteSpan digest,
-                      hash::HashAlgo algo, const SearchOptions& opts) override;
+                      hash::HashAlgo algo, const SearchOptions& opts,
+                      par::SearchContext* session) override;
   double modeled_exhaustive_time_s(int d, hash::HashAlgo algo) const override;
   std::string_view name() const override { return "SALTED-CPU"; }
 
  private:
   EngineConfig cfg_;
   sim::CpuModel model_;
-  std::unique_ptr<par::ThreadPool> pool_;
+  par::WorkerGroup* workers_;
 };
 
 class GpuSimSearchEngine final : public SearchBackend {
  public:
   explicit GpuSimSearchEngine(EngineConfig cfg = {},
                               sim::GpuSpec spec = sim::a100());
+  using SearchBackend::search;
   EngineReport search(const Seed256& s_init, ByteSpan digest,
-                      hash::HashAlgo algo, const SearchOptions& opts) override;
+                      hash::HashAlgo algo, const SearchOptions& opts,
+                      par::SearchContext* session) override;
   double modeled_exhaustive_time_s(int d, hash::HashAlgo algo) const override;
   std::string_view name() const override { return "SALTED-GPU"; }
 
  private:
   EngineConfig cfg_;
   sim::GpuModel model_;
-  std::unique_ptr<par::ThreadPool> pool_;
+  par::WorkerGroup* workers_;
 };
 
 class ApuSimSearchEngine final : public SearchBackend {
  public:
   explicit ApuSimSearchEngine(EngineConfig cfg = {},
                               sim::ApuSpec spec = sim::gemini_apu());
+  using SearchBackend::search;
   EngineReport search(const Seed256& s_init, ByteSpan digest,
-                      hash::HashAlgo algo, const SearchOptions& opts) override;
+                      hash::HashAlgo algo, const SearchOptions& opts,
+                      par::SearchContext* session) override;
   double modeled_exhaustive_time_s(int d, hash::HashAlgo algo) const override;
   std::string_view name() const override { return "SALTED-APU"; }
 
  private:
   EngineConfig cfg_;
   sim::ApuModel model_;
-  std::unique_ptr<par::ThreadPool> pool_;
+  par::WorkerGroup* workers_;
 };
 
 /// Multi-GPU backend (§3.2 early-exit flag in unified memory, §4.8): shells
@@ -117,8 +139,10 @@ class MultiGpuSimSearchEngine final : public SearchBackend {
  public:
   explicit MultiGpuSimSearchEngine(EngineConfig cfg = {},
                                    sim::GpuSpec spec = sim::a100());
+  using SearchBackend::search;
   EngineReport search(const Seed256& s_init, ByteSpan digest,
-                      hash::HashAlgo algo, const SearchOptions& opts) override;
+                      hash::HashAlgo algo, const SearchOptions& opts,
+                      par::SearchContext* session) override;
   double modeled_exhaustive_time_s(int d, hash::HashAlgo algo) const override;
   std::string_view name() const override { return "SALTED-GPU (multi)"; }
   int num_devices() const noexcept { return cfg_.num_devices; }
@@ -126,7 +150,7 @@ class MultiGpuSimSearchEngine final : public SearchBackend {
  private:
   EngineConfig cfg_;
   sim::MultiGpuModel model_;
-  std::unique_ptr<par::ThreadPool> pool_;
+  par::WorkerGroup* workers_;
 };
 
 /// Kernel-level GPU backend: runs the search through the CUDA-like emulator
@@ -139,15 +163,17 @@ class GpuEmulatedBackend final : public SearchBackend {
  public:
   explicit GpuEmulatedBackend(EngineConfig cfg = {},
                               sim::GpuSpec spec = sim::a100());
+  using SearchBackend::search;
   EngineReport search(const Seed256& s_init, ByteSpan digest,
-                      hash::HashAlgo algo, const SearchOptions& opts) override;
+                      hash::HashAlgo algo, const SearchOptions& opts,
+                      par::SearchContext* session) override;
   double modeled_exhaustive_time_s(int d, hash::HashAlgo algo) const override;
   std::string_view name() const override { return "SALTED-GPU (kernel)"; }
 
  private:
   EngineConfig cfg_;
   sim::GpuModel model_;
-  std::unique_ptr<par::ThreadPool> pool_;
+  par::WorkerGroup* workers_;
 };
 
 /// Factory by device family name ("cpu", "gpu", "apu", "gpu-emu"; "gpu"

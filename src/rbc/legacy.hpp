@@ -17,7 +17,8 @@
 #include "common/timer.hpp"
 #include "crypto/pqc_keygen.hpp"
 #include "parallel/early_exit.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/search_context.hpp"
+#include "parallel/worker_group.hpp"
 #include "rbc/search.hpp"
 
 namespace rbc {
@@ -26,19 +27,23 @@ namespace rbc {
 /// public-key generation and the target is the client's public key bytes.
 template <crypto::SeedKeygen Keygen, comb::SeedIteratorFactory Factory>
 SearchResult legacy_rbc_search(const Seed256& s_init, const Bytes& target_pk,
-                               Factory& factory, par::ThreadPool& pool,
+                               Factory& factory, par::WorkerGroup& workers,
                                const SearchOptions& opts,
-                               const Keygen& keygen = {}) {
+                               const Keygen& keygen = {},
+                               par::SearchContext* session = nullptr) {
   RBC_CHECK(opts.max_distance >= 0 && opts.max_distance <= comb::kMaxK);
-  RBC_CHECK(opts.num_threads >= 1 && opts.num_threads <= pool.size());
+  RBC_CHECK(opts.num_threads >= 1);
+
+  par::SearchContext local = par::SearchContext::with_budget(opts.timeout_s);
+  par::SearchContext& ctx = session != nullptr ? *session : local;
 
   SearchResult result;
   WallTimer timer;
-  par::EarlyExitToken token;
   std::mutex found_mutex;
   std::optional<std::pair<Seed256, int>> found;
 
   result.seeds_hashed = 1;  // "keys generated" for this engine
+  ctx.add_progress(1);
   if (keygen(s_init) == target_pk) {
     result.found = true;
     result.seed = s_init;
@@ -51,21 +56,17 @@ SearchResult legacy_rbc_search(const Seed256& s_init, const Bytes& target_pk,
   std::vector<u64> generated(static_cast<std::size_t>(p), 0);
 
   for (int k = 1; k <= opts.max_distance; ++k) {
-    if (opts.early_exit && token.triggered()) break;
-    if (timer.elapsed_s() > opts.timeout_s) {
-      result.timed_out = true;
-      break;
-    }
+    if (ctx.should_stop(opts.early_exit)) break;
+    if (ctx.check_deadline()) break;
     factory.prepare(k, p);
 
-    pool.parallel_workers([&](int worker) {
-      if (worker >= p) return;
+    workers.parallel_workers(p, [&](int worker) {
       auto it = factory.make(worker);
-      par::CheckThrottle throttle(token, opts.check_interval);
+      par::CheckThrottle throttle(opts.check_interval);
       u64 local = 0;
       Seed256 mask;
       while (it.next(mask)) {
-        if (opts.early_exit && throttle.should_stop()) break;
+        if (throttle.due() && ctx.should_stop(opts.early_exit)) break;
         const Seed256 candidate = s_init ^ mask;
         ++local;
         if (keygen(candidate) == target_pk) {
@@ -73,21 +74,18 @@ SearchResult legacy_rbc_search(const Seed256& s_init, const Bytes& target_pk,
             std::lock_guard lock(found_mutex);
             if (!found) found = {candidate, k};
           }
-          token.trigger();
+          ctx.signal_match();
           if (opts.early_exit) break;
         }
-        // Keygen is orders of magnitude slower than hashing, so the timeout
-        // is polled much more often relative to work done.
-        if ((local & 0xff) == 0 && timer.elapsed_s() > opts.timeout_s) {
-          token.trigger();
-          break;
-        }
+        // Keygen is orders of magnitude slower than hashing, so the
+        // deadline is polled much more often relative to work done.
+        if ((local & 0xff) == 0) ctx.check_deadline();
       }
       generated[static_cast<std::size_t>(worker)] += local;
+      ctx.add_progress(local);
     });
 
-    if (timer.elapsed_s() > opts.timeout_s && !found) result.timed_out = true;
-    if (result.timed_out) break;
+    ctx.check_deadline();
   }
 
   for (u64 g : generated) result.seeds_hashed += g;
@@ -95,7 +93,9 @@ SearchResult legacy_rbc_search(const Seed256& s_init, const Bytes& target_pk,
     result.found = true;
     result.seed = found->first;
     result.distance = found->second;
-    result.timed_out = false;
+  } else {
+    result.timed_out = ctx.timed_out();
+    result.cancelled = ctx.cancel_requested() && !ctx.timed_out();
   }
   result.host_seconds = timer.elapsed_s();
   return result;

@@ -66,8 +66,11 @@ net::Challenge CertificateAuthority::issue_challenge(
                 "handshake from un-enrolled device");
   const EnrollmentRecord record = db_.load(handshake.device_id);
   net::Challenge challenge;
-  challenge.puf_address = static_cast<u32>(
-      rng_.next_below(record.image.num_addresses()));
+  {
+    std::lock_guard lock(rng_mutex_);
+    challenge.puf_address = static_cast<u32>(
+        rng_.next_below(record.image.num_addresses()));
+  }
   challenge.tapki_enabled = cfg_.tapki_enabled;
   challenge.stable_mask =
       cfg_.tapki_enabled
@@ -81,7 +84,8 @@ net::Challenge CertificateAuthority::issue_challenge(
 
 net::AuthResult CertificateAuthority::process_digest(
     const net::HandshakeRequest& handshake, const net::Challenge& challenge,
-    const net::DigestSubmission& submission, EngineReport* report_out) {
+    const net::DigestSubmission& submission, EngineReport* report_out,
+    par::SearchContext* session) {
   RBC_CHECK_MSG(db_.contains(handshake.device_id),
                 "digest from un-enrolled device");
   RBC_CHECK_MSG(submission.hash_algo == handshake.hash_algo,
@@ -97,7 +101,7 @@ net::AuthResult CertificateAuthority::process_digest(
   opts.early_exit = true;
   opts.timeout_s = cfg_.time_threshold_s;
   const EngineReport report = backend_->search(
-      s_init, submission.digest, submission.hash_algo, opts);
+      s_init, submission.digest, submission.hash_algo, opts, session);
   if (report_out != nullptr) *report_out = report;
 
   net::AuthResult result;
@@ -122,7 +126,8 @@ net::AuthResult CertificateAuthority::process_digest(
 
 SessionReport run_authentication(Client& client, CertificateAuthority& ca,
                                  RegistrationAuthority& ra,
-                                 net::LatencyModel latency) {
+                                 net::LatencyModel latency,
+                                 par::SearchContext* session_ctx) {
   net::Channel client_end{latency};
   net::Channel ca_end{latency};
   net::Channel::connect(client_end, ca_end);
@@ -157,14 +162,14 @@ SessionReport run_authentication(Client& client, CertificateAuthority& ca,
   session.result = ca.process_digest(
       handshake, challenge,
       std::get<net::DigestSubmission>(submission_msg.value()),
-      &session.engine);
+      &session.engine, session_ctx);
   ca_end.send(net::Message{session.result});
   const auto result_msg = client_end.receive();
   RBC_CHECK(result_msg.has_value());
 
   session.comm_time_s = client_end.elapsed_s();
   session.total_time_s = session.comm_time_s + session.result.search_seconds;
-  if (const Bytes* pk = ra.lookup(handshake.device_id)) {
+  if (const auto pk = ra.lookup(handshake.device_id)) {
     session.registered_public_key = *pk;
   }
   return session;

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "crypto/pqc_keygen.hpp"
@@ -80,6 +81,11 @@ class Client {
 /// invalid after a short time"), so each entry carries a logical-clock
 /// expiry and a rotation counter. Time is logical (advance_time) to keep
 /// trials reproducible.
+///
+/// The registry is updated concurrently by every in-flight session (step 9
+/// runs on the server's driver threads), so all access is serialized
+/// internally and reads return snapshots by value — a pointer into the map
+/// would dangle under a concurrent update of the same device.
 class RegistrationAuthority {
  public:
   struct Entry {
@@ -93,17 +99,26 @@ class RegistrationAuthority {
   /// scale of one authentication threshold.
   void set_key_ttl(double seconds) {
     RBC_CHECK(seconds > 0.0);
+    std::lock_guard lock(mutex_);
     ttl_s_ = seconds;
   }
-  double key_ttl() const noexcept { return ttl_s_; }
+  double key_ttl() const {
+    std::lock_guard lock(mutex_);
+    return ttl_s_;
+  }
 
   void advance_time(double seconds) {
     RBC_CHECK(seconds >= 0.0);
+    std::lock_guard lock(mutex_);
     now_s_ += seconds;
   }
-  double now() const noexcept { return now_s_; }
+  double now() const {
+    std::lock_guard lock(mutex_);
+    return now_s_;
+  }
 
   void update(u64 device_id, Bytes public_key) {
+    std::lock_guard lock(mutex_);
     auto& entry = registry_[device_id];
     entry.rotation += entry.public_key.empty() ? 0u : 1u;
     entry.public_key = std::move(public_key);
@@ -111,31 +126,39 @@ class RegistrationAuthority {
     entry.expires_at = now_s_ + ttl_s_;
   }
 
-  /// The device's current key, or nullptr when absent, revoked or expired.
-  const Bytes* lookup(u64 device_id) const {
+  /// The device's current key, or nullopt when absent, revoked or expired.
+  std::optional<Bytes> lookup(u64 device_id) const {
+    std::lock_guard lock(mutex_);
     auto it = registry_.find(device_id);
-    if (it == registry_.end()) return nullptr;
-    if (now_s_ >= it->second.expires_at) return nullptr;
-    return &it->second.public_key;
+    if (it == registry_.end()) return std::nullopt;
+    if (now_s_ >= it->second.expires_at) return std::nullopt;
+    return it->second.public_key;
   }
 
   /// Full entry including expired ones (audit access).
-  const Entry* entry(u64 device_id) const {
+  std::optional<Entry> entry(u64 device_id) const {
+    std::lock_guard lock(mutex_);
     auto it = registry_.find(device_id);
-    return it == registry_.end() ? nullptr : &it->second;
+    if (it == registry_.end()) return std::nullopt;
+    return it->second;
   }
 
   /// Immediate invalidation; returns false when the device has no entry.
   bool revoke(u64 device_id) {
+    std::lock_guard lock(mutex_);
     auto it = registry_.find(device_id);
     if (it == registry_.end()) return false;
     it->second.expires_at = now_s_;
     return true;
   }
 
-  std::size_t size() const noexcept { return registry_.size(); }
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return registry_.size();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::map<u64, Entry> registry_;
   double ttl_s_ = 20.0;
   double now_s_ = 0.0;
@@ -172,21 +195,30 @@ class CertificateAuthority {
   const CaConfig& config() const noexcept { return cfg_; }
   EnrollmentDatabase& database() noexcept { return db_; }
 
-  /// Step 2: picks a random enrolled address for the device.
+  /// Step 2: picks a random enrolled address for the device. Thread-safe:
+  /// the challenge RNG is the CA's only mutable per-call state and is
+  /// serialized internally.
   net::Challenge issue_challenge(const net::HandshakeRequest& handshake);
 
   /// Steps 4-9: runs the RBC search for the submitted digest and, on
   /// success, salts the seed, generates the public key and updates the RA.
+  /// Re-entrant: any number of sessions may run concurrently against one
+  /// CA — the database is read-only here, the backend multiplexes the
+  /// shared worker group, and the RA serializes its own updates. `session`,
+  /// when non-null, carries the session deadline into the search (queue and
+  /// communication time already spent count against the threshold).
   net::AuthResult process_digest(const net::HandshakeRequest& handshake,
                                  const net::Challenge& challenge,
                                  const net::DigestSubmission& submission,
-                                 EngineReport* report_out = nullptr);
+                                 EngineReport* report_out = nullptr,
+                                 par::SearchContext* session = nullptr);
 
  private:
   CaConfig cfg_;
   EnrollmentDatabase db_;
   std::unique_ptr<SearchBackend> backend_;
   RegistrationAuthority* ra_;
+  std::mutex rng_mutex_;
   Xoshiro256 rng_;
 };
 
@@ -200,9 +232,12 @@ struct SessionReport {
   Bytes registered_public_key;
 };
 
+/// `session`, when non-null, is the session's admission-time context: its
+/// deadline governs the CA search and its cancellation aborts it.
 SessionReport run_authentication(Client& client, CertificateAuthority& ca,
                                  RegistrationAuthority& ra,
                                  net::LatencyModel latency =
-                                     net::LatencyModel(0.15));
+                                     net::LatencyModel(0.15),
+                                 par::SearchContext* session = nullptr);
 
 }  // namespace rbc

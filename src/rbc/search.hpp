@@ -1,11 +1,21 @@
 // The RBC-SALTED search core — Algorithm 1 of the paper.
 //
 // Given the enrolled seed S_init and the client's message digest M1, search
-// the Hamming ball around S_init shell by shell: every thread owns a
+// the Hamming ball around S_init shell by shell: every work unit owns a
 // disjoint slice of each shell's combination sequence, XORs each mask into
-// S_init, hashes, and compares against M1. The first match triggers the
-// early-exit token (lines 7/15); a time budget T bounds the whole search
-// (§3: "RBC uses a time threshold for which it must authenticate a client").
+// S_init, hashes, and compares against M1. The first match signals the
+// session's SearchContext (lines 7/15); the context's deadline bounds the
+// whole search (§3: "RBC uses a time threshold for which it must
+// authenticate a client").
+//
+// Concurrency: the shells run as SPMD rounds on a WorkerGroup, so any number
+// of sessions can search at once over one set of worker threads. All stop
+// conditions flow through the SearchContext:
+//   * match found   — stops the round under the early-exit policy only;
+//   * cancellation  — deadline expiry or an external cancel(); honored
+//                     UNCONDITIONALLY, including in exhaustive mode (a
+//                     timed-out exhaustive search must stop promptly, not at
+//                     each worker's private clock cadence).
 //
 // The function template is monomorphized over the hash policy and the seed
 // iterator factory so the hot loop compiles to straight-line code — the same
@@ -23,21 +33,26 @@
 #include "common/types.hpp"
 #include "hash/traits.hpp"
 #include "parallel/early_exit.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/search_context.hpp"
+#include "parallel/worker_group.hpp"
 
 namespace rbc {
 
 struct SearchOptions {
   /// Maximum Hamming distance d to search (inclusive).
   int max_distance = 3;
-  /// Worker threads (p in Algorithm 1).
+  /// SPMD work units per shell (p in Algorithm 1). Units multiplex onto the
+  /// worker group, so this may exceed the group's thread count.
   int num_threads = 1;
   /// Seeds iterated between early-exit flag checks (§4.4 knob).
   u32 check_interval = 1;
   /// When false, the search visits every seed up to d even after a match —
-  /// the "exhaustive" timing scenario of the evaluation.
+  /// the "exhaustive" timing scenario of the evaluation. Cancellation and
+  /// deadlines still apply.
   bool early_exit = true;
-  /// Authentication time threshold T, seconds of host wall clock.
+  /// Authentication time threshold T, seconds of host wall clock. Used to
+  /// build a local SearchContext when the caller does not provide one; a
+  /// caller-provided session context carries its own deadline instead.
   double timeout_s = 20.0;
 };
 
@@ -47,28 +62,39 @@ struct SearchResult {
   int distance = -1;         // shell where the match occurred
   u64 seeds_hashed = 0;      // total candidates hashed across threads
   double host_seconds = 0.0; // wall-clock duration of the search
-  bool timed_out = false;    // T exceeded before the ball was exhausted
+  bool timed_out = false;    // deadline hit before the ball was exhausted
+  bool cancelled = false;    // externally cancelled before completion
 };
 
-/// Searches for a seed whose hash equals `target`, using `pool` for the
-/// data-parallel shells. The factory provides per-thread iterators over each
-/// shell (Gosper / Algorithm 515 / Chase 382 all model the concept).
+/// Searches for a seed whose hash equals `target`, running each shell as an
+/// SPMD round on `workers`. The factory provides per-unit iterators over
+/// each shell (Gosper / Algorithm 515 / Chase 382 all model the concept).
+///
+/// `session`, when non-null, is the authentication session's context: its
+/// deadline (set at admission, so queue time counts against the threshold)
+/// and cancellation govern the search, and progress is published to it. It
+/// must be fresh for this search — the match flag is per-search state. When
+/// null, a local context with an opts.timeout_s budget is used.
 template <hash::SeedHash Hash, comb::SeedIteratorFactory Factory>
 SearchResult rbc_search(const Seed256& s_init,
                         const typename Hash::digest_type& target,
-                        Factory& factory, par::ThreadPool& pool,
-                        const SearchOptions& opts, const Hash& hash = {}) {
+                        Factory& factory, par::WorkerGroup& workers,
+                        const SearchOptions& opts, const Hash& hash = {},
+                        par::SearchContext* session = nullptr) {
   RBC_CHECK(opts.max_distance >= 0 && opts.max_distance <= comb::kMaxK);
-  RBC_CHECK(opts.num_threads >= 1 && opts.num_threads <= pool.size());
+  RBC_CHECK(opts.num_threads >= 1);
+
+  par::SearchContext local = par::SearchContext::with_budget(opts.timeout_s);
+  par::SearchContext& ctx = session != nullptr ? *session : local;
 
   SearchResult result;
   WallTimer timer;
-  par::EarlyExitToken token;
   std::mutex found_mutex;
   std::optional<std::pair<Seed256, int>> found;
 
-  // Lines 4-8: distance 0 — hash S_init itself (thread r = 0's job).
+  // Lines 4-8: distance 0 — hash S_init itself (unit r = 0's job).
   result.seeds_hashed = 1;
+  ctx.add_progress(1);
   if (hash(s_init) == target) {
     result.found = true;
     result.seed = s_init;
@@ -78,26 +104,23 @@ SearchResult rbc_search(const Seed256& s_init,
   }
 
   const int p = opts.num_threads;
-  std::vector<u64> hashed_per_thread(static_cast<std::size_t>(p), 0);
+  std::vector<u64> hashed_per_unit(static_cast<std::size_t>(p), 0);
 
-  // Line 9: loop over Hamming shells 1..d.
+  // Line 9: loop over Hamming shells 1..d. The host checks the deadline
+  // between shells; workers check it at a coarse cadence within one.
   for (int k = 1; k <= opts.max_distance; ++k) {
-    if (opts.early_exit && token.triggered()) break;
-    if (timer.elapsed_s() > opts.timeout_s) {
-      result.timed_out = true;
-      break;
-    }
+    if (ctx.should_stop(opts.early_exit)) break;
+    if (ctx.check_deadline()) break;
     factory.prepare(k, p);
 
-    pool.parallel_workers([&](int worker) {
-      if (worker >= p) return;
-      auto it = factory.make(worker);
-      par::CheckThrottle throttle(token, opts.check_interval);
+    workers.parallel_workers(p, [&](int unit) {
+      auto it = factory.make(unit);
+      par::CheckThrottle throttle(opts.check_interval);
       u64 local_hashed = 0;
       Seed256 mask;
-      // Lines 11-16: iterate this thread's slice of the shell.
+      // Lines 11-16: iterate this unit's slice of the shell.
       while (it.next(mask)) {
-        if (opts.early_exit && throttle.should_stop()) break;
+        if (throttle.due() && ctx.should_stop(opts.early_exit)) break;
         const Seed256 candidate = s_init ^ mask;
         ++local_hashed;
         if (hash(candidate) == target) {
@@ -105,30 +128,29 @@ SearchResult rbc_search(const Seed256& s_init,
             std::lock_guard lock(found_mutex);
             if (!found) found = {candidate, k};
           }
-          token.trigger();  // line 15: NotifyAllThreadsToExitSearch
+          ctx.signal_match();  // line 15: NotifyAllThreadsToExitSearch
           if (opts.early_exit) break;
         }
-        // The time threshold is checked at a coarse cadence to keep the
-        // clock read off the per-seed fast path.
-        if ((local_hashed & 0xffff) == 0 &&
-            timer.elapsed_s() > opts.timeout_s) {
-          token.trigger();
-          break;
-        }
+        // The deadline is checked at a coarse cadence to keep the clock
+        // read off the per-seed fast path; a hit latches cancellation,
+        // which every unit (and every layer sharing this context) observes.
+        if ((local_hashed & 0xffff) == 0) ctx.check_deadline();
       }
-      hashed_per_thread[static_cast<std::size_t>(worker)] += local_hashed;
+      hashed_per_unit[static_cast<std::size_t>(unit)] += local_hashed;
+      ctx.add_progress(local_hashed);
     });
 
-    if (timer.elapsed_s() > opts.timeout_s && !found) result.timed_out = true;
-    if (result.timed_out) break;
+    ctx.check_deadline();
   }
 
-  for (u64 h : hashed_per_thread) result.seeds_hashed += h;
+  for (u64 h : hashed_per_unit) result.seeds_hashed += h;
   if (found) {
     result.found = true;
     result.seed = found->first;
     result.distance = found->second;
-    result.timed_out = false;
+  } else {
+    result.timed_out = ctx.timed_out();
+    result.cancelled = ctx.cancel_requested() && !ctx.timed_out();
   }
   result.host_seconds = timer.elapsed_s();
   return result;

@@ -33,7 +33,7 @@ Seed256 random_seed_at_distance(const Seed256& base, int d, Xoshiro256& rng) {
 template <typename Factory>
 double mean_seeds_hashed(int d, int trials, int threads, u64 rng_seed) {
   Xoshiro256 rng(rng_seed);
-  par::ThreadPool pool(threads);
+  par::WorkerGroup pool(threads);
   const hash::Sha1SeedHash hash;  // cheapest hash; the count is hash-agnostic
   double total = 0;
   for (int t = 0; t < trials; ++t) {
@@ -93,7 +93,7 @@ TEST(AverageCase, MultiThreadedSearchDoesNotWasteWork) {
 
 TEST(AverageCase, ExhaustiveAlwaysVisitsEq1Count) {
   Xoshiro256 rng(23);
-  par::ThreadPool pool(2);
+  par::WorkerGroup pool(2);
   const hash::Sha1SeedHash hash;
   for (int d : {1, 2}) {
     const Seed256 base = Seed256::random(rng);

@@ -11,7 +11,7 @@ namespace rbc::gpu {
 namespace {
 
 TEST(LaunchKernel, EveryThreadRunsExactlyOnce) {
-  par::ThreadPool pool(4);
+  par::WorkerGroup pool(4);
   const Dim3 grid{7, 1, 1};
   const Dim3 block{32, 1, 1};
   std::vector<std::atomic<int>> hits(7 * 32);
@@ -22,7 +22,7 @@ TEST(LaunchKernel, EveryThreadRunsExactlyOnce) {
 }
 
 TEST(LaunchKernel, IndexingMatchesCudaConvention) {
-  par::ThreadPool pool(2);
+  par::WorkerGroup pool(2);
   std::atomic<u64> checks{0};
   launch_kernel(pool, Dim3{3, 1, 1}, Dim3{64, 1, 1}, 0,
                 [&](const KernelCtx& ctx) {
@@ -38,7 +38,7 @@ TEST(LaunchKernel, IndexingMatchesCudaConvention) {
 }
 
 TEST(LaunchKernel, SharedMemoryIsBlockLocalAndZeroed) {
-  par::ThreadPool pool(4);
+  par::WorkerGroup pool(4);
   // Each block writes its blockIdx into shared memory at thread 0 and every
   // thread verifies it reads its OWN block's value (no cross-block bleed).
   std::atomic<int> violations{0};
@@ -56,7 +56,7 @@ TEST(LaunchKernel, SharedMemoryIsBlockLocalAndZeroed) {
 }
 
 TEST(LaunchKernel, RejectsMultiDimensionalLaunches) {
-  par::ThreadPool pool(1);
+  par::WorkerGroup pool(1);
   EXPECT_THROW(
       launch_kernel(pool, Dim3{1, 2, 1}, Dim3{32, 1, 1}, 0,
                     [](const KernelCtx&) {}),
@@ -66,7 +66,7 @@ TEST(LaunchKernel, RejectsMultiDimensionalLaunches) {
 TEST(UnifiedFlagTest, HostAndDeviceViews) {
   UnifiedFlag flag;
   EXPECT_FALSE(flag.get());
-  par::ThreadPool pool(2);
+  par::WorkerGroup pool(2);
   launch_kernel(pool, Dim3{4, 1, 1}, Dim3{16, 1, 1}, 0,
                 [&](const KernelCtx& ctx) {
                   if (ctx.global_thread_id() == 33) flag.set();
@@ -90,7 +90,7 @@ Seed256 flipped(Seed256 s, std::initializer_list<int> bits) {
 }
 
 TEST(SaltedKernel, FindsSeedAtEachDistance) {
-  par::ThreadPool pool(4);
+  par::WorkerGroup pool(4);
   Xoshiro256 rng(1);
   const hash::Sha3SeedHash hash;
   for (int d : {0, 1, 2}) {
@@ -109,7 +109,7 @@ TEST(SaltedKernel, FindsSeedAtEachDistance) {
 TEST(SaltedKernel, HostSkipsLaterShellsAfterFlag) {
   // Seed at d=1: the host must not launch the d=2 kernel, so far fewer than
   // 32897 candidates are hashed.
-  par::ThreadPool pool(2);
+  par::WorkerGroup pool(2);
   Xoshiro256 rng(2);
   const Seed256 base = Seed256::random(rng);
   const Seed256 truth = flipped(base, {100});
@@ -122,7 +122,7 @@ TEST(SaltedKernel, HostSkipsLaterShellsAfterFlag) {
 }
 
 TEST(SaltedKernel, ExhaustsShellWhenTargetAbsent) {
-  par::ThreadPool pool(4);
+  par::WorkerGroup pool(4);
   Xoshiro256 rng(3);
   const Seed256 base = Seed256::random(rng);
   const Seed256 unrelated = Seed256::random(rng);
@@ -136,7 +136,7 @@ TEST(SaltedKernel, ExhaustsShellWhenTargetAbsent) {
 
 TEST(SaltedKernel, GuardThreadsBeyondPartitionAreInert) {
   // p=5 partitions with block size 32: 27 guard threads must not hash.
-  par::ThreadPool pool(2);
+  par::WorkerGroup pool(2);
   Xoshiro256 rng(4);
   const Seed256 base = Seed256::random(rng);
   const Seed256 unrelated = Seed256::random(rng);
@@ -146,8 +146,26 @@ TEST(SaltedKernel, GuardThreadsBeyondPartitionAreInert) {
   EXPECT_EQ(r.seeds_hashed, 257u);  // exactly the ball, no double counting
 }
 
+TEST(SaltedKernel, SessionDeadlineStopsKernelMidShell) {
+  // The session's SearchContext reaches the emulated device loop: a kernel
+  // already running when the deadline expires stops without finishing the
+  // shell, and far before visiting the d<=3 ball (~2.8M candidates).
+  par::WorkerGroup pool(2);
+  Xoshiro256 rng(6);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 unrelated = Seed256::random(rng);
+  const hash::Sha1SeedHash hash;
+  auto ctx = par::SearchContext::with_budget(0.0);
+  const auto r = gpu_emulated_search<hash::Sha1SeedHash>(
+      pool, base, hash(unrelated), 3, [](int) { return 4; }, 32, hash,
+      /*timeout_s=*/1e30, &ctx);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LT(r.seeds_hashed, 2860000u);
+}
+
 TEST(SaltedKernel, AgreesWithReferenceEngineAcrossPartitionWidths) {
-  par::ThreadPool pool(4);
+  par::WorkerGroup pool(4);
   Xoshiro256 rng(5);
   const Seed256 base = Seed256::random(rng);
   const Seed256 truth = flipped(base, {17, 211});

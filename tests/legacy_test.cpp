@@ -17,7 +17,7 @@ SearchResult legacy_search(const Seed256& base, const Seed256& truth,
                            int max_distance, int threads) {
   const Keygen keygen;
   comb::ChaseFactory factory;
-  par::ThreadPool pool(threads);
+  par::WorkerGroup pool(threads);
   SearchOptions opts;
   opts.max_distance = max_distance;
   opts.num_threads = threads;
@@ -78,7 +78,7 @@ TEST(LegacyRbc, TimeoutAborts) {
   const Seed256 truth = flip_bits(base, {9, 99});
   const crypto::SaberLikeKeygen keygen;
   comb::ChaseFactory factory;
-  par::ThreadPool pool(2);
+  par::WorkerGroup pool(2);
   SearchOptions opts;
   opts.max_distance = 2;
   opts.num_threads = 2;

@@ -17,13 +17,13 @@ TEST(SessionKeys, LookupHonoursTtl) {
   RegistrationAuthority ra;
   ra.set_key_ttl(10.0);
   ra.update(1, Bytes{1, 2, 3});
-  ASSERT_NE(ra.lookup(1), nullptr);
+  ASSERT_TRUE(ra.lookup(1).has_value());
   ra.advance_time(9.99);
-  EXPECT_NE(ra.lookup(1), nullptr);
+  EXPECT_TRUE(ra.lookup(1).has_value());
   ra.advance_time(0.02);
-  EXPECT_EQ(ra.lookup(1), nullptr) << "key must expire after TTL";
+  EXPECT_FALSE(ra.lookup(1).has_value()) << "key must expire after TTL";
   // Audit entry survives expiry.
-  ASSERT_NE(ra.entry(1), nullptr);
+  ASSERT_TRUE(ra.entry(1).has_value());
   EXPECT_EQ(ra.entry(1)->public_key, (Bytes{1, 2, 3}));
 }
 
@@ -36,16 +36,16 @@ TEST(SessionKeys, UpdateRotatesAndRefreshes) {
   ra.update(7, Bytes{2});
   EXPECT_EQ(ra.entry(7)->rotation, 1u);
   ra.advance_time(4.0);  // 8.0 total; second key registered at 4.0, ttl 5
-  EXPECT_NE(ra.lookup(7), nullptr);
+  EXPECT_TRUE(ra.lookup(7).has_value());
   EXPECT_EQ(*ra.lookup(7), (Bytes{2}));
 }
 
 TEST(SessionKeys, RevokeInvalidatesImmediately) {
   RegistrationAuthority ra;
   ra.update(3, Bytes{9});
-  ASSERT_NE(ra.lookup(3), nullptr);
+  ASSERT_TRUE(ra.lookup(3).has_value());
   EXPECT_TRUE(ra.revoke(3));
-  EXPECT_EQ(ra.lookup(3), nullptr);
+  EXPECT_FALSE(ra.lookup(3).has_value());
   EXPECT_FALSE(ra.revoke(99));
 }
 

@@ -125,7 +125,8 @@ TEST(Protocol, RejectsWhenNoiseExceedsSearchBudget) {
   const auto session = run_authentication(*f.client, *f.ca, f.ra);
   EXPECT_FALSE(session.result.authenticated);
   EXPECT_EQ(session.result.found_distance, -1);
-  EXPECT_EQ(f.ra.lookup(50), nullptr) << "RA must not register failed auths";
+  EXPECT_FALSE(f.ra.lookup(50).has_value())
+      << "RA must not register failed auths";
 }
 
 TEST(Protocol, TimeoutProducesTimedOutResult) {

@@ -31,7 +31,7 @@ SearchResult search_for(const Seed256& base, const Seed256& truth,
                         int max_distance, int threads,
                         bool early_exit = true) {
   Factory factory;
-  par::ThreadPool pool(threads);
+  par::WorkerGroup pool(threads);
   SearchOptions opts;
   opts.max_distance = max_distance;
   opts.num_threads = threads;
@@ -150,7 +150,7 @@ TEST(RbcSearch, TimeoutAbortsSearch) {
   // Target nowhere in the ball; zero timeout must abort almost immediately.
   const Seed256 truth = seed_at_distance(base, 10, 84);
   comb::ChaseFactory factory;
-  par::ThreadPool pool(2);
+  par::WorkerGroup pool(2);
   SearchOptions opts;
   opts.max_distance = 3;
   opts.num_threads = 2;
@@ -170,7 +170,7 @@ TEST(RbcSearch, CheckIntervalDoesNotAffectCorrectness) {
   const Seed256 truth = seed_at_distance(base, 2, 85);
   for (u32 interval : {1u, 4u, 16u, 64u}) {
     comb::ChaseFactory factory;
-    par::ThreadPool pool(3);
+    par::WorkerGroup pool(3);
     SearchOptions opts;
     opts.max_distance = 2;
     opts.num_threads = 3;
@@ -197,7 +197,7 @@ TEST(RbcSearch, RejectsInvalidOptions) {
   Xoshiro256 rng(12);
   const Seed256 base = Seed256::random(rng);
   comb::ChaseFactory factory;
-  par::ThreadPool pool(2);
+  par::WorkerGroup pool(2);
   const hash::Sha3SeedHash hash;
   SearchOptions opts;
   opts.max_distance = 99;  // beyond kMaxK
@@ -206,10 +206,88 @@ TEST(RbcSearch, RejectsInvalidOptions) {
       rbc_search<Sha3SeedHash>(base, hash(base), factory, pool, opts, hash),
       CheckFailure);
   opts.max_distance = 2;
-  opts.num_threads = 5;  // more than the pool has
+  opts.num_threads = 0;  // SPMD width must be positive
   EXPECT_THROW(
       rbc_search<Sha3SeedHash>(base, hash(base), factory, pool, opts, hash),
       CheckFailure);
+}
+
+TEST(RbcSearch, WidthBeyondGroupSizeMultiplexes) {
+  // More SPMD units than worker threads: legal under the shared-group
+  // model — units queue and the result is identical.
+  Xoshiro256 rng(20);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 2, 90);
+  comb::ChaseFactory factory;
+  par::WorkerGroup pool(2);
+  const hash::Sha3SeedHash hash;
+  SearchOptions opts;
+  opts.max_distance = 2;
+  opts.num_threads = 9;
+  const auto r =
+      rbc_search<Sha3SeedHash>(base, hash(truth), factory, pool, opts, hash);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.seed, truth);
+}
+
+TEST(RbcSearch, ExhaustiveModeHonorsTimeout) {
+  // Regression: with early_exit=false the deadline must still cancel the
+  // search promptly — cancellation is independent of the early-exit policy.
+  Xoshiro256 rng(21);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 10, 91);  // not in the ball
+  comb::ChaseFactory factory;
+  par::WorkerGroup pool(2);
+  const hash::Sha3SeedHash hash;
+  SearchOptions opts;
+  opts.max_distance = 4;  // ~183M seeds if allowed to run
+  opts.num_threads = 2;
+  opts.early_exit = false;
+  opts.timeout_s = 0.0;
+  WallTimer timer;
+  const auto r =
+      rbc_search<Sha3SeedHash>(base, hash(truth), factory, pool, opts, hash);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LT(timer.elapsed_s(), 30.0) << "timed-out exhaustive search must "
+                                        "stop promptly, not visit the ball";
+}
+
+TEST(RbcSearch, ExternalCancelAbortsSearch) {
+  Xoshiro256 rng(22);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 10, 92);
+  comb::ChaseFactory factory;
+  par::WorkerGroup pool(2);
+  const hash::Sha3SeedHash hash;
+  SearchOptions opts;
+  opts.max_distance = 3;
+  opts.num_threads = 2;
+  par::SearchContext ctx;  // no deadline
+  ctx.cancel();            // cancelled before it starts
+  const auto r = rbc_search<Sha3SeedHash>(base, hash(truth), factory, pool,
+                                          opts, hash, &ctx);
+  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_LT(r.seeds_hashed, 257u);
+}
+
+TEST(RbcSearch, SessionContextReportsProgress) {
+  Xoshiro256 rng(23);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 5, 93);  // exhausts d<=2
+  comb::ChaseFactory factory;
+  par::WorkerGroup pool(2);
+  const hash::Sha3SeedHash hash;
+  SearchOptions opts;
+  opts.max_distance = 2;
+  opts.num_threads = 2;
+  par::SearchContext ctx;
+  const auto r = rbc_search<Sha3SeedHash>(base, hash(truth), factory, pool,
+                                          opts, hash, &ctx);
+  EXPECT_EQ(r.seeds_hashed, 32897u);
+  EXPECT_EQ(ctx.progress(), r.seeds_hashed);
 }
 
 TEST(RbcSearch, AllIteratorsAgreeOnSeedsHashedWhenExhaustive) {

@@ -1,0 +1,261 @@
+// Concurrency stress for the multi-session AuthServer: overlapping sessions
+// on mixed backends sharing one WorkerGroup, per-device serialization, the
+// admission-time threshold T, and backpressure at the bounded queue.
+//
+// These tests are the TSan targets for the server layer — they exercise
+// every cross-thread seam at once (submitters -> queue -> drivers ->
+// WorkerGroup SPMD rounds -> RA updates).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "server/auth_server.hpp"
+
+namespace rbc::server {
+namespace {
+
+crypto::Aes128::Key master_key() {
+  crypto::Aes128::Key k{};
+  k[0] = 0x42;
+  return k;
+}
+
+puf::SramPufModel::Params device_params() {
+  puf::SramPufModel::Params p;
+  p.num_addresses = 4;
+  p.erratic_cell_fraction = 0.04;
+  p.stable_flip_probability = 0.004;
+  p.erratic_flip_probability = 0.30;
+  return p;
+}
+
+/// One CA+RA pair serving `num_devices` enrolled devices, with a fresh
+/// Client object per session (AuthServer serializes per DEVICE; per-client
+/// serialization is the caller's job, so overlapping sessions need distinct
+/// Client objects even for one device).
+struct ServerFixture {
+  std::vector<std::unique_ptr<puf::SramPufModel>> devices;
+  std::vector<u64> device_ids;
+  RegistrationAuthority ra;
+  std::unique_ptr<CertificateAuthority> ca;
+
+  ServerFixture(const char* backend_name, int num_devices, int max_distance,
+                int host_threads = 1, u64 id_base = 0) {
+    EnrollmentDatabase db(master_key());
+    for (int i = 0; i < num_devices; ++i) {
+      const u64 id = id_base + static_cast<u64>(i);
+      devices.push_back(
+          std::make_unique<puf::SramPufModel>(device_params(), id));
+      device_ids.push_back(id);
+      Xoshiro256 enroll_rng(id ^ 0xE27011);
+      db.enroll(id, *devices.back(), 100, 0.05, enroll_rng);
+    }
+    CaConfig ca_cfg;
+    ca_cfg.max_distance = max_distance;
+    ca_cfg.time_threshold_s = 600.0;  // sessions govern time via the server
+    EngineConfig engine_cfg;
+    engine_cfg.host_threads = host_threads;  // narrow width: sessions overlap
+    ca = std::make_unique<CertificateAuthority>(
+        ca_cfg, std::move(db), make_backend(backend_name, engine_cfg), &ra);
+  }
+
+  std::unique_ptr<Client> make_client(int device_index, int injected_distance,
+                                      u64 rng_salt) const {
+    const std::size_t index = static_cast<std::size_t>(device_index);
+    ClientConfig ccfg;
+    ccfg.device_id = device_ids[index];
+    ccfg.injected_distance = injected_distance;
+    return std::make_unique<Client>(ccfg, devices[index].get(),
+                                    ccfg.device_id ^ rng_salt);
+  }
+};
+
+TEST(ServerStress, EightOverlappingSessionsStayIsolated) {
+  // 8 devices, 8 drivers: every session in flight at once, all multiplexing
+  // the shared WorkerGroup. Isolation criterion: each device's registered
+  // key equals ITS OWN client's derivation — any cross-session bleed of the
+  // recovered seed, salt application or RA row breaks the equality.
+  constexpr int kSessions = 8;
+  ServerFixture f("cpu", kSessions, 2, /*host_threads=*/1, /*id_base=*/100);
+  ServerConfig cfg;
+  cfg.max_queue_depth = kSessions;
+  cfg.max_in_flight = kSessions;
+  cfg.session_budget_s = 600.0;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::future<SessionOutcome>> futures;
+  for (int i = 0; i < kSessions; ++i) {
+    clients.push_back(f.make_client(i, /*injected_distance=*/2, 0xC11e));
+    futures.push_back(server.submit(clients.back().get()));
+  }
+  for (int i = 0; i < kSessions; ++i) {
+    const SessionOutcome outcome = futures[static_cast<unsigned>(i)].get();
+    ASSERT_TRUE(outcome.accepted) << "session " << i;
+    EXPECT_TRUE(outcome.authenticated) << "session " << i;
+    EXPECT_FALSE(outcome.timed_out) << "session " << i;
+    EXPECT_EQ(outcome.device_id, f.device_ids[static_cast<unsigned>(i)]);
+    const auto registered = f.ra.lookup(outcome.device_id);
+    ASSERT_TRUE(registered.has_value()) << "session " << i;
+    EXPECT_EQ(*registered, clients[static_cast<unsigned>(i)]->derive_public_key(
+                               f.ca->config().salt))
+        << "cross-session corruption: device " << outcome.device_id
+        << " holds another session's key";
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<u64>(kSessions));
+  EXPECT_EQ(stats.completed, static_cast<u64>(kSessions));
+  EXPECT_EQ(stats.authenticated, static_cast<u64>(kSessions));
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_LE(stats.p50_session_s, stats.p95_session_s);
+}
+
+TEST(ServerStress, MixedBackendsShareOneWorkerGroup) {
+  // Three servers on three backend kinds, all engines defaulting to
+  // WorkerGroup::shared(); 9 sessions overlap across them. The shared group
+  // must multiplex all rounds without cross-talk between servers.
+  const char* backends[] = {"cpu", "gpu", "apu"};
+  std::vector<std::unique_ptr<ServerFixture>> fixtures;
+  std::vector<std::unique_ptr<AuthServer>> servers;
+  for (int b = 0; b < 3; ++b) {
+    fixtures.push_back(std::make_unique<ServerFixture>(
+        backends[b], 3, 2, /*host_threads=*/2, /*id_base=*/200 + 10u * static_cast<u64>(b)));
+    ServerConfig cfg;
+    cfg.max_queue_depth = 8;
+    cfg.max_in_flight = 3;
+    cfg.session_budget_s = 600.0;
+    servers.push_back(std::make_unique<AuthServer>(
+        cfg, fixtures.back()->ca.get(), &fixtures.back()->ra));
+  }
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::future<SessionOutcome>> futures;
+  std::vector<int> fixture_of;
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < 3; ++i) {
+      clients.push_back(
+          fixtures[static_cast<unsigned>(b)]->make_client(i, 1, 0xD1ce));
+      futures.push_back(
+          servers[static_cast<unsigned>(b)]->submit(clients.back().get()));
+      fixture_of.push_back(b);
+    }
+  }
+  for (std::size_t s = 0; s < futures.size(); ++s) {
+    const SessionOutcome outcome = futures[s].get();
+    ASSERT_TRUE(outcome.accepted);
+    EXPECT_TRUE(outcome.authenticated) << "session " << s;
+    const auto& fixture = *fixtures[static_cast<unsigned>(fixture_of[s])];
+    const auto registered = fixture.ra.lookup(outcome.device_id);
+    ASSERT_TRUE(registered.has_value());
+    EXPECT_EQ(*registered,
+              clients[s]->derive_public_key(fixture.ca->config().salt));
+  }
+}
+
+TEST(ServerStress, SameDeviceSessionsSerialize) {
+  // Four concurrent sessions for ONE device (distinct Client objects) must
+  // serialize on the per-device lock: all four authenticate, and the RA
+  // rotation counter shows exactly four orderly registrations.
+  ServerFixture f("cpu", 1, 2, /*host_threads=*/2, /*id_base=*/300);
+  ServerConfig cfg;
+  cfg.max_queue_depth = 8;
+  cfg.max_in_flight = 4;
+  cfg.session_budget_s = 600.0;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  constexpr int kSessions = 4;
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::future<SessionOutcome>> futures;
+  for (int i = 0; i < kSessions; ++i) {
+    clients.push_back(f.make_client(0, 1, 0xAB00 + static_cast<u64>(i)));
+    futures.push_back(server.submit(clients.back().get()));
+  }
+  for (auto& future : futures) {
+    const SessionOutcome outcome = future.get();
+    ASSERT_TRUE(outcome.accepted);
+    EXPECT_TRUE(outcome.authenticated);
+  }
+  const auto entry = f.ra.entry(f.device_ids[0]);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->rotation, static_cast<u64>(kSessions - 1))
+      << "interleaved (non-serialized) same-device sessions";
+}
+
+TEST(ServerStress, SessionDeadlinePropagatesIntoSearch) {
+  // Threshold-T enforcement end to end: a short session budget must cancel
+  // a search over the d<=4 ball (~180M candidates, minutes of single-thread
+  // work) almost immediately. The deadline travels admission -> driver ->
+  // process_digest -> backend -> shell workers via the SearchContext.
+  ServerFixture f("cpu", 1, 4, /*host_threads=*/1, /*id_base=*/400);
+  ServerConfig cfg;
+  cfg.max_queue_depth = 2;
+  cfg.max_in_flight = 1;
+  cfg.session_budget_s = 0.5;
+  cfg.per_message_latency_s = 0.0;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  auto client = f.make_client(0, /*injected_distance=*/4, 0xDEAD);
+  WallTimer timer;
+  const SessionOutcome outcome = server.submit(client.get()).get();
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_TRUE(outcome.timed_out);
+  EXPECT_FALSE(outcome.authenticated);
+  EXPECT_LT(timer.elapsed_s(), 30.0)
+      << "deadline did not reach the search workers";
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+}
+
+TEST(ServerStress, BoundedQueueShedsLoadAtAdmission) {
+  // One driver, queue depth 1, sessions that spend their whole (small)
+  // budget searching: a burst of 10 must see rejections at admission, and
+  // the counters must reconcile exactly.
+  ServerFixture f("cpu", 10, 3, /*host_threads=*/1, /*id_base=*/500);
+  ServerConfig cfg;
+  cfg.max_queue_depth = 1;
+  cfg.max_in_flight = 1;
+  cfg.session_budget_s = 0.2;
+  cfg.per_message_latency_s = 0.0;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  constexpr int kBurst = 10;
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::future<SessionOutcome>> futures;
+  for (int i = 0; i < kBurst; ++i) {
+    // Distance 3 into a d<=3 ball: each accepted session searches until its
+    // budget expires, keeping the driver busy while the burst lands.
+    clients.push_back(f.make_client(i, 3, 0xBEEF));
+    futures.push_back(server.submit(clients.back().get()));
+  }
+  u64 accepted = 0, rejected = 0;
+  for (auto& future : futures) {
+    const SessionOutcome outcome = future.get();
+    (outcome.accepted ? accepted : rejected)++;
+  }
+  EXPECT_EQ(accepted + rejected, static_cast<u64>(kBurst));
+  EXPECT_GE(rejected, 1u) << "bounded queue never pushed back";
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<u64>(kBurst));
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, accepted);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+}
+
+TEST(ServerStress, SubmitAfterShutdownIsRejected) {
+  ServerFixture f("cpu", 1, 2, 1, /*id_base=*/600);
+  ServerConfig cfg;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+  server.shutdown();
+  auto client = f.make_client(0, 1, 0xF00D);
+  const SessionOutcome outcome = server.submit(client.get()).get();
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+}  // namespace
+}  // namespace rbc::server
