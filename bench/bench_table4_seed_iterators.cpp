@@ -10,6 +10,7 @@
 //      ordering (Chase < Gosper < Alg 515 for unrank-per-seed generation)
 //      must emerge from the measurement, not the calibration.
 #include "bench_util.hpp"
+#include "hash/cpu_features.hpp"
 #include "sim/gpu_model.hpp"
 #include "sim/probe.hpp"
 
@@ -62,5 +63,25 @@ int main() {
       "\nExpected ordering on the host: Chase (O(1) Gray step) <= Gosper\n"
       "(256-bit arithmetic per step) < Alg 515 in unrank-each mode (binomial\n"
       "table walk per seed) — the same ordering Table 4 reports on the GPU.\n");
+
+  print_title("Host batched pipeline — block refill + multi-lane SHA-3");
+  std::printf("dispatch level: %s\n\n",
+              std::string(hash::to_string(hash::active_simd_level())).c_str());
+  Table batched({"algorithm", "scalar ns/seed", "batched ns/seed", "speedup"});
+  for (IterAlgo it :
+       {IterAlgo::kChase382, IterAlgo::kGosper, IterAlgo::kAlg515}) {
+    const auto scalar =
+        sim::probe_iterate_and_hash(it, hash::HashAlgo::kSha3_256, 3, sample);
+    const auto blocked = sim::probe_iterate_and_hash_batched(
+        it, hash::HashAlgo::kSha3_256, 3, sample);
+    batched.add_row({std::string(sim::to_string(it)),
+                     fmt(scalar.ns_per_op(), 1), fmt(blocked.ns_per_op(), 1),
+                     fmt(scalar.ns_per_op() / blocked.ns_per_op(), 2) + "x"});
+  }
+  batched.print();
+  std::printf(
+      "\nThe batched speedup is largest for Chase (hash-dominated loop) and\n"
+      "smallest for Alg 515, whose per-seed unranking cost batching cannot\n"
+      "remove — iteration cost bounds the batched pipeline's gain.\n");
   return 0;
 }

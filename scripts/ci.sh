@@ -11,23 +11,45 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== [1/4] configure + build (default) ==="
+echo "=== [1/6] configure + build (default) ==="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 
-echo "=== [2/4] ctest (default) ==="
+echo "=== [2/6] ctest (default) ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/4] configure + build (ThreadSanitizer) ==="
+echo "=== [3/6] batched-hash equivalence under forced dispatch levels ==="
+# The auto run above already covered the host's best level; re-run the batch
+# suite with the RBC_HASH_SIMD knob capping dispatch so the scalar-tail and
+# SWAR code paths are exercised even on AVX2 hosts.
+for level in scalar swar; do
+  echo "--- RBC_HASH_SIMD=$level ---"
+  RBC_HASH_SIMD="$level" ctest --test-dir build --output-on-failure \
+    -j "$JOBS" -R 'HashBatch'
+done
+
+echo "=== [4/6] bench smoke: batched hash throughput ==="
+# Release-configured bench build; one quick repetition proves the batched
+# kernels run at every advertised level (full numbers: docs/perf.md).
+if [[ "${RBC_CI_BENCH:-1}" == "1" ]]; then
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$JOBS" --target bench_hash_throughput
+  ./build-release/bench/bench_hash_throughput \
+    --benchmark_filter='SeedBatched|SeedFixed' --benchmark_min_time=0.05
+else
+  echo "(skipped: RBC_CI_BENCH=0)"
+fi
+
+echo "=== [5/6] configure + build (ThreadSanitizer) ==="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
 
-echo "=== [4/4] ctest (tsan: concurrency suites) ==="
+echo "=== [6/6] ctest (tsan: concurrency suites) ==="
 # TSan slows execution ~5-15x; run the suites that exercise cross-thread
 # seams rather than the whole (mostly single-threaded) matrix.
 # (ctest registers gtest CASE names, so the filter matches suite prefixes.)
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
   --output-on-failure -j "$JOBS" \
-  -R 'WorkerGroup|SearchContext|ServerStress|RbcSearch|Backend|Protocol|LaunchKernel|SaltedKernel|DistSearch|Communicator'
+  -R 'WorkerGroup|SearchContext|ServerStress|RbcSearch|Backend|Protocol|LaunchKernel|SaltedKernel|DistSearch|Communicator|HashBatch'
 
 echo "CI: all gates green"

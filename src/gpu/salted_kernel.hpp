@@ -7,17 +7,21 @@
 //   1. computes its global id r,
 //   2. copies its Chase Algorithm-382 snapshot into the block's SHARED
 //      MEMORY arena (§3.2.3 optimization),
-//   3. iterates its n assigned combinations, hashing each candidate with
-//      the fixed-padding SHA path and polling the unified flag,
+//   3. iterates its n assigned combinations in candidate blocks, hashing
+//      each block with the fixed-padding multi-lane SHA kernels and polling
+//      the unified flag between blocks,
 //   4. on a match, atomically publishes the result and raises the flag.
 #pragma once
 
+#include <array>
+#include <cstring>
 #include <functional>
 #include <mutex>
 
 #include "combinatorics/chase382.hpp"
 #include "common/timer.hpp"
 #include "gpu/launch.hpp"
+#include "hash/batch.hpp"
 #include "hash/traits.hpp"
 #include "rbc/search.hpp"
 
@@ -79,27 +83,52 @@ ShellLaunchStats launch_salted_shell(
                         ? snapshots[static_cast<std::size_t>(r + 1)].step_index
                         : shell_total;
 
+    // Same batched shape as the host search: refill a candidate block from
+    // the Chase walk, hash all lanes per multi-buffer call, reject on the
+    // digest head before the full compare. The unified flag is polled once
+    // per block — the device-side analogue of the §4.4 check interval.
     comb::ChaseSequence seq(state);
+    constexpr std::size_t kBlock = hash::seed_hash_batch<Hash>();
+    std::array<Seed256, kBlock> candidates;
+    std::array<typename Hash::digest_type, kBlock> digests;
+    u32 target_head;
+    std::memcpy(&target_head, target.bytes.data(), sizeof(target_head));
+
     u64 local = 0;
-    for (u64 i = begin; i < end; ++i) {
+    u64 i = begin;
+    bool running = true;
+    while (running && i < end) {
       // Unified-memory early exit (§3.2), plus session cancellation.
       if (flag.get() || (ctx != nullptr && ctx->cancel_requested())) break;
-      if (ctx != nullptr && (local & 0xffff) == 0xffff) ctx->check_deadline();
-      const Seed256 candidate = s_init ^ seq.mask();
-      ++local;
-      if (hash(candidate) == target) {
+      std::size_t n = 0;
+      while (n < kBlock && i + n < end) {
+        candidates[n] = s_init ^ seq.mask();
+        if (i + n + 1 < end) seq.advance();
+        ++n;
+      }
+      hash::hash_seed_block(hash, candidates.data(), n, digests.data());
+      std::size_t counted = n;
+      for (std::size_t lane = 0; lane < n; ++lane) {
+        u32 head;
+        std::memcpy(&head, digests[lane].bytes.data(), sizeof(head));
+        if (head != target_head || digests[lane] != target) continue;
         {
           std::lock_guard lock(slot.mutex);
           if (!slot.found) {
             slot.found = true;
-            slot.seed = candidate;
+            slot.seed = candidates[lane];
             slot.distance = shell;
           }
         }
         flag.set();
+        counted = lane + 1;  // lanes past the match were speculative
+        running = false;
         break;
       }
-      if (i + 1 < end) seq.advance();
+      local += counted;
+      i += n;
+      // Coarse deadline cadence: a clock read roughly every 64 Ki seeds.
+      if (ctx != nullptr && (local & 0xffff) < n) ctx->check_deadline();
     }
     seeds_hashed.fetch_add(local, std::memory_order_relaxed);
     if (ctx != nullptr) ctx->add_progress(local);

@@ -1,0 +1,52 @@
+#include "hash/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace rbc::hash {
+
+namespace {
+
+SimdLevel probe_host() noexcept {
+#if RBC_HAVE_AVX2_TARGET
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kSwar;
+}
+
+/// RBC_HASH_SIMD caps (never raises) the dispatch level; unknown values and
+/// "auto" leave the probed level untouched.
+SimdLevel apply_env(SimdLevel probed) noexcept {
+  const char* env = std::getenv("RBC_HASH_SIMD");
+  if (env == nullptr || std::strcmp(env, "auto") == 0) return probed;
+  if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(env, "swar") == 0)
+    return probed < SimdLevel::kSwar ? probed : SimdLevel::kSwar;
+  if (std::strcmp(env, "avx2") == 0)
+    return probed < SimdLevel::kAvx2 ? probed : SimdLevel::kAvx2;
+  return probed;
+}
+
+std::atomic<SimdLevel>& active_level() noexcept {
+  static std::atomic<SimdLevel> level{apply_env(probe_host())};
+  return level;
+}
+
+}  // namespace
+
+SimdLevel detected_simd_level() noexcept {
+  static const SimdLevel probed = probe_host();
+  return probed;
+}
+
+SimdLevel active_simd_level() noexcept {
+  return active_level().load(std::memory_order_relaxed);
+}
+
+void force_simd_level(SimdLevel level) noexcept {
+  const SimdLevel cap = detected_simd_level();
+  active_level().store(level < cap ? level : cap, std::memory_order_relaxed);
+}
+
+}  // namespace rbc::hash

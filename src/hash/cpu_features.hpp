@@ -1,0 +1,59 @@
+// Runtime CPU-feature dispatch for the multi-lane seed-hash kernels.
+//
+// The batched hash pipeline ships three implementations of every kernel:
+//   * kScalar — one seed per call through the existing fixed-padding path
+//               (the reference; always available);
+//   * kSwar   — portable multi-lane code: the compression function is
+//               written over small per-lane arrays so the compiler can
+//               unroll/auto-vectorize it, and so the dependent-chain latency
+//               of one hash overlaps with its neighbours' on any ISA;
+//   * kAvx2   — 8x32-bit (SHA-1) / 4x64-bit (Keccak) vector lanes using AVX2
+//               intrinsics, compiled with a per-function target attribute so
+//               the rest of the binary needs no special -m flags.
+//
+// The level is picked once per process: the strongest ISA the host supports,
+// clamped by the RBC_HASH_SIMD environment knob (scalar|swar|avx2|auto) that
+// CI uses to run the equivalence suite under every dispatch outcome. Tests
+// may also force a level programmatically.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RBC_HAVE_AVX2_TARGET 1
+#define RBC_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define RBC_HAVE_AVX2_TARGET 0
+#define RBC_TARGET_AVX2
+#endif
+
+namespace rbc::hash {
+
+enum class SimdLevel : u8 { kScalar = 0, kSwar = 1, kAvx2 = 2 };
+
+constexpr std::string_view to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSwar:
+      return "swar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+/// Strongest level this host can execute (CPUID probe; ignores the env).
+SimdLevel detected_simd_level() noexcept;
+
+/// Level the multi-lane kernels dispatch to: detected_simd_level() clamped
+/// by RBC_HASH_SIMD and by any force_simd_level() override.
+SimdLevel active_simd_level() noexcept;
+
+/// Test hook: pin the dispatch level for this process (clamped to what the
+/// host supports). Pass detected_simd_level() to restore auto behaviour.
+void force_simd_level(SimdLevel level) noexcept;
+
+}  // namespace rbc::hash

@@ -5,23 +5,8 @@
 
 namespace rbc::hash {
 
-namespace {
-
-constexpr u64 kRoundConstants[24] = {
-    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
-    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
-    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
-    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
-    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
-    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
-    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
-    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
-
-// rho rotation offsets, indexed lane x + 5y.
-constexpr int kRho[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
-                          25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
-
-}  // namespace
+using detail::kKeccakRho;
+using detail::kKeccakRoundConstants;
 
 void keccak_f1600(u64 a[25]) noexcept {
   for (int round = 0; round < 24; ++round) {
@@ -39,7 +24,7 @@ void keccak_f1600(u64 a[25]) noexcept {
       for (int y = 0; y < 5; ++y) {
         const int src = x + 5 * y;
         const int dst = y + 5 * ((2 * x + 3 * y) % 5);
-        b[dst] = std::rotl(a[src], kRho[src]);
+        b[dst] = std::rotl(a[src], kKeccakRho[src]);
       }
     }
 
@@ -52,7 +37,7 @@ void keccak_f1600(u64 a[25]) noexcept {
     }
 
     // iota
-    a[0] ^= kRoundConstants[round];
+    a[0] ^= kKeccakRoundConstants[round];
   }
 }
 
@@ -68,19 +53,28 @@ void KeccakSponge::reset() noexcept {
   squeezing_ = false;
 }
 
-void KeccakSponge::absorb_block(const u8* block) noexcept {
-  for (std::size_t i = 0; i < rate_ / 8; ++i) {
-    u64 lane;
-    std::memcpy(&lane, block + 8 * i, 8);  // Keccak lanes are little-endian
-    state_[i] ^= lane;
-  }
-  keccak_f1600(state_);
-}
-
 void KeccakSponge::absorb(ByteSpan data) noexcept {
+  // Bulk XOR-absorb: whole 64-bit lanes where the chunk allows (Keccak lanes
+  // are little-endian, so a raw word XOR is the correct injection), byte ops
+  // only at the ragged ends.
   auto* state_bytes = reinterpret_cast<u8*>(state_);
-  for (u8 byte : data) {
-    state_bytes[absorb_pos_++] ^= byte;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t take =
+        std::min(data.size() - off, rate_ - absorb_pos_);
+    const u8* src = data.data() + off;
+    u8* dst = state_bytes + absorb_pos_;
+    std::size_t i = 0;
+    for (; i + 8 <= take; i += 8) {
+      u64 lane, word;
+      std::memcpy(&lane, dst + i, 8);
+      std::memcpy(&word, src + i, 8);
+      lane ^= word;
+      std::memcpy(dst + i, &lane, 8);
+    }
+    for (; i < take; ++i) dst[i] ^= src[i];
+    absorb_pos_ += take;
+    off += take;
     if (absorb_pos_ == rate_) {
       keccak_f1600(state_);
       absorb_pos_ = 0;

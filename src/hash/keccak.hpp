@@ -17,6 +17,27 @@
 
 namespace rbc::hash {
 
+namespace detail {
+
+/// Keccak-f[1600] iota round constants, shared by the scalar permutation and
+/// the multi-lane kernels in keccak_multi.cpp.
+inline constexpr u64 kKeccakRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+/// rho rotation offsets, indexed lane x + 5y.
+inline constexpr int kKeccakRho[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55,
+                                       20, 3,  10, 43, 25, 39, 41, 45, 15,
+                                       21, 8,  18, 2,  61, 56, 14};
+
+}  // namespace detail
+
 /// The Keccak-f[1600] permutation over a 5x5 lane state (24 rounds).
 /// Exposed for tests (known-answer permutation vectors) and for the APU
 /// simulator's cost accounting.
@@ -37,8 +58,6 @@ class KeccakSponge {
   void squeeze(MutByteSpan out) noexcept;
 
  private:
-  void absorb_block(const u8* block) noexcept;
-
   u64 state_[25];
   std::size_t rate_;
   u8 suffix_;

@@ -1,0 +1,184 @@
+#include "hash/keccak_multi.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "hash/keccak.hpp"
+
+#if RBC_HAVE_AVX2_TARGET
+#include <immintrin.h>
+#endif
+
+namespace rbc::hash {
+
+namespace {
+
+using detail::kKeccakRho;
+using detail::kKeccakRoundConstants;
+
+// --- portable SWAR kernel ---------------------------------------------------
+// L sponge states side by side: s[i][l] is Keccak lane i of hash lane l.
+
+template <int L>
+void sha3_seed_lanes(const Seed256* seeds, Digest256* out) noexcept {
+  u64 s[25][L];
+  for (int l = 0; l < L; ++l) {
+    for (int t = 0; t < 4; ++t) s[t][l] = seeds[l].word(t);
+    s[4][l] = 0x06ULL;  // domain/pad byte at offset 32
+    for (int i = 5; i < 16; ++i) s[i][l] = 0;
+    s[16][l] = 0x8000000000000000ULL;  // final pad bit at byte 135
+    for (int i = 17; i < 25; ++i) s[i][l] = 0;
+  }
+
+  for (int round = 0; round < 24; ++round) {
+    u64 c[5][L], d[5][L];
+    for (int x = 0; x < 5; ++x)
+      for (int l = 0; l < L; ++l)
+        c[x][l] = s[x][l] ^ s[x + 5][l] ^ s[x + 10][l] ^ s[x + 15][l] ^
+                  s[x + 20][l];
+    for (int x = 0; x < 5; ++x)
+      for (int l = 0; l < L; ++l)
+        d[x][l] = c[(x + 4) % 5][l] ^ std::rotl(c[(x + 1) % 5][l], 1);
+    for (int i = 0; i < 25; ++i)
+      for (int l = 0; l < L; ++l) s[i][l] ^= d[i % 5][l];
+
+    u64 b[25][L];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        const int src = x + 5 * y;
+        const int dst = y + 5 * ((2 * x + 3 * y) % 5);
+        for (int l = 0; l < L; ++l)
+          b[dst][l] = std::rotl(s[src][l], kKeccakRho[src]);
+      }
+    }
+
+    for (int y = 0; y < 5; ++y)
+      for (int x = 0; x < 5; ++x)
+        for (int l = 0; l < L; ++l)
+          s[x + 5 * y][l] = b[x + 5 * y][l] ^ (~b[(x + 1) % 5 + 5 * y][l] &
+                                               b[(x + 2) % 5 + 5 * y][l]);
+
+    for (int l = 0; l < L; ++l) s[0][l] ^= kKeccakRoundConstants[round];
+  }
+
+  for (int l = 0; l < L; ++l) {
+    u8* p = out[l].bytes.data();
+    for (int t = 0; t < 4; ++t) std::memcpy(p + 8 * t, &s[t][l], 8);
+  }
+}
+
+// --- AVX2 kernel: 4 sponge states, one Keccak lane position per ymm ---------
+// All helpers carry the target attribute themselves (lambdas would not
+// inherit it and fail to inline under GCC).
+
+#if RBC_HAVE_AVX2_TARGET
+
+template <int R>
+RBC_TARGET_AVX2 inline __m256i rotl64c(__m256i x) noexcept {
+  if constexpr (R == 0) return x;
+  return _mm256_or_si256(_mm256_slli_epi64(x, R), _mm256_srli_epi64(x, 64 - R));
+}
+
+RBC_TARGET_AVX2 void sha3_seed_x4_avx2(const Seed256* seeds,
+                                       Digest256* out) noexcept {
+  __m256i s[25];
+  for (int t = 0; t < 4; ++t) {
+    s[t] = _mm256_setr_epi64x(static_cast<long long>(seeds[0].word(t)),
+                              static_cast<long long>(seeds[1].word(t)),
+                              static_cast<long long>(seeds[2].word(t)),
+                              static_cast<long long>(seeds[3].word(t)));
+  }
+  s[4] = _mm256_set1_epi64x(0x06LL);
+  for (int i = 5; i < 16; ++i) s[i] = _mm256_setzero_si256();
+  s[16] = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  for (int i = 17; i < 25; ++i) s[i] = _mm256_setzero_si256();
+
+  for (int round = 0; round < 24; ++round) {
+    // theta
+    __m256i c[5], d[5];
+    for (int x = 0; x < 5; ++x)
+      c[x] = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_xor_si256(s[x], s[x + 5]),
+                           _mm256_xor_si256(s[x + 10], s[x + 15])),
+          s[x + 20]);
+    for (int x = 0; x < 5; ++x)
+      d[x] = _mm256_xor_si256(c[(x + 4) % 5], rotl64c<1>(c[(x + 1) % 5]));
+    for (int i = 0; i < 25; ++i) s[i] = _mm256_xor_si256(s[i], d[i % 5]);
+
+    // rho + pi, unrolled so every rotation count is a compile-time constant.
+    __m256i b[25];
+#define RBC_KECCAK_RHOPI(dst, src) \
+  b[dst] = rotl64c<kKeccakRho[src]>(s[src]);
+    RBC_KECCAK_RHOPI(0, 0)
+    RBC_KECCAK_RHOPI(10, 1)
+    RBC_KECCAK_RHOPI(20, 2)
+    RBC_KECCAK_RHOPI(5, 3)
+    RBC_KECCAK_RHOPI(15, 4)
+    RBC_KECCAK_RHOPI(16, 5)
+    RBC_KECCAK_RHOPI(1, 6)
+    RBC_KECCAK_RHOPI(11, 7)
+    RBC_KECCAK_RHOPI(21, 8)
+    RBC_KECCAK_RHOPI(6, 9)
+    RBC_KECCAK_RHOPI(7, 10)
+    RBC_KECCAK_RHOPI(17, 11)
+    RBC_KECCAK_RHOPI(2, 12)
+    RBC_KECCAK_RHOPI(12, 13)
+    RBC_KECCAK_RHOPI(22, 14)
+    RBC_KECCAK_RHOPI(23, 15)
+    RBC_KECCAK_RHOPI(8, 16)
+    RBC_KECCAK_RHOPI(18, 17)
+    RBC_KECCAK_RHOPI(3, 18)
+    RBC_KECCAK_RHOPI(13, 19)
+    RBC_KECCAK_RHOPI(14, 20)
+    RBC_KECCAK_RHOPI(24, 21)
+    RBC_KECCAK_RHOPI(9, 22)
+    RBC_KECCAK_RHOPI(19, 23)
+    RBC_KECCAK_RHOPI(4, 24)
+#undef RBC_KECCAK_RHOPI
+
+    // chi
+    for (int y = 0; y < 5; ++y)
+      for (int x = 0; x < 5; ++x)
+        s[x + 5 * y] = _mm256_xor_si256(
+            b[x + 5 * y], _mm256_andnot_si256(b[(x + 1) % 5 + 5 * y],
+                                              b[(x + 2) % 5 + 5 * y]));
+
+    // iota
+    s[0] = _mm256_xor_si256(
+        s[0], _mm256_set1_epi64x(
+                  static_cast<long long>(kKeccakRoundConstants[round])));
+  }
+
+  alignas(32) u64 lanes[4][4];  // lanes[t][l] = Keccak lane t of hash lane l
+  for (int t = 0; t < 4; ++t)
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes[t]), s[t]);
+  for (int l = 0; l < 4; ++l) {
+    u8* p = out[l].bytes.data();
+    for (int t = 0; t < 4; ++t) std::memcpy(p + 8 * t, &lanes[t][l], 8);
+  }
+}
+
+#endif  // RBC_HAVE_AVX2_TARGET
+
+}  // namespace
+
+void sha3_256_seed_multi_level(SimdLevel level, const Seed256* seeds,
+                               std::size_t count, Digest256* out) noexcept {
+  std::size_t i = 0;
+#if RBC_HAVE_AVX2_TARGET
+  if (level == SimdLevel::kAvx2) {
+    for (; i + 4 <= count; i += 4) sha3_seed_x4_avx2(seeds + i, out + i);
+  }
+#endif
+  if (level >= SimdLevel::kSwar) {
+    for (; i + 4 <= count; i += 4) sha3_seed_lanes<4>(seeds + i, out + i);
+  }
+  for (; i < count; ++i) out[i] = sha3_256_seed(seeds[i]);
+}
+
+void sha3_256_seed_multi(const Seed256* seeds, std::size_t count,
+                         Digest256* out) noexcept {
+  sha3_256_seed_multi_level(active_simd_level(), seeds, count, out);
+}
+
+}  // namespace rbc::hash

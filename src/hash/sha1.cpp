@@ -99,16 +99,20 @@ void Sha1::update(ByteSpan data) noexcept {
 }
 
 Digest160 Sha1::finalize() noexcept {
+  // Padding written directly into the block buffer: the 0x80 marker, one
+  // memset for the whole zero run (spilling into an extra compression when
+  // the marker lands past byte 55), and the big-endian bit length. update()
+  // is bypassed entirely — the length field must not count toward it anyway.
   const u64 bit_len = total_bytes_ * 8;
-  const u8 pad = 0x80;
-  update(ByteSpan{&pad, 1});
-  const u8 z = 0x00;
-  while (buffered_ != 56) update(ByteSpan{&z, 1});
-  u8 len_be[8];
+  buffer_[buffered_++] = 0x80;
+  if (buffered_ > 56) {
+    std::memset(buffer_ + buffered_, 0, 64 - buffered_);
+    compress(buffer_);
+    buffered_ = 0;
+  }
+  std::memset(buffer_ + buffered_, 0, 56 - buffered_);
   for (int i = 0; i < 8; ++i)
-    len_be[i] = static_cast<u8>(bit_len >> (56 - 8 * i));
-  // Bypass update()'s length accounting for the length field itself.
-  std::memcpy(buffer_ + 56, len_be, 8);
+    buffer_[56 + i] = static_cast<u8>(bit_len >> (56 - 8 * i));
   compress(buffer_);
 
   Digest160 d;

@@ -54,11 +54,14 @@ SearchResult run_search(const Seed256& s_init, ByteSpan digest,
                         hash::HashAlgo algo, sim::IterAlgo iter,
                         par::WorkerGroup& workers, const SearchOptions& opts,
                         par::SearchContext* session) {
+  // All engines search through the batched policies: the multi-lane kernels
+  // dispatch on the host CPU at runtime, and results/accounting are
+  // equivalent to the scalar policies by construction (see hash/batch.hpp).
   if (algo == hash::HashAlgo::kSha1)
-    return run_typed<hash::Sha1SeedHash>(s_init, digest, iter, workers, opts,
-                                         session);
-  return run_typed<hash::Sha3SeedHash>(s_init, digest, iter, workers, opts,
-                                       session);
+    return run_typed<hash::Sha1BatchSeedHash>(s_init, digest, iter, workers,
+                                              opts, session);
+  return run_typed<hash::Sha3BatchSeedHash>(s_init, digest, iter, workers,
+                                            opts, session);
 }
 
 }  // namespace
@@ -207,9 +210,9 @@ EngineReport GpuEmulatedBackend::search(const Seed256& s_init, ByteSpan digest,
         /*threads_per_block=*/32, hash, opts.timeout_s, session);
   };
   if (algo == hash::HashAlgo::kSha1) {
-    run(hash::Sha1SeedHash{});
+    run(hash::Sha1BatchSeedHash{});
   } else {
-    run(hash::Sha3SeedHash{});
+    run(hash::Sha3BatchSeedHash{});
   }
   report.modeled_device_seconds = model_.time_for_seeds_s(
       report.result.seeds_hashed, algo, sim::IterAlgo::kChase382,

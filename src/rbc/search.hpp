@@ -22,8 +22,17 @@
 // reason the paper fuses seed iteration and hashing into one GPU kernel
 // (§4.5: "we do not time the seed iteration separately from SHA-3, as they
 // execute in the same kernel").
+//
+// Batched hashing: when the hash policy is a BatchSeedHash (hash/batch.hpp),
+// each unit refills a small candidate block from its iterator slice and
+// compresses all lanes in one multi-buffer call, rejecting non-matches on a
+// 32-bit digest-head compare before the full comparison. Scalar policies run
+// the same loop with a block of one, so results and accounting are identical
+// across policies.
 #pragma once
 
+#include <array>
+#include <cstring>
 #include <mutex>
 #include <optional>
 
@@ -31,6 +40,7 @@
 #include "combinatorics/shell.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "hash/batch.hpp"
 #include "hash/traits.hpp"
 #include "parallel/early_exit.hpp"
 #include "parallel/search_context.hpp"
@@ -44,8 +54,12 @@ struct SearchOptions {
   /// SPMD work units per shell (p in Algorithm 1). Units multiplex onto the
   /// worker group, so this may exceed the group's thread count.
   int num_threads = 1;
-  /// Seeds iterated between early-exit flag checks (§4.4 knob).
-  u32 check_interval = 1;
+  /// Seeds iterated between stop-condition checks (§4.4 knob): both the
+  /// early-exit flag and the deadline are consulted at this cadence, rounded
+  /// up to whole hash batches. §4.4 found intervals 1..64 indistinguishable;
+  /// 256 keeps the clock read and flag poll far off the per-seed fast path
+  /// while still bounding stop latency to microseconds.
+  u32 check_interval = 256;
   /// When false, the search visits every seed up to d even after a match —
   /// the "exhaustive" timing scenario of the evaluation. Cancellation and
   /// deadlines still apply.
@@ -115,26 +129,54 @@ SearchResult rbc_search(const Seed256& s_init,
 
     workers.parallel_workers(p, [&](int unit) {
       auto it = factory.make(unit);
-      par::CheckThrottle throttle(opts.check_interval);
+      // Lines 11-16, batched: refill a candidate block by XOR-ing each
+      // iterator delta into S_init, hash every lane in one multi-buffer
+      // call, then reject non-matches on the digests' first 32 bits before
+      // paying for the full comparison. Scalar policies get B = 1, which is
+      // exactly the one-candidate-per-iteration loop.
+      constexpr std::size_t kBlock = hash::seed_hash_batch<Hash>();
+      std::array<Seed256, kBlock> candidates;
+      std::array<typename Hash::digest_type, kBlock> digests;
+      u32 target_head;
+      std::memcpy(&target_head, target.bytes.data(), sizeof(target_head));
+
+      // One unified stop cadence (early-exit flag + deadline), expressed in
+      // whole blocks so a batch is never split by a poll.
+      const u32 blocks_per_check = static_cast<u32>(
+          (std::max<u64>(opts.check_interval, 1) + kBlock - 1) / kBlock);
+      par::CheckThrottle throttle(blocks_per_check);
+
       u64 local_hashed = 0;
       Seed256 mask;
-      // Lines 11-16: iterate this unit's slice of the shell.
-      while (it.next(mask)) {
-        if (throttle.due() && ctx.should_stop(opts.early_exit)) break;
-        const Seed256 candidate = s_init ^ mask;
-        ++local_hashed;
-        if (hash(candidate) == target) {
+      bool running = true;
+      while (running) {
+        if (throttle.due() &&
+            (ctx.check_deadline() || ctx.should_stop(opts.early_exit))) {
+          break;
+        }
+        std::size_t n = 0;
+        while (n < kBlock && it.next(mask)) candidates[n++] = s_init ^ mask;
+        if (n == 0) break;  // slice exhausted
+        hash::hash_seed_block(hash, candidates.data(), n, digests.data());
+        std::size_t counted = n;
+        for (std::size_t i = 0; i < n; ++i) {
+          u32 head;
+          std::memcpy(&head, digests[i].bytes.data(), sizeof(head));
+          if (head != target_head || digests[i] != target) continue;
           {
             std::lock_guard lock(found_mutex);
-            if (!found) found = {candidate, k};
+            if (!found) found = {candidates[i], k};
           }
           ctx.signal_match();  // line 15: NotifyAllThreadsToExitSearch
-          if (opts.early_exit) break;
+          if (opts.early_exit) {
+            // Lanes past the match were speculative; count to the match so
+            // the accounting equals the scalar policy's visit order.
+            counted = i + 1;
+            running = false;
+          }
+          break;
         }
-        // The deadline is checked at a coarse cadence to keep the clock
-        // read off the per-seed fast path; a hit latches cancellation,
-        // which every unit (and every layer sharing this context) observes.
-        if ((local_hashed & 0xffff) == 0) ctx.check_deadline();
+        local_hashed += counted;
       }
       hashed_per_unit[static_cast<std::size_t>(unit)] += local_hashed;
       ctx.add_progress(local_hashed);

@@ -30,6 +30,24 @@ double CpuModel::average_time_s(int d, hash::HashAlgo hash,
          calib_.cpu_exit_overhead_s;
 }
 
+double CpuModel::batched_time_for_seeds_s(u64 seeds, hash::HashAlgo hash,
+                                          int threads) const {
+  return static_cast<double>(seeds) *
+         per_seed_seconds(calib_.cpu_batch_cycles(hash), threads);
+}
+
+double CpuModel::batched_exhaustive_time_s(int d, hash::HashAlgo hash,
+                                           int threads) const {
+  return batched_time_for_seeds_s(
+      static_cast<u64>(comb::exhaustive_search_count(d)), hash, threads);
+}
+
+double CpuModel::batched_pipeline_speedup(hash::HashAlgo hash,
+                                          int threads) const {
+  return per_seed_seconds(calib_.cpu_cycles(hash), threads) /
+         per_seed_seconds(calib_.cpu_batch_cycles(hash), threads);
+}
+
 double CpuModel::speedup(hash::HashAlgo hash, int threads) const {
   return per_seed_seconds(calib_.cpu_cycles(hash), 1) /
          per_seed_seconds(calib_.cpu_cycles(hash), threads);

@@ -28,6 +28,17 @@ class CpuModel {
   double exhaustive_time_s(int d, hash::HashAlgo hash, int threads) const;
   double average_time_s(int d, hash::HashAlgo hash, int threads) const;
 
+  /// Projections for the batched multi-lane hash pipeline: the hash cost per
+  /// candidate drops by the measured cpu_batch_speedup while the per-seed
+  /// contention term is unchanged (flag/progress bookkeeping is per seed, not
+  /// per compression).
+  double batched_time_for_seeds_s(u64 seeds, hash::HashAlgo hash,
+                                  int threads) const;
+  double batched_exhaustive_time_s(int d, hash::HashAlgo hash,
+                                   int threads) const;
+  /// Overall speedup of the batched over the scalar pipeline at `threads`.
+  double batched_pipeline_speedup(hash::HashAlgo hash, int threads) const;
+
   /// Strong-scaling speedup t(1)/t(p) for the §4.3 experiment.
   double speedup(hash::HashAlgo hash, int threads) const;
 

@@ -1,5 +1,6 @@
 #include "sim/probe.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "combinatorics/algorithm515.hpp"
@@ -7,6 +8,8 @@
 #include "combinatorics/gosper.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "hash/batch.hpp"
+#include "hash/cpu_features.hpp"
 #include "hash/keccak.hpp"
 #include "hash/sha1.hpp"
 
@@ -58,6 +61,46 @@ ProbeResult probe_hash_generic(hash::HashAlgo algo, u64 iterations) {
                         });
 }
 
+namespace {
+
+template <hash::BatchSeedHash Hash>
+ProbeResult run_batched_probe(std::string what, u64 iterations) {
+  constexpr std::size_t kBlock = Hash::kBatch;
+  Xoshiro256 rng(0xbe7c);
+  Seed256 block[kBlock];
+  typename Hash::digest_type digests[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) block[i] = Seed256::random(rng);
+  Hash hasher;
+  WallTimer timer;
+  u8 sink = 0;
+  u64 done = 0;
+  while (done < iterations) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<u64>(kBlock, iterations - done));
+    hasher.hash_batch(block, n, digests);
+    for (std::size_t i = 0; i < n; ++i) {
+      sink ^= digests[i].bytes[0];
+      block[i].word(0) += 0x9e3779b97f4a7c15ULL + sink;
+    }
+    done += n;
+  }
+  ProbeResult r{std::move(what), iterations, timer.elapsed_s()};
+  if (sink == 0xA5) r.what += " ";
+  return r;
+}
+
+}  // namespace
+
+ProbeResult probe_hash_batched(hash::HashAlgo algo, u64 iterations) {
+  const std::string level(hash::to_string(hash::active_simd_level()));
+  if (algo == hash::HashAlgo::kSha1) {
+    return run_batched_probe<hash::Sha1BatchSeedHash>(
+        "SHA-1 seed hash (batched, " + level + ")", iterations);
+  }
+  return run_batched_probe<hash::Sha3BatchSeedHash>(
+      "SHA-3 seed hash (batched, " + level + ")", iterations);
+}
+
 ProbeResult probe_iterate_and_hash(IterAlgo iter, hash::HashAlgo hash, int k,
                                    u64 max_seeds) {
   Xoshiro256 rng(0x17e7);
@@ -100,6 +143,69 @@ ProbeResult probe_iterate_and_hash(IterAlgo iter, hash::HashAlgo hash, int k,
     }
   }
   ProbeResult r{std::string(to_string(iter)), produced, timer.elapsed_s()};
+  if (sink == 0xA5) r.what += " ";
+  return r;
+}
+
+namespace {
+
+template <hash::BatchSeedHash Hash, typename Iterator>
+void consume_batched(const Seed256& base, Iterator& iterator, u8& sink,
+                     u64& produced) {
+  constexpr std::size_t kBlock = Hash::kBatch;
+  Seed256 candidates[kBlock];
+  typename Hash::digest_type digests[kBlock];
+  const Hash hasher;
+  Seed256 mask;
+  for (;;) {
+    std::size_t n = 0;
+    while (n < kBlock && iterator.next(mask)) candidates[n++] = base ^ mask;
+    if (n == 0) break;
+    hasher.hash_batch(candidates, n, digests);
+    for (std::size_t i = 0; i < n; ++i) sink ^= digests[i].bytes[0];
+    produced += n;
+  }
+}
+
+}  // namespace
+
+ProbeResult probe_iterate_and_hash_batched(IterAlgo iter, hash::HashAlgo hash,
+                                           int k, u64 max_seeds) {
+  Xoshiro256 rng(0x17e7);
+  const Seed256 base = Seed256::random(rng);
+  u8 sink = 0;
+  u64 produced = 0;
+
+  auto consume = [&](auto& iterator) {
+    if (hash == hash::HashAlgo::kSha1) {
+      consume_batched<hash::Sha1BatchSeedHash>(base, iterator, sink, produced);
+    } else {
+      consume_batched<hash::Sha3BatchSeedHash>(base, iterator, sink, produced);
+    }
+  };
+
+  WallTimer timer;
+  switch (iter) {
+    case IterAlgo::kChase382: {
+      comb::ChaseSequence seq(k);
+      comb::ChaseIterator it(seq.state(), max_seeds);
+      consume(it);
+      break;
+    }
+    case IterAlgo::kAlg515: {
+      comb::Algorithm515Iterator it(k, 0, max_seeds,
+                                    comb::Alg515Mode::kUnrankEach);
+      consume(it);
+      break;
+    }
+    case IterAlgo::kGosper: {
+      comb::GosperIterator it(k, 0, max_seeds);
+      consume(it);
+      break;
+    }
+  }
+  ProbeResult r{std::string(to_string(iter)) + " (batched)", produced,
+                timer.elapsed_s()};
   if (sink == 0xA5) r.what += " ";
   return r;
 }

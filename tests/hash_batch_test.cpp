@@ -1,0 +1,265 @@
+// PR 3 batched hashing pipeline: the multi-lane kernels must be
+// bit-identical to the scalar fixed-padding path at EVERY dispatch level and
+// for every ragged tail, and the batched search must reproduce the scalar
+// search's results and accounting exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "combinatorics/chase382.hpp"
+#include "common/rng.hpp"
+#include "hash/batch.hpp"
+#include "hash/cpu_features.hpp"
+#include "hash/keccak.hpp"
+#include "hash/keccak_multi.hpp"
+#include "hash/sha1.hpp"
+#include "hash/sha1_multi.hpp"
+#include "rbc/search.hpp"
+
+namespace rbc {
+namespace {
+
+using hash::SimdLevel;
+
+// Restores the process-wide dispatch level when a forced-level test exits.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level)
+      : saved_(hash::active_simd_level()) {
+    hash::force_simd_level(level);
+  }
+  ~ScopedSimdLevel() { hash::force_simd_level(saved_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  SimdLevel saved_;
+};
+
+std::vector<SimdLevel> available_levels() {
+  std::vector<SimdLevel> levels{SimdLevel::kScalar, SimdLevel::kSwar};
+  if (hash::detected_simd_level() >= SimdLevel::kAvx2)
+    levels.push_back(SimdLevel::kAvx2);
+  return levels;
+}
+
+std::vector<Seed256> random_seeds(std::size_t n, u64 rng_seed) {
+  Xoshiro256 rng(rng_seed);
+  std::vector<Seed256> seeds(n);
+  for (auto& s : seeds) s = Seed256::random(rng);
+  return seeds;
+}
+
+// --- lane-by-lane equivalence against the scalar fast path ----------------
+
+TEST(HashBatch, Sha1MatchesScalarPerLaneAtEveryLevel) {
+  const auto seeds = random_seeds(33, 0x5a1);
+  std::vector<hash::Digest160> digests(seeds.size());
+  for (const SimdLevel level : available_levels()) {
+    hash::sha1_seed_multi_level(level, seeds.data(), seeds.size(),
+                                digests.data());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      EXPECT_EQ(digests[i], hash::sha1_seed(seeds[i]))
+          << "level=" << hash::to_string(level) << " lane=" << i;
+    }
+  }
+}
+
+TEST(HashBatch, Sha3MatchesScalarPerLaneAtEveryLevel) {
+  const auto seeds = random_seeds(33, 0x5a3);
+  std::vector<hash::Digest256> digests(seeds.size());
+  for (const SimdLevel level : available_levels()) {
+    hash::sha3_256_seed_multi_level(level, seeds.data(), seeds.size(),
+                                    digests.data());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      EXPECT_EQ(digests[i], hash::sha3_256_seed(seeds[i]))
+          << "level=" << hash::to_string(level) << " lane=" << i;
+    }
+  }
+}
+
+// --- ragged tails: every count from 1 seed up past two full batches -------
+
+TEST(HashBatch, RaggedTailsCoverAllDispatchSplits) {
+  const auto seeds = random_seeds(33, 0x7a9);
+  for (const SimdLevel level : available_levels()) {
+    for (std::size_t n = 1; n <= seeds.size(); ++n) {
+      std::vector<hash::Digest160> d1(n);
+      std::vector<hash::Digest256> d3(n);
+      hash::sha1_seed_multi_level(level, seeds.data(), n, d1.data());
+      hash::sha3_256_seed_multi_level(level, seeds.data(), n, d3.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(d1[i], hash::sha1_seed(seeds[i]))
+            << "level=" << hash::to_string(level) << " n=" << n << " i=" << i;
+        ASSERT_EQ(d3[i], hash::sha3_256_seed(seeds[i]))
+            << "level=" << hash::to_string(level) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// --- known-answer vectors replicated across all lanes ---------------------
+
+Seed256 sequential_seed() {
+  // Canonical encoding = bytes 00 01 02 ... 1f (32-byte little-endian limbs).
+  Seed256 s;
+  s.word(0) = 0x0706050403020100ULL;
+  s.word(1) = 0x0f0e0d0c0b0a0908ULL;
+  s.word(2) = 0x1716151413121110ULL;
+  s.word(3) = 0x1f1e1d1c1b1a1918ULL;
+  return s;
+}
+
+TEST(HashBatch, KnownAnswerVectorsInEveryLane) {
+  constexpr std::size_t kLanes = 16;
+  const Seed256 zero;
+  const Seed256 seq = sequential_seed();
+  for (const SimdLevel level : available_levels()) {
+    for (const bool use_seq : {false, true}) {
+      std::vector<Seed256> seeds(kLanes, use_seq ? seq : zero);
+      std::vector<hash::Digest160> d1(kLanes);
+      std::vector<hash::Digest256> d3(kLanes);
+      hash::sha1_seed_multi_level(level, seeds.data(), kLanes, d1.data());
+      hash::sha3_256_seed_multi_level(level, seeds.data(), kLanes, d3.data());
+      const std::string want1 =
+          use_seq ? "ae5bd8efea5322c4d9986d06680a781392f9a642"
+                  : "de8a847bff8c343d69b853a215e6ee775ef2ef96";
+      const std::string want3 =
+          use_seq
+              ? "050a48733bd5c2756ba95c5828cc83ee16fabcd3c086885b7744f84a0f9e0d94"
+              : "9e6291970cb44dd94008c79bcaf9d86f18b4b49ba5b2a04781db7199ed3b9e4e";
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        EXPECT_EQ(d1[i].to_hex(), want1)
+            << "level=" << hash::to_string(level) << " lane=" << i;
+        EXPECT_EQ(d3[i].to_hex(), want3)
+            << "level=" << hash::to_string(level) << " lane=" << i;
+      }
+    }
+  }
+}
+
+// --- policy layer ----------------------------------------------------------
+
+TEST(HashBatch, PolicyBatchMatchesPolicyScalar) {
+  const auto seeds = random_seeds(19, 0xb47c);
+  const hash::Sha1BatchSeedHash h1;
+  const hash::Sha3BatchSeedHash h3;
+  std::vector<hash::Digest160> d1(seeds.size());
+  std::vector<hash::Digest256> d3(seeds.size());
+  h1.hash_batch(seeds.data(), seeds.size(), d1.data());
+  h3.hash_batch(seeds.data(), seeds.size(), d3.data());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(d1[i], h1(seeds[i]));
+    EXPECT_EQ(d3[i], h3(seeds[i]));
+  }
+}
+
+TEST(HashBatch, ForcedLevelIsCappedByDetection) {
+  const SimdLevel detected = hash::detected_simd_level();
+  {
+    ScopedSimdLevel guard(SimdLevel::kScalar);
+    EXPECT_EQ(hash::active_simd_level(), SimdLevel::kScalar);
+  }
+  {
+    ScopedSimdLevel guard(SimdLevel::kAvx2);
+    EXPECT_LE(hash::active_simd_level(), detected);
+  }
+}
+
+TEST(HashBatch, HashSeedBlockDegradesToScalarPolicies) {
+  // The block helper must also serve plain SeedHash policies via the B=1
+  // fallback — that is what keeps the scalar policies usable in the search.
+  static_assert(hash::seed_hash_batch<hash::Sha1SeedHash>() == 1);
+  static_assert(hash::seed_hash_batch<hash::Sha1BatchSeedHash>() == 16);
+  const auto seeds = random_seeds(5, 0xb10c);
+  const hash::Sha1SeedHash scalar;
+  std::vector<hash::Digest160> out(seeds.size());
+  hash::hash_seed_block(scalar, seeds.data(), seeds.size(), out.data());
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    EXPECT_EQ(out[i], scalar(seeds[i]));
+}
+
+// --- search-level regression: batched == scalar results + accounting ------
+
+Seed256 seed_at_distance(const Seed256& base, int d, u64 rng_seed) {
+  Xoshiro256 rng(rng_seed);
+  Seed256 s = base;
+  int flipped = 0;
+  while (flipped < d) {
+    const int bit = static_cast<int>(rng.next_below(256));
+    if ((s ^ base).bit(bit)) continue;
+    s.flip_bit(bit);
+    ++flipped;
+  }
+  return s;
+}
+
+template <typename Hash>
+SearchResult search_with(const Seed256& base, const Seed256& truth,
+                         bool early_exit) {
+  comb::ChaseFactory factory;
+  par::WorkerGroup pool(1);
+  SearchOptions opts;
+  opts.max_distance = 2;
+  opts.num_threads = 1;  // deterministic visit order => exact accounting
+  opts.early_exit = early_exit;
+  opts.timeout_s = 600.0;
+  const Hash hash;
+  const hash::Sha3SeedHash target_hash;  // digest from the scalar reference
+  return rbc_search<Hash>(base, target_hash(truth), factory, pool, opts,
+                          hash);
+}
+
+TEST(HashBatch, BatchedSearchMatchesScalarSearchEarlyExit) {
+  Xoshiro256 rng(31);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 2, 101);
+  const auto scalar = search_with<hash::Sha3SeedHash>(base, truth, true);
+  const auto batched = search_with<hash::Sha3BatchSeedHash>(base, truth, true);
+  EXPECT_TRUE(scalar.found);
+  EXPECT_TRUE(batched.found);
+  EXPECT_EQ(batched.seed, scalar.seed);
+  EXPECT_EQ(batched.distance, scalar.distance);
+  EXPECT_EQ(batched.seeds_hashed, scalar.seeds_hashed);
+}
+
+TEST(HashBatch, BatchedSearchMatchesScalarSearchExhaustive) {
+  Xoshiro256 rng(32);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 1, 102);
+  const auto scalar = search_with<hash::Sha3SeedHash>(base, truth, false);
+  const auto batched =
+      search_with<hash::Sha3BatchSeedHash>(base, truth, false);
+  EXPECT_TRUE(batched.found);
+  EXPECT_EQ(batched.seed, scalar.seed);
+  EXPECT_EQ(batched.distance, scalar.distance);
+  // Whole d<=2 ball: 1 + 256 + 32640.
+  EXPECT_EQ(batched.seeds_hashed, 32897u);
+  EXPECT_EQ(scalar.seeds_hashed, 32897u);
+}
+
+TEST(HashBatch, BatchedSearchIsLevelIndependent) {
+  Xoshiro256 rng(33);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = seed_at_distance(base, 2, 103);
+  SearchResult reference;
+  bool have_reference = false;
+  for (const SimdLevel level : available_levels()) {
+    ScopedSimdLevel guard(level);
+    const auto r = search_with<hash::Sha3BatchSeedHash>(base, truth, true);
+    EXPECT_TRUE(r.found) << hash::to_string(level);
+    if (!have_reference) {
+      reference = r;
+      have_reference = true;
+      continue;
+    }
+    EXPECT_EQ(r.seed, reference.seed) << hash::to_string(level);
+    EXPECT_EQ(r.distance, reference.distance) << hash::to_string(level);
+    EXPECT_EQ(r.seeds_hashed, reference.seeds_hashed)
+        << hash::to_string(level);
+  }
+}
+
+}  // namespace
+}  // namespace rbc
