@@ -1,8 +1,9 @@
 // Distributed search — the Philabaum et al. [36] deployment shape and the
 // §5 "scale the multi-core CPU algorithm across multiple compute nodes"
 // future-work direction, demonstrated functionally on the message-passing
-// substrate: rank 0 coordinates, all ranks search disjoint slices, and the
-// early-exit notification travels as real STOP messages.
+// substrate: rank 0 grants guided chunks of each shell on request (no
+// per-shell barriers), and the early-exit notification travels as real
+// STOP messages.
 #include <cstdio>
 
 #include "common/rng.hpp"
@@ -28,8 +29,10 @@ int main() {
   for (int ranks : {1, 2, 4, 8}) {
     dist::Communicator comm(ranks);
     WallTimer timer;
+    SearchOptions opts;
+    opts.max_distance = 2;
     const auto r = dist::distributed_search<hash::Sha3SeedHash>(
-        comm, enrolled, target, /*max_distance=*/2);
+        comm, enrolled, target, opts);
     std::printf("%-8d %-10s %-10d %-14d %-14llu %-12.4f\n", ranks,
                 r.found ? "yes" : "NO", r.distance, r.finder_rank,
                 static_cast<unsigned long long>(r.seeds_hashed),

@@ -1,5 +1,8 @@
 #include "combinatorics/algorithm515.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace rbc::comb {
 
 Combination unrank_lexicographic(u128 rank, int k, int n_bits) {
@@ -54,6 +57,33 @@ Algorithm515Iterator Algorithm515Factory::make(int r) const {
   const u128 hi = total_ * static_cast<u128>(r + 1) / static_cast<u128>(p_);
   return Algorithm515Iterator(k_, lo, static_cast<u64>(hi - lo), mode_,
                               n_bits_);
+}
+
+Alg515ShellPlan::Alg515ShellPlan(int k, u64 stride, Alg515Mode mode,
+                                 int n_bits)
+    : k_(k), n_bits_(n_bits), mode_(mode), stride_(stride) {
+  RBC_CHECK(stride >= 1);
+  const u128 total128 = binomial128(n_bits, k);
+  RBC_CHECK_MSG(total128 <= std::numeric_limits<u64>::max(),
+                "tiled schedule needs the shell to fit 64-bit ranks");
+  total_ = static_cast<u64>(total128);
+  tiles_ = total_ == 0 ? 0 : (total_ - 1) / stride_ + 1;
+}
+
+u64 Alg515ShellPlan::tile_count(u64 t) const noexcept {
+  const u64 lo = t * stride_;
+  return std::min(stride_, total_ - lo);
+}
+
+Algorithm515Iterator Alg515ShellPlan::make_tile(u64 t) const {
+  RBC_CHECK(t < tiles_);
+  return Algorithm515Iterator(k_, static_cast<u128>(t) * stride_,
+                              tile_count(t), mode_, n_bits_);
+}
+
+std::shared_ptr<const Alg515ShellPlan> Algorithm515Factory::plan(
+    int k, u64 stride, const std::function<bool()>& /*abort*/) const {
+  return std::make_shared<const Alg515ShellPlan>(k, stride, mode_, n_bits_);
 }
 
 }  // namespace rbc::comb

@@ -14,6 +14,8 @@
 //     successor. A natural CPU optimization; kept for the iterator ablation.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string_view>
 
 #include "combinatorics/combination.hpp"
@@ -49,15 +51,43 @@ class Algorithm515Iterator {
   Combination current_;  // successor mode state
 };
 
+/// Immutable tile decomposition of one shell: tile t covers lexicographic
+/// ranks [t*stride, min((t+1)*stride, total)). Unranking makes every tile
+/// independently addressable — the "highly parallelizable" property §3.2.1
+/// credits Algorithm 515 for is exactly what makes guided/dynamic tiling
+/// coordination-free.
+class Alg515ShellPlan {
+ public:
+  using iterator = Algorithm515Iterator;
+
+  Alg515ShellPlan(int k, u64 stride, Alg515Mode mode, int n_bits);
+
+  u64 tiles() const noexcept { return tiles_; }
+  u64 total() const noexcept { return total_; }
+  u64 tile_count(u64 t) const noexcept;
+  Algorithm515Iterator make_tile(u64 t) const;
+
+ private:
+  int k_;
+  int n_bits_;
+  Alg515Mode mode_;
+  u64 stride_;
+  u64 total_;
+  u64 tiles_;
+};
+
 class Algorithm515Factory {
  public:
   using iterator = Algorithm515Iterator;
+  using shell_plan = Alg515ShellPlan;
 
   explicit Algorithm515Factory(Alg515Mode mode = Alg515Mode::kUnrankEach,
                                int n_bits = kSeedBits)
       : mode_(mode), n_bits_(n_bits) {}
 
   static constexpr std::string_view name() { return "Algorithm 515"; }
+
+  int n_bits() const noexcept { return n_bits_; }
 
   void prepare(int k, int num_threads) {
     k_ = k;
@@ -66,6 +96,11 @@ class Algorithm515Factory {
   }
 
   Algorithm515Iterator make(int r) const;
+
+  /// Thread-safe shell plan for the tiled schedule (`abort` unused: there is
+  /// no precomputation walk to cut short).
+  std::shared_ptr<const Alg515ShellPlan> plan(
+      int k, u64 stride, const std::function<bool()>& abort = {}) const;
 
  private:
   Alg515Mode mode_;

@@ -1,5 +1,6 @@
 #include "combinatorics/chase382.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace rbc::comb {
@@ -85,18 +86,39 @@ std::vector<ChaseState> make_chase_snapshots(int k, int num_states,
   const u64 total = static_cast<u64>(total128);
   const u64 interval = (total + static_cast<u64>(num_states) - 1) /
                        static_cast<u64>(num_states);
-
   std::vector<ChaseState> snapshots;
-  snapshots.reserve(static_cast<std::size_t>(num_states));
+  make_chase_snapshots_strided(k, std::max<u64>(interval, 1), snapshots,
+                               n_bits);
+  return snapshots;
+}
+
+bool make_chase_snapshots_strided(int k, u64 stride,
+                                  std::vector<ChaseState>& out, int n_bits,
+                                  const std::function<bool()>& abort) {
+  RBC_CHECK(stride >= 1);
+  const u128 total128 = binomial128(n_bits, k);
+  RBC_CHECK_MSG(total128 <= std::numeric_limits<u64>::max(),
+                "chase snapshot walk too large");
+  const u64 total = static_cast<u64>(total128);
+
+  out.clear();
+  out.reserve(total == 0 ? 0 : static_cast<std::size_t>((total - 1) / stride + 1));
+  // Abort cadence: one predicate call per 16 Ki twiddle steps keeps the
+  // check off the per-step fast path while bounding the walk's stop latency.
+  constexpr u64 kAbortMask = 0x3fff;
   ChaseSequence seq(k, n_bits);
   for (u64 step = 0; step < total; ++step) {
-    if (step % interval == 0) snapshots.push_back(seq.state());
+    if (abort && (step & kAbortMask) == 0 && abort()) {
+      out.clear();
+      return false;
+    }
+    if (step % stride == 0) out.push_back(seq.state());
     if (step + 1 < total) {
       const bool ok = seq.advance();
       RBC_CHECK_MSG(ok, "chase sequence ended early");
     }
   }
-  return snapshots;
+  return true;
 }
 
 void ChaseFactory::prepare(int k, int num_threads) {
@@ -111,6 +133,31 @@ void ChaseFactory::prepare(int k, int num_threads) {
     it = cache_.emplace(key, std::move(plan)).first;
   }
   active_ = it->second.get();
+}
+
+std::shared_ptr<const ChaseShellPlan> ChaseFactory::plan(
+    int k, u64 stride, const std::function<bool()>& abort) {
+  const auto key = std::make_pair(k, stride);
+  {
+    std::lock_guard lock(plan_mutex_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) return it->second;
+  }
+  // Walk outside the lock: a plan for another shell must not wait behind
+  // this one's O(C(n, k)) snapshot walk. The search layer already ensures a
+  // single preparer per (k, stride), so duplicate walks are not a concern;
+  // if two do race, the first insert wins.
+  auto built = std::make_shared<ChaseShellPlan>();
+  built->total_ = static_cast<u64>(binomial128(n_bits_, k));
+  built->stride_ = stride;
+  built->n_bits_ = n_bits_;
+  if (!make_chase_snapshots_strided(k, stride, built->snapshots_, n_bits_,
+                                    abort)) {
+    return nullptr;  // aborted; not cached so a later session can retry
+  }
+  std::lock_guard lock(plan_mutex_);
+  auto [it, inserted] = plan_cache_.emplace(key, std::move(built));
+  return it->second;
 }
 
 ChaseIterator ChaseFactory::make(int r) const {

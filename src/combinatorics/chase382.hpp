@@ -17,8 +17,10 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -65,6 +67,17 @@ class ChaseSequence {
 std::vector<ChaseState> make_chase_snapshots(int k, int num_states,
                                              int n_bits = kSeedBits);
 
+/// Strided variant for the tile scheduler: saves a snapshot at every
+/// `stride`-th step (snapshot i at step i*stride), so snapshot boundaries
+/// coincide exactly with tile boundaries. Returns false — leaving `out`
+/// empty — when `abort` (polled at a coarse step cadence) asks the walk to
+/// stop early, which is how a session deadline cuts the one-time
+/// precomputation short.
+bool make_chase_snapshots_strided(int k, u64 stride,
+                                  std::vector<ChaseState>& out,
+                                  int n_bits = kSeedBits,
+                                  const std::function<bool()>& abort = {});
+
 /// Per-thread iterator resuming from a snapshot for `count` combinations.
 class ChaseIterator {
  public:
@@ -93,19 +106,62 @@ class ChaseIterator {
   bool exhausted_ = false;
 };
 
+/// Immutable tile decomposition of one shell: tile t resumes from the
+/// snapshot saved at step t*stride and walks min(stride, total - t*stride)
+/// combinations. The snapshots ARE the tile boundaries, so a tiled walk
+/// concatenates to exactly the rank-0 Chase sequence.
+class ChaseShellPlan {
+ public:
+  using iterator = ChaseIterator;
+
+  u64 tiles() const noexcept { return snapshots_.size(); }
+  u64 total() const noexcept { return total_; }
+  u64 tile_count(u64 t) const noexcept {
+    const u64 lo = t * stride_;
+    return stride_ < total_ - lo ? stride_ : total_ - lo;
+  }
+  ChaseIterator make_tile(u64 t) const {
+    return ChaseIterator(snapshots_[static_cast<std::size_t>(t)],
+                         tile_count(t), n_bits_);
+  }
+  /// Raw snapshot access for the GPU kernel, which stages the state into its
+  /// block's shared-memory arena before iterating (§3.2.3).
+  const ChaseState& snapshot(u64 t) const {
+    return snapshots_[static_cast<std::size_t>(t)];
+  }
+
+ private:
+  friend class ChaseFactory;
+  std::vector<ChaseState> snapshots_;
+  u64 total_ = 0;
+  u64 stride_ = 1;
+  int n_bits_ = kSeedBits;
+};
+
 /// Factory with a snapshot cache keyed by (k, p). prepare() is cheap after
-/// the first call for a given shell/thread-count pair.
+/// the first call for a given shell/thread-count pair. plan() keeps its own
+/// cache keyed by (k, stride) and is safe to call from concurrent workers;
+/// prepare()/make() retain the original single-preparer discipline.
 class ChaseFactory {
  public:
   using iterator = ChaseIterator;
+  using shell_plan = ChaseShellPlan;
 
   explicit ChaseFactory(int n_bits = kSeedBits) : n_bits_(n_bits) {}
 
   static constexpr std::string_view name() { return "Chase's Algorithm 382"; }
 
+  int n_bits() const noexcept { return n_bits_; }
+
   void prepare(int k, int num_threads);
 
   ChaseIterator make(int r) const;
+
+  /// Shell plan with a snapshot at every stride boundary. Returns nullptr
+  /// when `abort` stopped the snapshot walk (the plan is then not cached, so
+  /// a later call can retry).
+  std::shared_ptr<const ChaseShellPlan> plan(
+      int k, u64 stride, const std::function<bool()>& abort = {});
 
  private:
   struct Plan {
@@ -118,6 +174,10 @@ class ChaseFactory {
   int p_ = 1;
   const Plan* active_ = nullptr;
   std::map<std::pair<int, int>, std::unique_ptr<Plan>> cache_;
+
+  std::mutex plan_mutex_;
+  std::map<std::pair<int, u64>, std::shared_ptr<const ChaseShellPlan>>
+      plan_cache_;
 };
 
 }  // namespace rbc::comb

@@ -1,5 +1,8 @@
 #include "combinatorics/gosper.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace rbc::comb {
 
 Seed256 gosper_next(const Seed256& mask) noexcept {
@@ -29,6 +32,32 @@ GosperIterator GosperFactory::make(int r) const {
   const u128 lo = chunk_start(total_, p_, r);
   const u128 hi = chunk_start(total_, p_, r + 1);
   return GosperIterator(k_, lo, static_cast<u64>(hi - lo), n_bits_);
+}
+
+GosperShellPlan::GosperShellPlan(int k, u64 stride, int n_bits)
+    : k_(k), n_bits_(n_bits), stride_(stride) {
+  RBC_CHECK(stride >= 1);
+  const u128 total128 = binomial128(n_bits, k);
+  RBC_CHECK_MSG(total128 <= std::numeric_limits<u64>::max(),
+                "tiled schedule needs the shell to fit 64-bit ranks");
+  total_ = static_cast<u64>(total128);
+  tiles_ = total_ == 0 ? 0 : (total_ - 1) / stride_ + 1;
+}
+
+u64 GosperShellPlan::tile_count(u64 t) const noexcept {
+  const u64 lo = t * stride_;
+  return std::min(stride_, total_ - lo);
+}
+
+GosperIterator GosperShellPlan::make_tile(u64 t) const {
+  RBC_CHECK(t < tiles_);
+  return GosperIterator(k_, static_cast<u128>(t) * stride_, tile_count(t),
+                        n_bits_);
+}
+
+std::shared_ptr<const GosperShellPlan> GosperFactory::plan(
+    int k, u64 stride, const std::function<bool()>& /*abort*/) const {
+  return std::make_shared<const GosperShellPlan>(k, stride, n_bits_);
 }
 
 }  // namespace rbc::comb

@@ -12,6 +12,8 @@
 // power of two.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string_view>
 
 #include "bits/seed256.hpp"
@@ -49,15 +51,42 @@ class GosperIterator {
   u64 produced_;
 };
 
+/// Immutable tile decomposition of one shell for the work-stealing
+/// scheduler: tile t covers colex ranks [t*stride, min((t+1)*stride, total)).
+/// Every tile opens with one O(k) colexicographic unrank — no shared state,
+/// so any number of workers can open tiles of the same plan concurrently.
+class GosperShellPlan {
+ public:
+  using iterator = GosperIterator;
+
+  GosperShellPlan(int k, u64 stride, int n_bits);
+
+  u64 tiles() const noexcept { return tiles_; }
+  u64 total() const noexcept { return total_; }
+  u64 tile_count(u64 t) const noexcept;
+  GosperIterator make_tile(u64 t) const;
+
+ private:
+  int k_;
+  int n_bits_;
+  u64 stride_;
+  u64 total_;
+  u64 tiles_;
+};
+
 /// Per-shell factory: partitions the C(n_bits, k) sequence into p contiguous
-/// chunks and hands thread r its chunk.
+/// chunks and hands thread r its chunk (static schedule), or builds an
+/// immutable tile plan at a given stride (tiled schedule).
 class GosperFactory {
  public:
   using iterator = GosperIterator;
+  using shell_plan = GosperShellPlan;
 
   explicit GosperFactory(int n_bits = kSeedBits) : n_bits_(n_bits) {}
 
   static constexpr std::string_view name() { return "Gosper's hack"; }
+
+  int n_bits() const noexcept { return n_bits_; }
 
   void prepare(int k, int num_threads) {
     k_ = k;
@@ -66,6 +95,12 @@ class GosperFactory {
   }
 
   GosperIterator make(int r) const;
+
+  /// Thread-safe shell plan for the tiled schedule. Unranking is O(1)-ish
+  /// per tile, so plans are built fresh each call; `abort` is unused (no
+  /// walk to cut short) but kept for API symmetry with Chase.
+  std::shared_ptr<const GosperShellPlan> plan(
+      int k, u64 stride, const std::function<bool()>& abort = {}) const;
 
  private:
   int n_bits_;

@@ -1,16 +1,30 @@
-// Hamming-shell enumeration and the SeedIteratorFactory concept.
+// Hamming-shell enumeration and the seed-iterator factory concepts.
 //
 // The RBC search (Algorithm 1) visits the Hamming ball around S_init one
 // shell at a time: shell i holds the C(256, i) seeds at distance exactly i.
-// A SeedIteratorFactory partitions one shell's combination sequence across p
-// threads; the search engine XORs each produced mask into S_init to form
-// candidate seeds. All three iterator families (Gosper, Algorithm 515,
-// Chase 382) model this concept, which is what lets the engines and benches
-// swap them freely.
+// The search engine XORs each produced mask into S_init to form candidate
+// seeds. Shells are partitioned two ways, and all three iterator families
+// (Gosper, Algorithm 515, Chase 382) model both, which is what lets the
+// engines and benches swap them freely:
+//
+//   * Static (SeedIteratorFactory): prepare(k, p) splits the shell into
+//     exactly p contiguous slices and make(r) hands slice r to work unit r —
+//     the paper's §3.2.1 equal-workload partition. Simple, but a planted
+//     match, a ragged last slice, or a slow worker idles the rest of the
+//     group at the shell barrier.
+//   * Tiled (TiledSeedIteratorFactory): plan(k, stride, abort) builds an
+//     immutable shell plan whose tile t covers ranks [t*stride,
+//     min((t+1)*stride, total)); make_tile(t) opens any tile independently
+//     via the family's (start_rank, count) constructor (Chase resumes from a
+//     snapshot saved at every stride boundary). Plans are shared-ownership
+//     and safe to read from any number of workers, which is what the
+//     work-stealing TileScheduler needs to hand the whole ball out from one
+//     atomic cursor. comb::ShellTiler picks the per-shell stride.
 #pragma once
 
 #include <concepts>
 #include <functional>
+#include <memory>
 #include <string_view>
 
 #include "bits/seed256.hpp"
@@ -28,6 +42,26 @@ concept SeedIteratorFactory =
       { F::name() } -> std::convertible_to<std::string_view>;
     } && requires(typename F::iterator it, Seed256& mask) {
       { it.next(mask) } -> std::same_as<bool>;
+    };
+
+/// A factory that can additionally decompose a shell into an immutable tile
+/// plan for the work-stealing schedule. `abort`, polled during any
+/// precomputation walk, lets a deadline cut plan construction short — plan()
+/// then returns nullptr.
+template <typename F>
+concept TiledSeedIteratorFactory =
+    SeedIteratorFactory<F> &&
+    requires(F f, const F cf, int k, u64 stride, u64 t,
+             const std::function<bool()>& abort) {
+      typename F::shell_plan;
+      { cf.n_bits() } -> std::convertible_to<int>;
+      { f.plan(k, stride, abort) }
+          -> std::same_as<std::shared_ptr<const typename F::shell_plan>>;
+    } && requires(const typename F::shell_plan plan, u64 t) {
+      { plan.tiles() } -> std::convertible_to<u64>;
+      { plan.total() } -> std::convertible_to<u64>;
+      { plan.tile_count(t) } -> std::convertible_to<u64>;
+      { plan.make_tile(t) } -> std::same_as<typename F::iterator>;
     };
 
 /// Visits every seed in the Hamming ball of radius d around `base`

@@ -226,6 +226,61 @@ double GpuEmulatedBackend::modeled_exhaustive_time_s(
   return model_.exhaustive_time_s(d, algo);
 }
 
+HeteroSearchEngine::HeteroSearchEngine(EngineConfig cfg, sim::CpuSpec cpu_spec,
+                                       sim::GpuSpec gpu_spec)
+    : cfg_(cfg), cpu_model_(std::move(cpu_spec)),
+      gpu_model_(std::move(gpu_spec)),
+      workers_(resolve_workers(cfg.workers)) {
+  cfg_.host_threads = resolve_threads(cfg_.host_threads);
+  RBC_CHECK_MSG(cfg_.device_threads >= 1,
+                "hetero backend needs at least one device thread");
+}
+
+EngineReport HeteroSearchEngine::search(const Seed256& s_init, ByteSpan digest,
+                                        hash::HashAlgo algo,
+                                        const SearchOptions& opts,
+                                        par::SearchContext* session) {
+  EngineReport report;
+  u64 device_seeds = 0;
+  auto run = [&](auto hash) {
+    using Hash = decltype(hash);
+    typename Hash::digest_type target;
+    RBC_CHECK_MSG(digest.size() == target.bytes.size(),
+                  "digest length does not match hash algorithm");
+    std::memcpy(target.bytes.data(), digest.data(), digest.size());
+    report.result = gpu::hetero_cosearch<Hash>(
+        *workers_, s_init, target, opts, cfg_.host_threads,
+        cfg_.device_threads, /*threads_per_block=*/32, hash, session,
+        &device_seeds);
+  };
+  if (algo == hash::HashAlgo::kSha1) {
+    run(hash::Sha1BatchSeedHash{});
+  } else {
+    run(hash::Sha3BatchSeedHash{});
+  }
+  // CPU and GPU drain the same ball concurrently: combine the platforms as
+  // parallel servers (aggregate rate = sum of rates → harmonic time).
+  const u64 seeds = report.result.seeds_hashed;
+  const double t_cpu =
+      cpu_model_.time_for_seeds_s(seeds, algo, cpu_model_.spec().cores);
+  const double t_gpu = gpu_model_.time_for_seeds_s(
+      seeds, algo, sim::IterAlgo::kChase382,
+      /*kernels=*/std::max(report.result.distance, 1));
+  report.modeled_device_seconds = 1.0 / (1.0 / t_cpu + 1.0 / t_gpu);
+  report.device_name =
+      cpu_model_.spec().name + " + " + gpu_model_.spec().name;
+  return report;
+}
+
+double HeteroSearchEngine::modeled_exhaustive_time_s(
+    int d, hash::HashAlgo algo) const {
+  const double t_cpu =
+      cpu_model_.exhaustive_time_s(d, algo, cpu_model_.spec().cores);
+  const double t_gpu =
+      gpu_model_.exhaustive_time_s(d, algo, sim::IterAlgo::kChase382);
+  return 1.0 / (1.0 / t_cpu + 1.0 / t_gpu);
+}
+
 int plan_ca_distance(const SearchBackend& backend, hash::HashAlgo algo,
                      double threshold_s, double comm_time_s,
                      int max_considered) {
@@ -245,7 +300,9 @@ std::unique_ptr<SearchBackend> make_backend(std::string_view device,
   }
   if (device == "gpu-emu") return std::make_unique<GpuEmulatedBackend>(cfg);
   if (device == "apu") return std::make_unique<ApuSimSearchEngine>(cfg);
-  RBC_CHECK_MSG(false, "unknown backend device (want cpu|gpu|apu|gpu-emu)");
+  if (device == "hetero") return std::make_unique<HeteroSearchEngine>(cfg);
+  RBC_CHECK_MSG(false,
+                "unknown backend device (want cpu|gpu|apu|gpu-emu|hetero)");
   return nullptr;
 }
 

@@ -73,6 +73,9 @@ struct EngineConfig {
   sim::IterAlgo iterator = sim::IterAlgo::kChase382;
   /// Devices for the multi-GPU backend ("gpu" with num_devices > 1, §4.8).
   int num_devices = 1;
+  /// Logical device threads for the heterogeneous backend ("hetero"): the
+  /// emulated GPU's width when CPU and device co-search one ball.
+  int device_threads = 64;
   /// Compute substrate; nullptr = the process-wide WorkerGroup::shared().
   /// Engines never own threads — N engines multiplex one group instead of
   /// oversubscribing the host with N private pools.
@@ -176,8 +179,33 @@ class GpuEmulatedBackend final : public SearchBackend {
   par::WorkerGroup* workers_;
 };
 
-/// Factory by device family name ("cpu", "gpu", "apu", "gpu-emu"; "gpu"
-/// with cfg.num_devices > 1 builds the multi-GPU backend).
+/// Heterogeneous co-search backend: host worker units and one emulated
+/// device drain tiles of the same Hamming ball from a shared work-stealing
+/// scheduler (gpu::hetero_cosearch), instead of the CPU and GPU owning
+/// disjoint phases. Functionally byte-identical to the CPU engine on the
+/// same ball; the modeled time combines the CPU and GPU platform rates as
+/// parallel servers (harmonic sum).
+class HeteroSearchEngine final : public SearchBackend {
+ public:
+  explicit HeteroSearchEngine(EngineConfig cfg = {},
+                              sim::CpuSpec cpu_spec = sim::epyc64(),
+                              sim::GpuSpec gpu_spec = sim::a100());
+  using SearchBackend::search;
+  EngineReport search(const Seed256& s_init, ByteSpan digest,
+                      hash::HashAlgo algo, const SearchOptions& opts,
+                      par::SearchContext* session) override;
+  double modeled_exhaustive_time_s(int d, hash::HashAlgo algo) const override;
+  std::string_view name() const override { return "SALTED-HETERO (CPU+GPU)"; }
+
+ private:
+  EngineConfig cfg_;
+  sim::CpuModel cpu_model_;
+  sim::GpuModel gpu_model_;
+  par::WorkerGroup* workers_;
+};
+
+/// Factory by device family name ("cpu", "gpu", "apu", "gpu-emu", "hetero";
+/// "gpu" with cfg.num_devices > 1 builds the multi-GPU backend).
 std::unique_ptr<SearchBackend> make_backend(std::string_view device,
                                             EngineConfig cfg = {});
 

@@ -1,58 +1,77 @@
 // The RBC-SALTED search core — Algorithm 1 of the paper.
 //
 // Given the enrolled seed S_init and the client's message digest M1, search
-// the Hamming ball around S_init shell by shell: every work unit owns a
-// disjoint slice of each shell's combination sequence, XORs each mask into
-// S_init, hashes, and compares against M1. The first match signals the
-// session's SearchContext (lines 7/15); the context's deadline bounds the
-// whole search (§3: "RBC uses a time threshold for which it must
+// the Hamming ball around S_init shell by shell: work units XOR each shell
+// mask into S_init, hash, and compare against M1. The first match signals
+// the session's SearchContext (lines 7/15); the context's deadline bounds
+// the whole search (§3: "RBC uses a time threshold for which it must
 // authenticate a client").
 //
-// Concurrency: the shells run as SPMD rounds on a WorkerGroup, so any number
-// of sessions can search at once over one set of worker threads. All stop
-// conditions flow through the SearchContext:
+// Two schedules drive the same inner loop (see docs/scheduler.md):
+//
+//   * kTiled (default) — the ball is decomposed into fixed-size tiles
+//     (comb::ShellTiler) handed out by a work-stealing par::TileScheduler.
+//     One extra pipeline unit publishes shell k+1's iterator plan while
+//     shell k's tiles are still being drained, so workers flow across shell
+//     boundaries instead of parking at a barrier. Exhaustive mode records
+//     the MINIMAL shell containing a match (shells overlap in flight), and
+//     per-tile accounting keeps `seeds_hashed` visit-order exact.
+//   * kStatic — the PR-1/PR-3 shape: each shell is one SPMD round of p
+//     contiguous slices with a barrier in between. Kept as the reference
+//     schedule; CI asserts both report identical results.
+//
+// Concurrency: rounds run on a WorkerGroup, so any number of sessions can
+// search at once over one set of worker threads. All stop conditions flow
+// through the SearchContext:
 //   * match found   — stops the round under the early-exit policy only;
 //   * cancellation  — deadline expiry or an external cancel(); honored
-//                     UNCONDITIONALLY, including in exhaustive mode (a
-//                     timed-out exhaustive search must stop promptly, not at
-//                     each worker's private clock cadence).
+//                     UNCONDITIONALLY, including in exhaustive mode.
 //
 // The function template is monomorphized over the hash policy and the seed
 // iterator factory so the hot loop compiles to straight-line code — the same
 // reason the paper fuses seed iteration and hashing into one GPU kernel
-// (§4.5: "we do not time the seed iteration separately from SHA-3, as they
-// execute in the same kernel").
+// (§4.5).
 //
 // Batched hashing: when the hash policy is a BatchSeedHash (hash/batch.hpp),
-// each unit refills a small candidate block from its iterator slice and
-// compresses all lanes in one multi-buffer call, rejecting non-matches on a
-// 32-bit digest-head compare before the full comparison. Scalar policies run
-// the same loop with a block of one, so results and accounting are identical
+// each unit refills a small candidate block from its iterator, compresses
+// all lanes in one multi-buffer call, and rejects non-matches on a 32-bit
+// digest-head compare before the full comparison. Scalar policies run the
+// same loop with a block of one, so results and accounting are identical
 // across policies.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <functional>
 #include <mutex>
 #include <optional>
 
 #include "bits/seed256.hpp"
 #include "combinatorics/shell.hpp"
+#include "combinatorics/tiler.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "hash/batch.hpp"
 #include "hash/traits.hpp"
 #include "parallel/early_exit.hpp"
 #include "parallel/search_context.hpp"
+#include "parallel/tile_scheduler.hpp"
 #include "parallel/worker_group.hpp"
 
 namespace rbc {
+
+/// How work units consume the shells (see the header comment).
+enum class SearchSchedule { kTiled, kStatic };
 
 struct SearchOptions {
   /// Maximum Hamming distance d to search (inclusive).
   int max_distance = 3;
   /// SPMD work units per shell (p in Algorithm 1). Units multiplex onto the
-  /// worker group, so this may exceed the group's thread count.
+  /// worker group, so this may exceed the group's thread count. The tiled
+  /// schedule adds one pipeline unit on top.
   int num_threads = 1;
   /// Seeds iterated between stop-condition checks (§4.4 knob): both the
   /// early-exit flag and the deadline are consulted at this cadence, rounded
@@ -68,6 +87,20 @@ struct SearchOptions {
   /// build a local SearchContext when the caller does not provide one; a
   /// caller-provided session context carries its own deadline instead.
   double timeout_s = 20.0;
+  /// Work-distribution schedule. kTiled needs the factory to model
+  /// TiledSeedIteratorFactory and at least two work units; factories that do
+  /// not — and 1-thread searches, which have nobody to steal from — fall
+  /// back to kStatic.
+  SearchSchedule schedule = SearchSchedule::kTiled;
+  /// Candidate seeds per scheduler tile under kTiled; 0 picks
+  /// comb::ShellTiler::kDefaultTileSeeds.
+  u64 tile_seeds = 0;
+  /// Bench/test instrumentation: when set, each work unit calls
+  /// hook(unit, seeds) after every scheduling quantum — a tile under kTiled,
+  /// a check-interval batch under kStatic — with the seeds it just hashed.
+  /// The skewed-workload bench injects a sleeping straggler through this.
+  /// Leave empty in production; it runs on the hot path.
+  std::function<void(int unit, u64 seeds)> quantum_hook;
 };
 
 struct SearchResult {
@@ -80,9 +113,176 @@ struct SearchResult {
   bool cancelled = false;    // externally cancelled before completion
 };
 
-/// Searches for a seed whose hash equals `target`, running each shell as an
-/// SPMD round on `workers`. The factory provides per-unit iterators over
-/// each shell (Gosper / Algorithm 515 / Chase 382 all model the concept).
+namespace detail {
+
+/// Tiled work-stealing driver. Assumes distance 0 was already checked and
+/// missed; fills everything but host_seconds / the d0 contribution.
+template <hash::SeedHash Hash, comb::TiledSeedIteratorFactory Factory>
+void rbc_search_tiled(const Seed256& s_init,
+                      const typename Hash::digest_type& target,
+                      Factory& factory, par::WorkerGroup& workers,
+                      const SearchOptions& opts, const Hash& hash,
+                      par::SearchContext& ctx, SearchResult& result,
+                      std::optional<std::pair<Seed256, int>>& found) {
+  const int d = opts.max_distance;
+  if (d == 0) return;
+  std::mutex found_mutex;
+
+  const u64 tile_seeds = opts.tile_seeds != 0
+                             ? opts.tile_seeds
+                             : comb::ShellTiler::kDefaultTileSeeds;
+  comb::ShellTiler tiler(d, tile_seeds, factory.n_bits());
+  // +1: a pipeline unit that publishes upcoming shell plans ahead of the
+  // hashing front, then joins the tile loop as one more worker.
+  const int units = opts.num_threads + 1;
+  par::TileScheduler sched(tiler.tiles_per_shell(), /*first_shell=*/1, units);
+
+  // Per-shell iterator plans, built lazily: the unit that first needs (or
+  // pre-publishes) shell k CASes kNone -> kPreparing and builds the plan
+  // itself; anyone else needing it meanwhile waits on the cv at a short
+  // timeout so stop conditions stay honored. A nullptr plan (walk aborted by
+  // the deadline) parks the shell as kAborted and ends the claimants.
+  enum : int { kNone = 0, kPreparing = 1, kReady = 2, kAborted = 3 };
+  std::vector<std::shared_ptr<const typename Factory::shell_plan>> plans(
+      static_cast<std::size_t>(d) + 1);
+  std::unique_ptr<std::atomic<int>[]> plan_state(
+      new std::atomic<int>[static_cast<std::size_t>(d) + 1]);
+  for (int k = 0; k <= d; ++k)
+    plan_state[static_cast<std::size_t>(k)].store(kNone,
+                                                  std::memory_order_relaxed);
+  std::mutex plan_mutex;
+  std::condition_variable plan_cv;
+
+  const auto abort_pred = [&ctx, &opts] {
+    return ctx.should_stop(opts.early_exit);
+  };
+
+  const auto ensure_plan =
+      [&](int k) -> std::shared_ptr<const typename Factory::shell_plan> {
+    auto& state = plan_state[static_cast<std::size_t>(k)];
+    int s = state.load(std::memory_order_acquire);
+    while (s != kReady) {
+      if (s == kAborted) return nullptr;
+      if (s == kNone) {
+        int expected = kNone;
+        if (state.compare_exchange_strong(expected, kPreparing,
+                                          std::memory_order_acq_rel)) {
+          auto plan = factory.plan(k, tiler.stride(k), abort_pred);
+          plans[static_cast<std::size_t>(k)] = plan;
+          state.store(plan != nullptr ? kReady : kAborted,
+                      std::memory_order_release);
+          plan_cv.notify_all();
+          return plan;
+        }
+        s = expected;
+        continue;
+      }
+      // Another unit is mid-walk; timed wait so deadline/cancel/match still
+      // end this unit promptly (a missed notify costs one timeout tick).
+      {
+        std::unique_lock lock(plan_mutex);
+        plan_cv.wait_for(lock, std::chrono::milliseconds(2));
+      }
+      if (ctx.check_deadline() || ctx.should_stop(opts.early_exit))
+        return nullptr;
+      s = state.load(std::memory_order_acquire);
+    }
+    return plans[static_cast<std::size_t>(k)];
+  };
+
+  std::vector<u64> hashed_per_unit(static_cast<std::size_t>(units), 0);
+
+  workers.parallel_workers(units, [&](int unit) {
+    // Lines 11-16, batched (see the static path below for the lane-level
+    // commentary; both schedules share this inner-loop shape).
+    constexpr std::size_t kBlock = hash::seed_hash_batch<Hash>();
+    std::array<Seed256, kBlock> candidates;
+    std::array<typename Hash::digest_type, kBlock> digests;
+    u32 target_head;
+    std::memcpy(&target_head, target.bytes.data(), sizeof(target_head));
+    const u32 blocks_per_check = static_cast<u32>(
+        (std::max<u64>(opts.check_interval, 1) + kBlock - 1) / kBlock);
+
+    if (unit == units - 1) {
+      // Pipeline unit: publish plans front to back, then fall through and
+      // hash like everyone else. Workers self-prepare if they outrun it.
+      for (int k = 1; k <= d; ++k) {
+        if (ctx.check_deadline() || ctx.should_stop(opts.early_exit)) break;
+        if (ensure_plan(k) == nullptr) break;
+      }
+    }
+
+    u64 unit_hashed = 0;
+    par::TileScheduler::Tile tile;
+    while (true) {
+      if (ctx.check_deadline() || ctx.should_stop(opts.early_exit)) break;
+      if (!sched.acquire(unit, tile)) break;
+      const auto plan = ensure_plan(tile.shell);
+      if (plan == nullptr) break;
+
+      auto it = plan->make_tile(tile.index);
+      par::CheckThrottle throttle(blocks_per_check);
+      u64 tile_hashed = 0;
+      bool running = true;
+      bool tile_done = true;  // fully visited (completes the watermark)
+      while (running) {
+        if (throttle.due() &&
+            (ctx.check_deadline() || ctx.should_stop(opts.early_exit))) {
+          tile_done = false;
+          break;
+        }
+        std::size_t n = 0;
+        Seed256 mask;
+        while (n < kBlock && it.next(mask)) candidates[n++] = s_init ^ mask;
+        if (n == 0) break;  // tile exhausted
+        hash::hash_seed_block(hash, candidates.data(), n, digests.data());
+        std::size_t counted = n;
+        for (std::size_t i = 0; i < n; ++i) {
+          u32 head;
+          std::memcpy(&head, digests[i].bytes.data(), sizeof(head));
+          if (head != target_head || digests[i] != target) continue;
+          {
+            std::lock_guard lock(found_mutex);
+            // Shells overlap in flight: keep the minimal shell so
+            // exhaustive mode still reports the true distance.
+            if (!found || tile.shell < found->second)
+              found = {candidates[i], tile.shell};
+          }
+          ctx.signal_match();  // line 15: NotifyAllThreadsToExitSearch
+          if (opts.early_exit) {
+            counted = i + 1;  // lanes past the match were speculative
+            running = false;
+            tile_done = false;
+          }
+          break;
+        }
+        tile_hashed += counted;
+      }
+      unit_hashed += tile_hashed;
+      if (tile_done) sched.complete(tile);
+      if (opts.quantum_hook) opts.quantum_hook(unit, tile_hashed);
+    }
+    hashed_per_unit[static_cast<std::size_t>(unit)] += unit_hashed;
+    ctx.add_progress(unit_hashed);
+  });
+
+  ctx.check_deadline();
+  for (u64 h : hashed_per_unit) result.seeds_hashed += h;
+
+  // Structural invariant: an undisturbed run must have completed every
+  // shell — the watermark is what certifies full-ball coverage now that no
+  // barrier does.
+  if (!ctx.cancel_requested() && !(opts.early_exit && found)) {
+    RBC_CHECK_MSG(sched.completed_through() == d,
+                  "tiled schedule left a shell incomplete");
+  }
+}
+
+}  // namespace detail
+
+/// Searches for a seed whose hash equals `target`, running work units on
+/// `workers`. The factory provides iterators over each shell (Gosper /
+/// Algorithm 515 / Chase 382 all model the concepts).
 ///
 /// `session`, when non-null, is the authentication session's context: its
 /// deadline (set at admission, so queue time counts against the threshold)
@@ -117,75 +317,99 @@ SearchResult rbc_search(const Seed256& s_init,
     return result;
   }
 
-  const int p = opts.num_threads;
-  std::vector<u64> hashed_per_unit(static_cast<std::size_t>(p), 0);
-
-  // Line 9: loop over Hamming shells 1..d. The host checks the deadline
-  // between shells; workers check it at a coarse cadence within one.
-  for (int k = 1; k <= opts.max_distance; ++k) {
-    if (ctx.should_stop(opts.early_exit)) break;
-    if (ctx.check_deadline()) break;
-    factory.prepare(k, p);
-
-    workers.parallel_workers(p, [&](int unit) {
-      auto it = factory.make(unit);
-      // Lines 11-16, batched: refill a candidate block by XOR-ing each
-      // iterator delta into S_init, hash every lane in one multi-buffer
-      // call, then reject non-matches on the digests' first 32 bits before
-      // paying for the full comparison. Scalar policies get B = 1, which is
-      // exactly the one-candidate-per-iteration loop.
-      constexpr std::size_t kBlock = hash::seed_hash_batch<Hash>();
-      std::array<Seed256, kBlock> candidates;
-      std::array<typename Hash::digest_type, kBlock> digests;
-      u32 target_head;
-      std::memcpy(&target_head, target.bytes.data(), sizeof(target_head));
-
-      // One unified stop cadence (early-exit flag + deadline), expressed in
-      // whole blocks so a batch is never split by a poll.
-      const u32 blocks_per_check = static_cast<u32>(
-          (std::max<u64>(opts.check_interval, 1) + kBlock - 1) / kBlock);
-      par::CheckThrottle throttle(blocks_per_check);
-
-      u64 local_hashed = 0;
-      Seed256 mask;
-      bool running = true;
-      while (running) {
-        if (throttle.due() &&
-            (ctx.check_deadline() || ctx.should_stop(opts.early_exit))) {
-          break;
-        }
-        std::size_t n = 0;
-        while (n < kBlock && it.next(mask)) candidates[n++] = s_init ^ mask;
-        if (n == 0) break;  // slice exhausted
-        hash::hash_seed_block(hash, candidates.data(), n, digests.data());
-        std::size_t counted = n;
-        for (std::size_t i = 0; i < n; ++i) {
-          u32 head;
-          std::memcpy(&head, digests[i].bytes.data(), sizeof(head));
-          if (head != target_head || digests[i] != target) continue;
-          {
-            std::lock_guard lock(found_mutex);
-            if (!found) found = {candidates[i], k};
-          }
-          ctx.signal_match();  // line 15: NotifyAllThreadsToExitSearch
-          if (opts.early_exit) {
-            // Lanes past the match were speculative; count to the match so
-            // the accounting equals the scalar policy's visit order.
-            counted = i + 1;
-            running = false;
-          }
-          break;
-        }
-        local_hashed += counted;
-      }
-      hashed_per_unit[static_cast<std::size_t>(unit)] += local_hashed;
-      ctx.add_progress(local_hashed);
-    });
-
-    ctx.check_deadline();
+  bool ran_tiled = false;
+  if constexpr (comb::TiledSeedIteratorFactory<Factory>) {
+    // A single worker has nobody to steal from and nothing to pipeline into;
+    // tiling would only add plan walks and a scheduler unit. Keep 1-thread
+    // searches (e.g. per-session server searches) on the static walk.
+    if (opts.schedule == SearchSchedule::kTiled && opts.num_threads > 1) {
+      detail::rbc_search_tiled<Hash>(s_init, target, factory, workers, opts,
+                                     hash, ctx, result, found);
+      ran_tiled = true;
+    }
   }
 
-  for (u64 h : hashed_per_unit) result.seeds_hashed += h;
+  if (!ran_tiled) {
+    const int p = opts.num_threads;
+    std::vector<u64> hashed_per_unit(static_cast<std::size_t>(p), 0);
+
+    // Line 9: loop over Hamming shells 1..d. The host checks the deadline
+    // between shells; workers check it at a coarse cadence within one.
+    for (int k = 1; k <= opts.max_distance; ++k) {
+      if (ctx.should_stop(opts.early_exit)) break;
+      if (ctx.check_deadline()) break;
+      factory.prepare(k, p);
+
+      workers.parallel_workers(p, [&](int unit) {
+        auto it = factory.make(unit);
+        // Lines 11-16, batched: refill a candidate block by XOR-ing each
+        // iterator delta into S_init, hash every lane in one multi-buffer
+        // call, then reject non-matches on the digests' first 32 bits before
+        // paying for the full comparison. Scalar policies get B = 1, which
+        // is exactly the one-candidate-per-iteration loop.
+        constexpr std::size_t kBlock = hash::seed_hash_batch<Hash>();
+        std::array<Seed256, kBlock> candidates;
+        std::array<typename Hash::digest_type, kBlock> digests;
+        u32 target_head;
+        std::memcpy(&target_head, target.bytes.data(), sizeof(target_head));
+
+        // One unified stop cadence (early-exit flag + deadline), expressed
+        // in whole blocks so a batch is never split by a poll.
+        const u32 blocks_per_check = static_cast<u32>(
+            (std::max<u64>(opts.check_interval, 1) + kBlock - 1) / kBlock);
+        par::CheckThrottle throttle(blocks_per_check);
+
+        u64 local_hashed = 0;
+        u64 since_hook = 0;
+        Seed256 mask;
+        bool running = true;
+        while (running) {
+          if (throttle.due()) {
+            if (opts.quantum_hook) {
+              opts.quantum_hook(unit, since_hook);
+              since_hook = 0;
+            }
+            if (ctx.check_deadline() || ctx.should_stop(opts.early_exit))
+              break;
+          }
+          std::size_t n = 0;
+          while (n < kBlock && it.next(mask)) candidates[n++] = s_init ^ mask;
+          if (n == 0) break;  // slice exhausted
+          hash::hash_seed_block(hash, candidates.data(), n, digests.data());
+          std::size_t counted = n;
+          for (std::size_t i = 0; i < n; ++i) {
+            u32 head;
+            std::memcpy(&head, digests[i].bytes.data(), sizeof(head));
+            if (head != target_head || digests[i] != target) continue;
+            {
+              std::lock_guard lock(found_mutex);
+              if (!found) found = {candidates[i], k};
+            }
+            ctx.signal_match();  // line 15: NotifyAllThreadsToExitSearch
+            if (opts.early_exit) {
+              // Lanes past the match were speculative; count to the match
+              // so the accounting equals the scalar policy's visit order.
+              counted = i + 1;
+              running = false;
+            }
+            break;
+          }
+          local_hashed += counted;
+          since_hook += counted;
+        }
+        // Flush the tail quantum (seeds since the last throttle firing).
+        if (opts.quantum_hook && since_hook > 0)
+          opts.quantum_hook(unit, since_hook);
+        hashed_per_unit[static_cast<std::size_t>(unit)] += local_hashed;
+        ctx.add_progress(local_hashed);
+      });
+
+      ctx.check_deadline();
+    }
+
+    for (u64 h : hashed_per_unit) result.seeds_hashed += h;
+  }
+
   if (found) {
     result.found = true;
     result.seed = found->first;

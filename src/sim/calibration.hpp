@@ -135,6 +135,19 @@ struct Calibration {
   double multi_gpu_coord_s_per_gpu = 0.035;
   double multi_gpu_flag_s_per_gpu = 0.0015;
 
+  // --- multi-GPU dynamic tiling (PR 4 tile scheduler, §5 projection) --------
+  // With a shared tile queue the per-extra-GPU coordination shrinks: no
+  // per-device partition upload, one queue handoff instead of a static
+  // split + join. HOST constants, not paper anchors — the static-split
+  // numbers above reproduce Fig. 4 unchanged.
+  /// Fraction of the static coordination cost that remains under tiling.
+  double multi_gpu_dynamic_coord_factor = 0.5;
+  /// Cost of one tile claim on the shared queue (atomic over NVLink/PCIe).
+  double multi_gpu_tile_claim_s = 1e-6;
+  /// Seeds per device tile; large enough to amortise claims, small enough
+  /// that the tail imbalance is one tile, not one shell slice.
+  u64 gpu_tile_seeds = u64{1} << 20;
+
   // --- energy model utilisation factors (Table 6 anchors) ------------------
   double gpu_util_sha1 = 0.774;
   double gpu_util_sha3 = 0.771;

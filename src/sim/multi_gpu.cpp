@@ -1,5 +1,7 @@
 #include "sim/multi_gpu.hpp"
 
+#include <algorithm>
+
 #include "combinatorics/binomial.hpp"
 #include "common/check.hpp"
 
@@ -22,20 +24,51 @@ double MultiGpuModel::time_for_seeds_s(u64 seeds, int gpus,
   return t;
 }
 
-std::vector<MultiGpuPoint> MultiGpuModel::scaling_curve(int d,
-                                                        hash::HashAlgo hash,
-                                                        bool early_exit,
-                                                        int max_gpus) const {
+double MultiGpuModel::time_for_seeds_dynamic_s(u64 seeds, int gpus,
+                                               hash::HashAlgo hash,
+                                               bool early_exit,
+                                               IterAlgo iter) const {
+  RBC_CHECK(gpus >= 1);
+  const auto& calib = gpu_.calibration();
+  const u64 g = static_cast<u64>(gpus);
+  // The queue balances work to within one tile: the slowest device carries
+  // its even share plus at most one tile of tail.
+  const u64 tiles = (seeds + calib.gpu_tile_seeds - 1) / calib.gpu_tile_seeds;
+  u64 share = seeds / g;
+  if (tiles % g != 0) share += calib.gpu_tile_seeds;
+  share = std::min(share, seeds);
+  double t = gpu_.time_for_seeds_s(share, hash, iter);
+  t += calib.multi_gpu_dynamic_coord_factor * calib.multi_gpu_coord_s_per_gpu *
+       (gpus - 1);
+  // Each device claims ~tiles/g tiles off the shared queue.
+  t += static_cast<double>((tiles + g - 1) / g) * calib.multi_gpu_tile_claim_s;
+  if (early_exit) {
+    t += calib.multi_gpu_flag_s_per_gpu * (gpus - 1);
+    t += calib.gpu_exit_overhead_s;
+  }
+  return t;
+}
+
+std::vector<MultiGpuPoint> MultiGpuModel::scaling_curve(
+    int d, hash::HashAlgo hash, bool early_exit, int max_gpus,
+    bool dynamic_tiling) const {
   const u64 seeds = static_cast<u64>(
       early_exit ? comb::average_search_count(d)
                  : comb::exhaustive_search_count(d));
+  const auto time_at = [&](int g) {
+    return dynamic_tiling
+               ? time_for_seeds_dynamic_s(seeds, g, hash, early_exit)
+               : time_for_seeds_s(seeds, g, hash, early_exit);
+  };
   std::vector<MultiGpuPoint> points;
   points.reserve(static_cast<std::size_t>(max_gpus));
+  // Speedups are relative to the single-GPU *static* time: dynamic tiling
+  // competes against the Fig. 4 baseline, not against itself.
   const double t1 = time_for_seeds_s(seeds, 1, hash, early_exit);
   for (int g = 1; g <= max_gpus; ++g) {
     MultiGpuPoint p;
     p.gpus = g;
-    p.time_s = time_for_seeds_s(seeds, g, hash, early_exit);
+    p.time_s = time_at(g);
     p.speedup = t1 / p.time_s;
     p.parallel_efficiency = p.speedup / g;
     points.push_back(p);

@@ -28,15 +28,24 @@ class MultiGpuModel {
  public:
   explicit MultiGpuModel(GpuModel gpu = GpuModel{}) : gpu_(std::move(gpu)) {}
 
-  /// Time to search `seeds` candidates on g GPUs.
+  /// Time to search `seeds` candidates on g GPUs (static even split).
   double time_for_seeds_s(u64 seeds, int gpus, hash::HashAlgo hash,
                           bool early_exit,
                           IterAlgo iter = IterAlgo::kChase382) const;
 
+  /// Same search with the PR 4 tile scheduler spanning the devices: each GPU
+  /// drains `gpu_tile_seeds`-sized tiles from a shared queue. The slowest
+  /// device carries at most one extra tile instead of a full static slice,
+  /// coordination shrinks by `multi_gpu_dynamic_coord_factor`, and every
+  /// tile claim costs `multi_gpu_tile_claim_s` on the queue.
+  double time_for_seeds_dynamic_s(u64 seeds, int gpus, hash::HashAlgo hash,
+                                  bool early_exit,
+                                  IterAlgo iter = IterAlgo::kChase382) const;
+
   /// Fig. 4 curve: speedups for 1..max_gpus for a d-ball search.
   std::vector<MultiGpuPoint> scaling_curve(int d, hash::HashAlgo hash,
-                                           bool early_exit,
-                                           int max_gpus) const;
+                                           bool early_exit, int max_gpus,
+                                           bool dynamic_tiling = false) const;
 
   const GpuModel& gpu() const noexcept { return gpu_; }
 

@@ -87,6 +87,12 @@ Seed256 flipped(Seed256 s, std::initializer_list<int> bits) {
   return s;
 }
 
+SearchOptions ball(int max_distance) {
+  SearchOptions opts;
+  opts.max_distance = max_distance;
+  return opts;
+}
+
 class DistSearchRanks : public ::testing::TestWithParam<int> {};
 
 TEST_P(DistSearchRanks, FindsPlantedSeed) {
@@ -97,7 +103,7 @@ TEST_P(DistSearchRanks, FindsPlantedSeed) {
   const Seed256 truth = flipped(base, {5, 190});
   const hash::Sha3SeedHash hash;
   const auto r = distributed_search<hash::Sha3SeedHash>(comm, base,
-                                                        hash(truth), 2);
+                                                        hash(truth), ball(2));
   EXPECT_TRUE(r.found);
   EXPECT_EQ(r.seed, truth);
   EXPECT_EQ(r.distance, 2);
@@ -114,7 +120,7 @@ TEST(DistSearch, DistanceZeroFoundByRankZero) {
   const Seed256 base = Seed256::random(rng);
   const hash::Sha1SeedHash hash;
   const auto r =
-      distributed_search<hash::Sha1SeedHash>(comm, base, hash(base), 2);
+      distributed_search<hash::Sha1SeedHash>(comm, base, hash(base), ball(2));
   EXPECT_TRUE(r.found);
   EXPECT_EQ(r.distance, 0);
   EXPECT_EQ(r.finder_rank, 0);
@@ -127,7 +133,8 @@ TEST(DistSearch, ExhaustsBallWhenAbsent) {
   const Seed256 unrelated = Seed256::random(rng);
   const hash::Sha1SeedHash hash;
   const auto r = distributed_search<hash::Sha1SeedHash>(comm, base,
-                                                        hash(unrelated), 2);
+                                                        hash(unrelated),
+                                                        ball(2));
   EXPECT_FALSE(r.found);
   EXPECT_EQ(r.seeds_hashed, 32897u);
 }
@@ -141,10 +148,10 @@ TEST(DistSearch, EarlyStopSavesWorkOnLaterShells) {
   const Seed256 truth = flipped(base, {128});
   const hash::Sha1SeedHash hash;
   const auto r =
-      distributed_search<hash::Sha1SeedHash>(comm, base, hash(truth), 2);
+      distributed_search<hash::Sha1SeedHash>(comm, base, hash(truth), ball(2));
   EXPECT_TRUE(r.found);
   EXPECT_EQ(r.distance, 1);
-  EXPECT_LT(r.seeds_hashed, 1000u);
+  EXPECT_LT(r.seeds_hashed, 2000u);
 }
 
 TEST(DistSearch, CommunicatorIsReusableAcrossSearches) {
@@ -155,23 +162,60 @@ TEST(DistSearch, CommunicatorIsReusableAcrossSearches) {
     const Seed256 base = Seed256::random(rng);
     const Seed256 truth = flipped(base, {10 + trial});
     const auto r =
-        distributed_search<hash::Sha1SeedHash>(comm, base, hash(truth), 1);
+        distributed_search<hash::Sha1SeedHash>(comm, base, hash(truth),
+                                               ball(1));
     EXPECT_TRUE(r.found) << "trial " << trial;
     EXPECT_EQ(r.seed, truth);
   }
 }
 
-TEST(DistSearch, ResultsIndependentOfPollInterval) {
+TEST(DistSearch, ResultsIndependentOfCheckInterval) {
   Communicator comm(3);
   Xoshiro256 rng(5);
   const Seed256 base = Seed256::random(rng);
   const Seed256 truth = flipped(base, {33, 77});
   const hash::Sha3SeedHash hash;
-  for (u32 poll : {1u, 16u, 256u}) {
+  for (u32 interval : {1u, 16u, 256u}) {
+    SearchOptions opts = ball(2);
+    opts.check_interval = interval;
     const auto r = distributed_search<hash::Sha3SeedHash>(comm, base,
-                                                          hash(truth), 2, poll);
-    EXPECT_TRUE(r.found) << "poll=" << poll;
+                                                          hash(truth), opts);
+    EXPECT_TRUE(r.found) << "check_interval=" << interval;
     EXPECT_EQ(r.seed, truth);
+  }
+}
+
+TEST(DistSearch, ExhaustiveModeCountsFullBallEvenWithMatch) {
+  // early_exit=false: the planted seed is reported, but every chunk of the
+  // ball is still granted and searched, so the aggregate count is exact.
+  Communicator comm(3);
+  Xoshiro256 rng(6);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 truth = flipped(base, {7, 201});
+  const hash::Sha1SeedHash hash;
+  SearchOptions opts = ball(2);
+  opts.early_exit = false;
+  const auto r =
+      distributed_search<hash::Sha1SeedHash>(comm, base, hash(truth), opts);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.seed, truth);
+  EXPECT_EQ(r.distance, 2);
+  EXPECT_EQ(r.seeds_hashed, 32897u);
+}
+
+TEST(DistSearch, GuidedChunksCoverShellOncePerRankCount) {
+  // The guided grants must partition each shell exactly regardless of the
+  // rank count: exhaustive counts are the ball size for every topology.
+  Xoshiro256 rng(7);
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 unrelated = Seed256::random(rng);
+  const hash::Sha1SeedHash hash;
+  for (int ranks : {1, 2, 5}) {
+    Communicator comm(ranks);
+    const auto r = distributed_search<hash::Sha1SeedHash>(
+        comm, base, hash(unrelated), ball(2));
+    EXPECT_FALSE(r.found) << "ranks=" << ranks;
+    EXPECT_EQ(r.seeds_hashed, 32897u) << "ranks=" << ranks;
   }
 }
 

@@ -179,5 +179,109 @@ TEST(SaltedKernel, AgreesWithReferenceEngineAcrossPartitionWidths) {
   }
 }
 
+// --- heterogeneous CPU+GPU co-search (PR 4) --------------------------------
+
+SearchOptions hetero_opts(int max_distance, bool early_exit) {
+  SearchOptions opts;
+  opts.max_distance = max_distance;
+  opts.early_exit = early_exit;
+  opts.num_threads = 2;
+  opts.tile_seeds = 1024;  // many tiles, so both sides actually share work
+  opts.timeout_s = 600.0;
+  return opts;
+}
+
+TEST(HeteroCoSearch, ByteIdenticalToCpuOnlyTiledSearch) {
+  // The acceptance property: CPU+GPU co-search over one shared scheduler is
+  // byte-identical to the CPU-only tiled search on the same ball — same
+  // found/seed/distance, and in exhaustive mode the same exact count.
+  par::WorkerGroup pool(4);
+  Xoshiro256 rng(10);
+  const hash::Sha1BatchSeedHash hash;
+  const Seed256 base = Seed256::random(rng);
+  for (const bool planted : {true, false}) {
+    const Seed256 target_seed =
+        planted ? flipped(base, {41, 183}) : Seed256::random(rng);
+    const auto digest = hash(target_seed);
+
+    const auto opts = hetero_opts(2, /*early_exit=*/false);
+    const auto hetero = hetero_cosearch<hash::Sha1BatchSeedHash>(
+        pool, base, digest, opts, /*host_units=*/2, /*device_threads=*/8,
+        /*threads_per_block=*/4, hash);
+
+    comb::ChaseFactory factory;
+    SearchOptions cpu_opts = opts;
+    const auto cpu = rbc_search<hash::Sha1BatchSeedHash>(base, digest, factory,
+                                                         pool, cpu_opts, hash);
+
+    EXPECT_EQ(hetero.found, cpu.found) << "planted=" << planted;
+    EXPECT_EQ(hetero.seeds_hashed, cpu.seeds_hashed) << "planted=" << planted;
+    EXPECT_EQ(hetero.seeds_hashed, 32897u);
+    if (planted) {
+      EXPECT_EQ(hetero.seed, cpu.seed);
+      EXPECT_EQ(hetero.distance, cpu.distance);
+      EXPECT_EQ(hetero.distance, 2);
+    }
+  }
+}
+
+TEST(HeteroCoSearch, DeviceActuallySharesTheBall) {
+  // With many small tiles and an exhaustive search, both the host units and
+  // the emulated device should each take a nonzero share. The split is a race
+  // by design (that is the point of the shared scheduler), so under heavy
+  // machine load a single run can degenerate to one side; retry a few times
+  // and require that a shared split shows up.
+  par::WorkerGroup pool(4);
+  Xoshiro256 rng(11);
+  const hash::Sha1BatchSeedHash hash;
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 unrelated = Seed256::random(rng);
+  bool shared = false;
+  for (int attempt = 0; attempt < 10 && !shared; ++attempt) {
+    u64 device_seeds = 0;
+    const auto r = hetero_cosearch<hash::Sha1BatchSeedHash>(
+        pool, base, hash(unrelated), hetero_opts(2, /*early_exit=*/false),
+        /*host_units=*/2, /*device_threads=*/8, /*threads_per_block=*/4, hash,
+        nullptr, &device_seeds);
+    ASSERT_EQ(r.seeds_hashed, 32897u);
+    ASSERT_LE(device_seeds, 32897u);
+    shared = device_seeds > 0 && device_seeds < 32896;
+  }
+  EXPECT_TRUE(shared) << "host/device never split the ball in 10 runs";
+}
+
+TEST(HeteroCoSearch, EarlyExitFindsPlantedSeedAtEachDistance) {
+  par::WorkerGroup pool(4);
+  Xoshiro256 rng(12);
+  const hash::Sha3BatchSeedHash hash;
+  for (int d : {0, 1, 2}) {
+    const Seed256 base = Seed256::random(rng);
+    Seed256 truth = base;
+    for (int i = 0; i < d; ++i) truth.flip_bit(20 + 70 * i);
+    const auto r = hetero_cosearch<hash::Sha3BatchSeedHash>(
+        pool, base, hash(truth), hetero_opts(2, /*early_exit=*/true),
+        /*host_units=*/2, /*device_threads=*/4, /*threads_per_block=*/2, hash);
+    EXPECT_TRUE(r.found) << "d=" << d;
+    EXPECT_EQ(r.distance, d);
+    EXPECT_EQ(r.seed, truth);
+  }
+}
+
+TEST(HeteroCoSearch, SessionDeadlineStopsBothSides) {
+  par::WorkerGroup pool(2);
+  Xoshiro256 rng(13);
+  const hash::Sha1BatchSeedHash hash;
+  const Seed256 base = Seed256::random(rng);
+  const Seed256 unrelated = Seed256::random(rng);
+  auto ctx = par::SearchContext::with_budget(0.0);
+  SearchOptions opts = hetero_opts(3, /*early_exit=*/false);
+  const auto r = hetero_cosearch<hash::Sha1BatchSeedHash>(
+      pool, base, hash(unrelated), opts, /*host_units=*/2,
+      /*device_threads=*/4, /*threads_per_block=*/2, hash, &ctx);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LT(r.seeds_hashed, 2860000u);
+}
+
 }  // namespace
 }  // namespace rbc::gpu
