@@ -11,14 +11,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== [1/7] configure + build (default) ==="
+echo "=== [1/8] configure + build (default) ==="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 
-echo "=== [2/7] ctest (default) ==="
+echo "=== [2/8] ctest (default) ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/7] batched-hash equivalence under forced dispatch levels ==="
+echo "=== [3/8] batched-hash equivalence under forced dispatch levels ==="
 # The auto run above already covered the host's best level; re-run the batch
 # suite with the RBC_HASH_SIMD knob capping dispatch so the scalar-tail and
 # SWAR code paths are exercised even on AVX2 hosts.
@@ -28,7 +28,7 @@ for level in scalar swar; do
     -j "$JOBS" -R 'HashBatch'
 done
 
-echo "=== [4/7] schedule equivalence: tiled results == static results ==="
+echo "=== [4/8] schedule equivalence: tiled results == static results ==="
 # The work-stealing tile scheduler (docs/scheduler.md) must be a pure
 # performance change: found/seed/distance and exhaustive seeds_hashed
 # identical to the static reference schedule for every iterator family, tile
@@ -38,7 +38,7 @@ echo "=== [4/7] schedule equivalence: tiled results == static results ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'ScheduleEquivalence|SeekEquivalence|HeteroCoSearch|ShellTiler|TileScheduler'
 
-echo "=== [5/7] bench smoke: batched hash throughput ==="
+echo "=== [5/8] bench smoke: batched hash throughput ==="
 # Release-configured bench build; one quick repetition proves the batched
 # kernels run at every advertised level (full numbers: docs/perf.md).
 if [[ "${RBC_CI_BENCH:-1}" == "1" ]]; then
@@ -50,16 +50,30 @@ else
   echo "(skipped: RBC_CI_BENCH=0)"
 fi
 
-echo "=== [6/7] configure + build (ThreadSanitizer) ==="
+echo "=== [6/8] bench smoke: server shard sweep -> BENCH_PR6.json ==="
+# The sharded serving layer's acceptance run: 1/2/4/8 shards at equal total
+# resources. The binary exits nonzero if sharded p95 regresses >10% against
+# the single-queue baseline or any session registers a corrupt key.
+if [[ "${RBC_CI_BENCH:-1}" == "1" ]]; then
+  cmake --build --preset release -j "$JOBS" --target bench_server_throughput
+  ./build-release/bench/bench_server_throughput --sweep-only \
+    --json BENCH_PR6.json
+else
+  echo "(skipped: RBC_CI_BENCH=0)"
+fi
+
+echo "=== [7/8] configure + build (ThreadSanitizer) ==="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
 
-echo "=== [7/7] ctest (tsan: concurrency suites) ==="
+echo "=== [8/8] ctest (tsan: concurrency suites) ==="
 # TSan slows execution ~5-15x; run the suites that exercise cross-thread
-# seams rather than the whole (mostly single-threaded) matrix.
+# seams rather than the whole (mostly single-threaded) matrix. ShardStress
+# runs the sharded server (shards > 1) through concurrent submit/stats/
+# shutdown; EnrollmentDatabaseConcurrency hammers the striped store.
 # (ctest registers gtest CASE names, so the filter matches suite prefixes.)
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
   --output-on-failure -j "$JOBS" \
-  -R 'WorkerGroup|SearchContext|ServerStress|RbcSearch|Backend|Protocol|LaunchKernel|SaltedKernel|DistSearch|Communicator|HashBatch|TileScheduler|TileSchedulerStress|ScheduleEquivalence|HeteroCoSearch|SeekEquivalence|ShellTiler'
+  -R 'WorkerGroup|SearchContext|ServerStress|ShardStress|EnrollmentDatabaseConcurrency|RbcSearch|Backend|Protocol|LaunchKernel|SaltedKernel|DistSearch|Communicator|HashBatch|TileScheduler|TileSchedulerStress|ScheduleEquivalence|HeteroCoSearch|SeekEquivalence|ShellTiler'
 
 echo "CI: all gates green"

@@ -1,0 +1,51 @@
+// Stable device-id -> stripe -> shard routing.
+//
+// The serving layer, the enrollment database, the RA registry and the CA's
+// challenge RNG all partition their per-device state by ONE shared hash so a
+// session admitted to shard S only ever touches stripes owned by S:
+//
+//   stripe  = stripe_of(device_id)            (fixed kAuthorityStripes-way)
+//   shard   = route_shard(device_id, N)       (= stripe % N)
+//
+// Routing through the stripe (rather than hashing the id twice with two
+// moduli) guarantees every stripe belongs to exactly one shard for ANY shard
+// count N <= kAuthorityStripes — two shards never contend on one stripe, so
+// run_authentication stays confined to its shard's slice of the world.
+//
+// The hash is the SplitMix64 finalizer: device ids are often sequential
+// (enrollment order), and the finalizer's avalanche spreads them uniformly
+// across stripes where `id % N` would alias whole enrollment batches.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace rbc {
+
+/// Fixed stripe fan-out of the shared authorities (enrollment DB, RA
+/// registry, CA challenge RNG). Independent of the server's shard count so
+/// protocol-level determinism (which stripe a device hashes to) does not
+/// change when the serving layer is re-sharded.
+inline constexpr u32 kAuthorityStripes = 16;
+
+/// SplitMix64 finalizer: well-mixed 64-bit avalanche of the device id.
+inline constexpr u64 mix_device_id(u64 device_id) noexcept {
+  u64 x = device_id + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Which authority stripe owns this device's state.
+inline constexpr u32 stripe_of(u64 device_id) noexcept {
+  return static_cast<u32>(mix_device_id(device_id) % kAuthorityStripes);
+}
+
+/// Which serving shard (of `num_shards`) owns this device. Derived from the
+/// stripe, so each stripe maps to exactly one shard.
+inline u32 route_shard(u64 device_id, u32 num_shards) {
+  RBC_CHECK(num_shards >= 1 && num_shards <= kAuthorityStripes);
+  return stripe_of(device_id) % num_shards;
+}
+
+}  // namespace rbc

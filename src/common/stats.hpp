@@ -55,4 +55,99 @@ inline double percentile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
 }
 
+/// Bounded-memory percentile estimator: Vitter's Algorithm R over a
+/// fixed-capacity reservoir.
+///
+/// The first `capacity` observations are retained exactly (percentiles are
+/// then exact); beyond that, each new observation replaces a uniformly
+/// random slot with probability capacity/n, so the reservoir stays a uniform
+/// sample of everything seen. Approximation bound: a quantile q estimated
+/// from K uniform samples has standard error ~= sqrt(q(1-q)/K) in RANK
+/// terms — with the default K = 512 that is ~2.2 percentile points at the
+/// median and ~1.0 at p95, independent of how many observations streamed
+/// through. Replaces the former unbounded sample vectors whose O(n log n)
+/// percentile scans ran under the server's stats locks.
+///
+/// Replacement randomness is a deterministic SplitMix64 stream seeded at
+/// construction, so runs are reproducible. Not internally synchronized —
+/// callers serialize add() exactly as they would a counter.
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(std::size_t capacity = 512, u64 seed = 0x5a3317ULL)
+      : capacity_(capacity), rng_state_(seed) {
+    RBC_CHECK_MSG(capacity >= 1, "reservoir needs at least one slot");
+    samples_.reserve(capacity);
+  }
+
+  void add(double x) {
+    ++n_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(x);
+      return;
+    }
+    // Replace slot j ~ U[0, n) if it lands inside the reservoir.
+    const u64 j = next_u64() % n_;
+    if (j < capacity_) samples_[static_cast<std::size_t>(j)] = x;
+  }
+
+  /// Total observations streamed through (not the retained count).
+  u64 count() const noexcept { return n_; }
+  /// Retained sample count: min(count, capacity).
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+  /// Percentile over the retained sample (exact while count <= capacity).
+  double percentile(double q) const { return rbc::percentile(samples_, q); }
+
+ private:
+  u64 next_u64() noexcept {
+    // SplitMix64 step (see common/rng.hpp); inlined to keep this header
+    // free of the generator dependency.
+    u64 z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::size_t capacity_;
+  u64 rng_state_;
+  u64 n_ = 0;
+  std::vector<double> samples_;
+};
+
+/// Percentile of the UNION of several reservoirs, each weighted by the
+/// population it represents: a reservoir that saw n observations with k
+/// retained contributes weight n/k per sample. This is how the sharded
+/// server aggregates per-shard session-time reservoirs into one consistent
+/// p50/p95 without ever concatenating unbounded histories.
+inline double merged_percentile(
+    const std::vector<const ReservoirSample*>& reservoirs, double q) {
+  RBC_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<std::pair<double, double>> weighted;  // (value, weight)
+  double total_weight = 0.0;
+  for (const ReservoirSample* r : reservoirs) {
+    RBC_CHECK(r != nullptr);
+    if (r->empty()) continue;
+    const double w = static_cast<double>(r->count()) /
+                     static_cast<double>(r->size());
+    for (double v : r->samples()) {
+      weighted.emplace_back(v, w);
+      total_weight += w;
+    }
+  }
+  RBC_CHECK_MSG(!weighted.empty(), "merged percentile of empty reservoirs");
+  std::sort(weighted.begin(), weighted.end());
+  // Walk the cumulative weight to the q-th fraction (inclusive convention:
+  // q=0 -> smallest, q=1 -> largest).
+  const double target = q * total_weight;
+  double cumulative = 0.0;
+  for (const auto& [value, weight] : weighted) {
+    cumulative += weight;
+    if (cumulative >= target) return value;
+  }
+  return weighted.back().first;
+}
+
 }  // namespace rbc

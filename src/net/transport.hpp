@@ -29,8 +29,23 @@ class LatencyModel {
   /// client-side PUF read: 0.15 s per message + 0.30 s PUF read.
   explicit LatencyModel(double per_message_s = 0.15, double jitter_s = 0.0,
                         u64 jitter_seed = 0)
-      : per_message_s_(per_message_s), jitter_s_(jitter_s), rng_(jitter_seed) {
+      : per_message_s_(per_message_s),
+        jitter_s_(jitter_s),
+        jitter_seed_(jitter_seed),
+        rng_(jitter_seed) {
     RBC_CHECK(per_message_s >= 0.0 && jitter_s >= 0.0);
+  }
+
+  /// Derives an independent per-session model from this one: same constants
+  /// and realtime mode, jitter stream re-seeded from `salt`. Each serving
+  /// shard holds ONE base model (seeded per shard) and forks it per session,
+  /// so concurrent sessions never share a jitter RNG and shard s's latency
+  /// draws are independent of how many sessions other shards admitted.
+  LatencyModel fork(u64 salt) const {
+    LatencyModel child(per_message_s_, jitter_s_,
+                       jitter_seed_ ^ (salt * 0x9e3779b97f4a7c15ULL + 1));
+    child.realtime_ = realtime_;
+    return child;
   }
 
   double sample() {
@@ -52,6 +67,7 @@ class LatencyModel {
  private:
   double per_message_s_;
   double jitter_s_;
+  u64 jitter_seed_;
   bool realtime_ = false;
   Xoshiro256 rng_;
 };

@@ -105,6 +105,10 @@ class SearchContext {
     return deadline_ != Clock::time_point::max();
   }
 
+  /// Absolute deadline (Clock::time_point::max() when none). The server's
+  /// earliest-deadline-first dispatch orders queued sessions by this key.
+  Clock::time_point deadline() const noexcept { return deadline_; }
+
   /// Seconds until the deadline (infinity when none; clamped at 0).
   double remaining_s() const noexcept {
     if (!has_deadline()) return std::numeric_limits<double>::infinity();

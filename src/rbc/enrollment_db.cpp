@@ -1,5 +1,6 @@
 #include "rbc/enrollment_db.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
@@ -38,10 +39,15 @@ Seed256 take_seed(const Bytes& in, std::size_t& pos) {
 
 }  // namespace
 
+EnrollmentDatabase::EnrollmentDatabase(const crypto::Aes128::Key& master_key)
+    : master_key_(master_key),
+      stripes_(std::make_unique<std::array<Stripe, kAuthorityStripes>>()) {}
+
 void EnrollmentDatabase::enroll(u64 device_id, const puf::SramPufModel& device,
                                 int calibration_reads, double max_flip_rate,
                                 Xoshiro256& rng) {
-  RBC_CHECK_MSG(!contains(device_id), "device already enrolled");
+  // Capture and calibrate OUTSIDE the stripe lock — the PUF reads are the
+  // expensive part and touch no shared state.
   EnrollmentRecord record;
   record.image = puf::EnrollmentImage::capture(device);
   record.masks.reserve(device.num_addresses());
@@ -49,19 +55,47 @@ void EnrollmentDatabase::enroll(u64 device_id, const puf::SramPufModel& device,
     record.masks.push_back(puf::TapkiMask::calibrate(
         device, a, calibration_reads, max_flip_rate, rng));
   }
-  records_[device_id] = encrypt_record(device_id, record);
+  Bytes blob = encrypt_record(device_id, record);
+
+  Stripe& stripe = stripe_for(device_id);
+  std::lock_guard lock(stripe.mutex);
+  RBC_CHECK_MSG(stripe.records.count(device_id) == 0,
+                "device already enrolled");
+  stripe.records[device_id] = std::move(blob);
+}
+
+bool EnrollmentDatabase::contains(u64 device_id) const {
+  Stripe& stripe = stripe_for(device_id);
+  std::lock_guard lock(stripe.mutex);
+  return stripe.records.count(device_id) != 0;
 }
 
 EnrollmentRecord EnrollmentDatabase::load(u64 device_id) const {
-  auto it = records_.find(device_id);
-  RBC_CHECK_MSG(it != records_.end(), "device not enrolled");
-  return decrypt_record(device_id, it->second);
+  return decrypt_record(device_id, ciphertext(device_id));
 }
 
-const Bytes& EnrollmentDatabase::ciphertext(u64 device_id) const {
-  auto it = records_.find(device_id);
-  RBC_CHECK_MSG(it != records_.end(), "device not enrolled");
+Bytes EnrollmentDatabase::ciphertext(u64 device_id) const {
+  Stripe& stripe = stripe_for(device_id);
+  std::lock_guard lock(stripe.mutex);
+  auto it = stripe.records.find(device_id);
+  RBC_CHECK_MSG(it != stripe.records.end(), "device not enrolled");
   return it->second;
+}
+
+std::size_t EnrollmentDatabase::size() const noexcept {
+  std::size_t total = 0;
+  for (const Stripe& stripe : *stripes_) {
+    std::lock_guard lock(stripe.mutex);
+    total += stripe.records.size();
+  }
+  return total;
+}
+
+std::size_t EnrollmentDatabase::stripe_size(u32 stripe_index) const {
+  RBC_CHECK(stripe_index < kAuthorityStripes);
+  const Stripe& stripe = (*stripes_)[stripe_index];
+  std::lock_guard lock(stripe.mutex);
+  return stripe.records.size();
 }
 
 namespace {
@@ -84,11 +118,23 @@ u64 read_u64(std::ifstream& in) {
 }  // namespace
 
 void EnrollmentDatabase::save(const std::string& path) const {
+  // Snapshot all stripes first (each under its own lock), then write sorted
+  // by device id — the v01 file layout predates the striped store and is
+  // kept byte-identical.
+  std::vector<std::pair<u64, Bytes>> entries;
+  for (const Stripe& stripe : *stripes_) {
+    std::lock_guard lock(stripe.mutex);
+    for (const auto& [device_id, blob] : stripe.records)
+      entries.emplace_back(device_id, blob);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   RBC_CHECK_MSG(out.good(), "cannot open database file for writing");
   out.write(kDbMagic, sizeof(kDbMagic));
-  write_u64(out, records_.size());
-  for (const auto& [device_id, blob] : records_) {
+  write_u64(out, entries.size());
+  for (const auto& [device_id, blob] : entries) {
     write_u64(out, device_id);
     write_u64(out, blob.size());
     out.write(reinterpret_cast<const char*>(blob.data()),
@@ -117,7 +163,7 @@ EnrollmentDatabase EnrollmentDatabase::load_from_file(
             static_cast<std::streamsize>(len));
     RBC_CHECK_MSG(static_cast<u64>(in.gcount()) == len,
                   "truncated enrollment database file");
-    db.records_[device_id] = std::move(blob);
+    db.stripe_for(device_id).records[device_id] = std::move(blob);
   }
   return db;
 }

@@ -6,14 +6,26 @@
 // master key and decrypted on access. The encryption is real (our own
 // AES-128 in counter mode, keyed per record by device id), which lets the
 // tests assert the at-rest bytes leak nothing about the images.
+//
+// The store is SHARDED: records live in kAuthorityStripes independent
+// stripes, each behind its own mutex, keyed by the same stripe_of() hash the
+// serving layer routes sessions with — so every serving shard reads and
+// enrolls only its own stripes and shards never contend on one lock. Reads
+// are snapshots (records and ciphertext return BY VALUE, decrypted or copied
+// under the stripe lock), so a concurrent enroll into the same stripe can
+// never invalidate a reader's view.
 #pragma once
 
-#include <map>
+#include <array>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bits/seed256.hpp"
+#include "common/shard_hash.hpp"
 #include "common/types.hpp"
 #include "crypto/aes128.hpp"
 #include "puf/puf.hpp"
@@ -27,29 +39,41 @@ struct EnrollmentRecord {
 
 class EnrollmentDatabase {
  public:
-  explicit EnrollmentDatabase(const crypto::Aes128::Key& master_key)
-      : master_key_(master_key) {}
+  explicit EnrollmentDatabase(const crypto::Aes128::Key& master_key);
+
+  /// Movable (the CA takes the database by value); stripes live behind a
+  /// unique_ptr array so their mutexes need not move.
+  EnrollmentDatabase(EnrollmentDatabase&&) noexcept = default;
+  EnrollmentDatabase& operator=(EnrollmentDatabase&&) noexcept = default;
 
   /// Enrolls a manufactured device: captures its image, calibrates TAPKI
   /// masks from `calibration_reads` reads per address, and stores the record
   /// encrypted. (The "secure facility" step of the threat model.)
+  /// Thread-safe: enrollment during serving locks only the device's stripe.
   void enroll(u64 device_id, const puf::SramPufModel& device,
               int calibration_reads, double max_flip_rate, Xoshiro256& rng);
 
-  bool contains(u64 device_id) const {
-    return records_.count(device_id) != 0;
-  }
+  bool contains(u64 device_id) const;
 
-  /// Decrypts and returns the record. Throws if the device is unknown.
+  /// Decrypts and returns the record (a snapshot — decrypted from bytes
+  /// copied under the stripe lock). Throws if the device is unknown.
   EnrollmentRecord load(u64 device_id) const;
 
-  /// Raw encrypted bytes of a record (test access: at-rest ciphertext).
-  const Bytes& ciphertext(u64 device_id) const;
+  /// Snapshot of the raw encrypted record bytes (test access: at-rest
+  /// ciphertext). By value: a reference into a stripe could be invalidated
+  /// by a concurrent enroll rehashing the stripe's table.
+  Bytes ciphertext(u64 device_id) const;
 
-  std::size_t size() const noexcept { return records_.size(); }
+  /// Total records across all stripes.
+  std::size_t size() const noexcept;
+
+  /// Records in one stripe (shard-confinement and balance diagnostics).
+  std::size_t stripe_size(u32 stripe) const;
 
   /// Persists the database — records stay ciphertext on disk; only the
-  /// framing (magic, count, ids, lengths) is plaintext.
+  /// framing (magic, count, ids, lengths) is plaintext. Records are written
+  /// in ascending device-id order regardless of stripe layout, so the file
+  /// format is byte-stable across stripe-count changes.
   void save(const std::string& path) const;
 
   /// Loads a database previously written by save(). The master key is needed
@@ -59,11 +83,21 @@ class EnrollmentDatabase {
                                            const crypto::Aes128::Key& key);
 
  private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<u64, Bytes> records;  // device id -> AES-CTR blob
+  };
+
+  Stripe& stripe_for(u64 device_id) const {
+    return (*stripes_)[stripe_of(device_id)];
+  }
+
   Bytes encrypt_record(u64 device_id, const EnrollmentRecord& record) const;
   EnrollmentRecord decrypt_record(u64 device_id, const Bytes& blob) const;
 
   crypto::Aes128::Key master_key_;
-  std::map<u64, Bytes> records_;  // device id -> AES-CTR ciphertext
+  /// Heap-allocated so the database stays movable despite the mutexes.
+  std::unique_ptr<std::array<Stripe, kAuthorityStripes>> stripes_;
 };
 
 }  // namespace rbc

@@ -67,9 +67,12 @@ net::Challenge CertificateAuthority::issue_challenge(
   const EnrollmentRecord record = db_.load(handshake.device_id);
   net::Challenge challenge;
   {
-    std::lock_guard lock(rng_mutex_);
+    // Striped challenge RNG: only devices hashing to the same stripe share
+    // this mutex, so shards draw challenges without cross-shard contention.
+    RngStripe& stripe = (*rng_stripes_)[stripe_of(handshake.device_id)];
+    std::lock_guard lock(stripe.mutex);
     challenge.puf_address = static_cast<u32>(
-        rng_.next_below(record.image.num_addresses()));
+        stripe.rng.next_below(record.image.num_addresses()));
   }
   challenge.tapki_enabled = cfg_.tapki_enabled;
   challenge.stable_mask =
@@ -124,10 +127,14 @@ net::AuthResult CertificateAuthority::process_digest(
   return result;
 }
 
-SessionReport run_authentication(Client& client, CertificateAuthority& ca,
-                                 RegistrationAuthority& ra,
-                                 net::LatencyModel latency,
-                                 par::SearchContext* session_ctx) {
+namespace {
+
+/// The Fig. 1 exchange, generic over plain authorities or shard-scoped
+/// views (both expose issue_challenge / process_digest / lookup).
+template <typename Ca, typename Ra>
+SessionReport run_exchange(Client& client, Ca&& ca, Ra&& ra,
+                           net::LatencyModel latency,
+                           par::SearchContext* session_ctx) {
   net::Channel client_end{latency};
   net::Channel ca_end{latency};
   net::Channel::connect(client_end, ca_end);
@@ -173,6 +180,23 @@ SessionReport run_authentication(Client& client, CertificateAuthority& ca,
     session.registered_public_key = *pk;
   }
   return session;
+}
+
+}  // namespace
+
+SessionReport run_authentication(Client& client, CertificateAuthority& ca,
+                                 RegistrationAuthority& ra,
+                                 net::LatencyModel latency,
+                                 par::SearchContext* session_ctx) {
+  return run_exchange(client, ca, ra, std::move(latency), session_ctx);
+}
+
+SessionReport run_authentication(Client& client,
+                                 CertificateAuthority::ShardView ca,
+                                 RegistrationAuthority::ShardView ra,
+                                 net::LatencyModel latency,
+                                 par::SearchContext* session_ctx) {
+  return run_exchange(client, ca, ra, std::move(latency), session_ctx);
 }
 
 }  // namespace rbc

@@ -12,13 +12,25 @@
 // run_authentication() drives one full exchange over a simulated channel and
 // returns a SessionReport with the Table 5 decomposition (comm time, search
 // time, total).
+//
+// SHARDING: all per-device authority state (the RA registry rows, the CA's
+// challenge RNG, the enrollment database records) is partitioned into
+// kAuthorityStripes lock stripes keyed by stripe_of(device_id) — the same
+// hash the serving layer routes sessions with, so a session running on
+// shard S only ever locks stripes owned by S. The *_view() accessors hand
+// out shard-scoped handles that RBC_CHECK this confinement on every call: a
+// misrouted session fails loudly instead of silently contending on another
+// shard's stripes. Compute stays fully shared — every shard's searches
+// multiplex the one process-wide WorkerGroup.
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 
+#include "common/shard_hash.hpp"
 #include "crypto/pqc_keygen.hpp"
 #include "crypto/salt.hpp"
 #include "net/transport.hpp"
@@ -83,9 +95,11 @@ class Client {
 /// trials reproducible.
 ///
 /// The registry is updated concurrently by every in-flight session (step 9
-/// runs on the server's driver threads), so all access is serialized
-/// internally and reads return snapshots by value — a pointer into the map
-/// would dangle under a concurrent update of the same device.
+/// runs on the server's driver threads). Rows are partitioned into
+/// kAuthorityStripes lock stripes by stripe_of(device_id), so sessions on
+/// different serving shards never contend on one registry mutex; reads
+/// return snapshots by value — a pointer into a stripe's map would dangle
+/// under a concurrent update of the same device.
 class RegistrationAuthority {
  public:
   struct Entry {
@@ -95,73 +109,147 @@ class RegistrationAuthority {
     u64 rotation = 0;  // how many times this device's key has been replaced
   };
 
+  RegistrationAuthority()
+      : stripes_(std::make_unique<std::array<Stripe, kAuthorityStripes>>()) {}
+
   /// Lifetime of a session key; default is the paper's "short time" at the
   /// scale of one authentication threshold.
   void set_key_ttl(double seconds) {
     RBC_CHECK(seconds > 0.0);
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(time_mutex_);
     ttl_s_ = seconds;
   }
   double key_ttl() const {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(time_mutex_);
     return ttl_s_;
   }
 
   void advance_time(double seconds) {
     RBC_CHECK(seconds >= 0.0);
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(time_mutex_);
     now_s_ += seconds;
   }
   double now() const {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(time_mutex_);
     return now_s_;
   }
 
   void update(u64 device_id, Bytes public_key) {
-    std::lock_guard lock(mutex_);
-    auto& entry = registry_[device_id];
+    double now, ttl;
+    {
+      std::lock_guard lock(time_mutex_);
+      now = now_s_;
+      ttl = ttl_s_;
+    }
+    Stripe& stripe = stripe_for(device_id);
+    std::lock_guard lock(stripe.mutex);
+    auto& entry = stripe.entries[device_id];
     entry.rotation += entry.public_key.empty() ? 0u : 1u;
     entry.public_key = std::move(public_key);
-    entry.registered_at = now_s_;
-    entry.expires_at = now_s_ + ttl_s_;
+    entry.registered_at = now;
+    entry.expires_at = now + ttl;
   }
 
   /// The device's current key, or nullopt when absent, revoked or expired.
   std::optional<Bytes> lookup(u64 device_id) const {
-    std::lock_guard lock(mutex_);
-    auto it = registry_.find(device_id);
-    if (it == registry_.end()) return std::nullopt;
-    if (now_s_ >= it->second.expires_at) return std::nullopt;
+    const double now = this->now();
+    Stripe& stripe = stripe_for(device_id);
+    std::lock_guard lock(stripe.mutex);
+    auto it = stripe.entries.find(device_id);
+    if (it == stripe.entries.end()) return std::nullopt;
+    if (now >= it->second.expires_at) return std::nullopt;
     return it->second.public_key;
   }
 
   /// Full entry including expired ones (audit access).
   std::optional<Entry> entry(u64 device_id) const {
-    std::lock_guard lock(mutex_);
-    auto it = registry_.find(device_id);
-    if (it == registry_.end()) return std::nullopt;
+    Stripe& stripe = stripe_for(device_id);
+    std::lock_guard lock(stripe.mutex);
+    auto it = stripe.entries.find(device_id);
+    if (it == stripe.entries.end()) return std::nullopt;
     return it->second;
   }
 
   /// Immediate invalidation; returns false when the device has no entry.
   bool revoke(u64 device_id) {
-    std::lock_guard lock(mutex_);
-    auto it = registry_.find(device_id);
-    if (it == registry_.end()) return false;
-    it->second.expires_at = now_s_;
+    const double now = this->now();
+    Stripe& stripe = stripe_for(device_id);
+    std::lock_guard lock(stripe.mutex);
+    auto it = stripe.entries.find(device_id);
+    if (it == stripe.entries.end()) return false;
+    it->second.expires_at = now;
     return true;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
-    return registry_.size();
+    std::size_t total = 0;
+    for (const Stripe& stripe : *stripes_) {
+      std::lock_guard lock(stripe.mutex);
+      total += stripe.entries.size();
+    }
+    return total;
+  }
+
+  /// Rows in one stripe (shard-confinement and balance diagnostics).
+  std::size_t stripe_size(u32 stripe_index) const {
+    RBC_CHECK(stripe_index < kAuthorityStripes);
+    const Stripe& stripe = (*stripes_)[stripe_index];
+    std::lock_guard lock(stripe.mutex);
+    return stripe.entries.size();
+  }
+
+  /// Shard-scoped handle: every call RBC_CHECKs that the device routes to
+  /// this serving shard, so a misrouted session fails loudly instead of
+  /// touching another shard's stripes.
+  class ShardView {
+   public:
+    void update(u64 device_id, Bytes public_key) const {
+      check_owned(device_id);
+      ra_->update(device_id, std::move(public_key));
+    }
+    std::optional<Bytes> lookup(u64 device_id) const {
+      check_owned(device_id);
+      return ra_->lookup(device_id);
+    }
+    std::optional<Entry> entry(u64 device_id) const {
+      check_owned(device_id);
+      return ra_->entry(device_id);
+    }
+    u32 shard() const noexcept { return shard_; }
+
+   private:
+    friend class RegistrationAuthority;
+    ShardView(RegistrationAuthority* ra, u32 shard, u32 num_shards)
+        : ra_(ra), shard_(shard), num_shards_(num_shards) {
+      RBC_CHECK(ra != nullptr && shard < num_shards);
+    }
+    void check_owned(u64 device_id) const {
+      RBC_CHECK_MSG(route_shard(device_id, num_shards_) == shard_,
+                    "session routed to the wrong RA shard");
+    }
+    RegistrationAuthority* ra_;
+    u32 shard_;
+    u32 num_shards_;
+  };
+
+  ShardView shard_view(u32 shard, u32 num_shards) {
+    return ShardView(this, shard, num_shards);
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<u64, Entry> registry_;
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::map<u64, Entry> entries;
+  };
+
+  Stripe& stripe_for(u64 device_id) const {
+    return (*stripes_)[stripe_of(device_id)];
+  }
+
+  mutable std::mutex time_mutex_;  // guards the logical clock and TTL only
   double ttl_s_ = 20.0;
   double now_s_ = 0.0;
+  std::unique_ptr<std::array<Stripe, kAuthorityStripes>> stripes_;
 };
 
 struct CaConfig {
@@ -188,38 +276,92 @@ class CertificateAuthority {
         db_(std::move(db)),
         backend_(std::move(backend)),
         ra_(ra),
-        rng_(cfg.challenge_rng_seed) {
+        rng_stripes_(
+            std::make_unique<std::array<RngStripe, kAuthorityStripes>>()) {
     RBC_CHECK(backend_ != nullptr && ra_ != nullptr);
+    // One challenge RNG per stripe, each on an independent SplitMix64-
+    // derived stream: sessions on different shards draw challenges without
+    // sharing a generator (the former single rng_mutex_ serialized every
+    // issue_challenge in the process).
+    for (u32 s = 0; s < kAuthorityStripes; ++s) {
+      (*rng_stripes_)[s].rng =
+          Xoshiro256(mix_device_id(cfg.challenge_rng_seed + s));
+    }
   }
 
   const CaConfig& config() const noexcept { return cfg_; }
   EnrollmentDatabase& database() noexcept { return db_; }
 
   /// Step 2: picks a random enrolled address for the device. Thread-safe:
-  /// the challenge RNG is the CA's only mutable per-call state and is
-  /// serialized internally.
+  /// the challenge RNG is striped by device, so only sessions whose devices
+  /// share a stripe serialize here.
   net::Challenge issue_challenge(const net::HandshakeRequest& handshake);
 
   /// Steps 4-9: runs the RBC search for the submitted digest and, on
   /// success, salts the seed, generates the public key and updates the RA.
   /// Re-entrant: any number of sessions may run concurrently against one
-  /// CA — the database is read-only here, the backend multiplexes the
-  /// shared worker group, and the RA serializes its own updates. `session`,
-  /// when non-null, carries the session deadline into the search (queue and
-  /// communication time already spent count against the threshold).
+  /// CA — the database and challenge RNG are striped by device, the backend
+  /// multiplexes the shared worker group, and the RA serializes per stripe.
+  /// `session`, when non-null, carries the session deadline into the search
+  /// (queue and communication time already spent count against the
+  /// threshold).
   net::AuthResult process_digest(const net::HandshakeRequest& handshake,
                                  const net::Challenge& challenge,
                                  const net::DigestSubmission& submission,
                                  EngineReport* report_out = nullptr,
                                  par::SearchContext* session = nullptr);
 
+  /// Shard-scoped handle mirroring RegistrationAuthority::ShardView: the
+  /// serving shard drives its sessions through this so any cross-shard
+  /// device leakage trips a check instead of a lock convoy.
+  class ShardView {
+   public:
+    net::Challenge issue_challenge(const net::HandshakeRequest& handshake) {
+      check_owned(handshake.device_id);
+      return ca_->issue_challenge(handshake);
+    }
+    net::AuthResult process_digest(const net::HandshakeRequest& handshake,
+                                   const net::Challenge& challenge,
+                                   const net::DigestSubmission& submission,
+                                   EngineReport* report_out = nullptr,
+                                   par::SearchContext* session = nullptr) {
+      check_owned(handshake.device_id);
+      return ca_->process_digest(handshake, challenge, submission, report_out,
+                                 session);
+    }
+    const CaConfig& config() const noexcept { return ca_->config(); }
+    u32 shard() const noexcept { return shard_; }
+
+   private:
+    friend class CertificateAuthority;
+    ShardView(CertificateAuthority* ca, u32 shard, u32 num_shards)
+        : ca_(ca), shard_(shard), num_shards_(num_shards) {
+      RBC_CHECK(ca != nullptr && shard < num_shards);
+    }
+    void check_owned(u64 device_id) const {
+      RBC_CHECK_MSG(route_shard(device_id, num_shards_) == shard_,
+                    "session routed to the wrong CA shard");
+    }
+    CertificateAuthority* ca_;
+    u32 shard_;
+    u32 num_shards_;
+  };
+
+  ShardView shard_view(u32 shard, u32 num_shards) {
+    return ShardView(this, shard, num_shards);
+  }
+
  private:
+  struct RngStripe {
+    std::mutex mutex;
+    Xoshiro256 rng;
+  };
+
   CaConfig cfg_;
   EnrollmentDatabase db_;
   std::unique_ptr<SearchBackend> backend_;
   RegistrationAuthority* ra_;
-  std::mutex rng_mutex_;
-  Xoshiro256 rng_;
+  std::unique_ptr<std::array<RngStripe, kAuthorityStripes>> rng_stripes_;
 };
 
 /// One full authentication session over a simulated channel.
@@ -236,6 +378,15 @@ struct SessionReport {
 /// deadline governs the CA search and its cancellation aborts it.
 SessionReport run_authentication(Client& client, CertificateAuthority& ca,
                                  RegistrationAuthority& ra,
+                                 net::LatencyModel latency =
+                                     net::LatencyModel(0.15),
+                                 par::SearchContext* session = nullptr);
+
+/// Shard-scoped overload used by the serving layer: identical exchange, but
+/// every authority access goes through the views' confinement checks.
+SessionReport run_authentication(Client& client,
+                                 CertificateAuthority::ShardView ca,
+                                 RegistrationAuthority::ShardView ra,
                                  net::LatencyModel latency =
                                      net::LatencyModel(0.15),
                                  par::SearchContext* session = nullptr);

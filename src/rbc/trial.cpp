@@ -24,7 +24,7 @@ TrialStats run_trials(Client& client, CertificateAuthority& ca,
     stats.total_host_search_s += session.engine.result.host_seconds;
     stats.total_modeled_device_s += session.engine.modeled_device_seconds;
     stats.total_comm_s += session.comm_time_s;
-    stats.host_search_samples.push_back(session.engine.result.host_seconds);
+    stats.host_search_samples.add(session.engine.result.host_seconds);
     stats.modeled_device_stats.add(session.engine.modeled_device_seconds);
   }
   return stats;

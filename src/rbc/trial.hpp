@@ -22,9 +22,11 @@ struct TrialStats {
   double total_modeled_device_s = 0.0;
   double total_comm_s = 0.0;
   std::vector<int> found_distance_histogram;  // index = distance
-  /// Per-trial host search times (for percentiles) and streaming moments of
-  /// the modeled device times.
-  std::vector<double> host_search_samples;
+  /// Per-trial host search times for percentiles, held in a bounded
+  /// reservoir (exact up to its 4096-sample capacity — comfortably above
+  /// the paper's 1,200-trial runs — and a uniform subsample beyond), and
+  /// streaming moments of the modeled device times.
+  ReservoirSample host_search_samples{4096};
   RunningStats modeled_device_stats;
 
   double auth_rate() const {
@@ -42,7 +44,7 @@ struct TrialStats {
   }
   /// Percentile of the host search time distribution, q in [0,1].
   double host_search_percentile(double q) const {
-    return percentile(host_search_samples, q);
+    return host_search_samples.percentile(q);
   }
 };
 

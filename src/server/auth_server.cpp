@@ -1,154 +1,89 @@
 #include "server/auth_server.hpp"
 
-#include <algorithm>
-
-#include "common/stats.hpp"
+#include "common/shard_hash.hpp"
 
 namespace rbc::server {
 
 AuthServer::AuthServer(ServerConfig cfg, CertificateAuthority* ca,
                        RegistrationAuthority* ra)
-    : cfg_(cfg), ca_(ca), ra_(ra) {
+    : cfg_(cfg) {
   RBC_CHECK(ca != nullptr && ra != nullptr);
+  RBC_CHECK_MSG(cfg_.num_shards >= 1 &&
+                    cfg_.num_shards <= static_cast<int>(kAuthorityStripes),
+                "num_shards must be in [1, kAuthorityStripes]");
   RBC_CHECK_MSG(cfg_.max_queue_depth >= 1, "admission queue needs capacity");
   RBC_CHECK_MSG(cfg_.max_in_flight >= 1, "need at least one session driver");
-  RBC_CHECK(cfg_.session_budget_s > 0.0);
-  drivers_.reserve(static_cast<std::size_t>(cfg_.max_in_flight));
-  for (int i = 0; i < cfg_.max_in_flight; ++i)
-    drivers_.emplace_back([this] { driver_loop(); });
+
+  // Split the server totals evenly; every shard gets at least one queue
+  // slot and one driver (so the effective totals round up when num_shards
+  // exceeds the configured counts).
+  const int n = cfg_.num_shards;
+  const int queue_per_shard = (cfg_.max_queue_depth + n - 1) / n;
+  const int drivers_per_shard = (cfg_.max_in_flight + n - 1) / n;
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<Shard>(cfg_, s, n, queue_per_shard,
+                                              drivers_per_shard, ca, ra));
+  }
 }
 
 AuthServer::~AuthServer() { shutdown(); }
 
+int AuthServer::shard_of_device(u64 device_id) const {
+  return static_cast<int>(
+      route_shard(device_id, static_cast<u32>(shards_.size())));
+}
+
 std::future<SessionOutcome> AuthServer::submit(Client* client) {
+  return submit(client, cfg_.session_budget_s);
+}
+
+std::future<SessionOutcome> AuthServer::submit(Client* client,
+                                               double budget_s) {
   RBC_CHECK(client != nullptr);
-  auto session = std::make_unique<Session>(client, cfg_.session_budget_s);
-  std::future<SessionOutcome> future = session->promise.get_future();
-
-  {
-    std::lock_guard lock(mutex_);
-    std::lock_guard stats_lock(stats_mutex_);
-    ++submitted_;
-    if (shutdown_ ||
-        queue_.size() >= static_cast<std::size_t>(cfg_.max_queue_depth)) {
-      // Backpressure: shed at admission, before any search cycles burn.
-      ++rejected_;
-      SessionOutcome outcome;
-      outcome.device_id = client->config().device_id;
-      outcome.accepted = false;
-      session->promise.set_value(outcome);
-      return future;
-    }
-    queue_.push_back(std::move(session));
-  }
-  cv_queue_.notify_one();
-  return future;
-}
-
-void AuthServer::driver_loop() {
-  while (true) {
-    std::unique_ptr<Session> session;
-    {
-      std::unique_lock lock(mutex_);
-      cv_queue_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with nothing left to drain
-      session = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    {
-      std::lock_guard stats_lock(stats_mutex_);
-      ++in_flight_;
-    }
-    run_session(*session);  // record_outcome drops in_flight_ BEFORE the
-                            // promise resolves, so a caller who just got its
-                            // outcome never reads a stale in-flight count
-  }
-}
-
-void AuthServer::run_session(Session& session) {
-  SessionOutcome outcome;
-  outcome.device_id = session.client->config().device_id;
-  outcome.accepted = true;
-  outcome.queue_wait_s = session.admitted.elapsed_s();
-
-  // The budget started at admission; a session that waited past its
-  // threshold is reported timed out without spending search cycles.
-  if (!session.ctx.check_deadline()) {
-    // Per-device serialization: interleaved sessions for one device would
-    // race the enrollment image read against the RA key rotation.
-    std::shared_ptr<std::mutex> device_lock;
-    {
-      std::lock_guard lock(device_locks_mutex_);
-      auto& slot = device_locks_[outcome.device_id];
-      if (!slot) slot = std::make_shared<std::mutex>();
-      device_lock = slot;
-    }
-    std::lock_guard device_guard(*device_lock);
-    net::LatencyModel latency(cfg_.per_message_latency_s);
-    latency.set_realtime(cfg_.realtime_comm);
-    outcome.report = run_authentication(*session.client, *ca_, *ra_, latency,
-                                        &session.ctx);
-    outcome.authenticated = outcome.report.result.authenticated;
-  }
-  outcome.timed_out = session.ctx.timed_out() ||
-                      outcome.report.result.timed_out;
-  outcome.session_s = session.admitted.elapsed_s();
-
-  record_outcome(outcome);
-  session.promise.set_value(std::move(outcome));
-}
-
-void AuthServer::record_outcome(const SessionOutcome& outcome) {
-  std::lock_guard lock(stats_mutex_);
-  --in_flight_;
-  ++completed_;
-  if (outcome.authenticated) ++authenticated_;
-  if (outcome.timed_out) ++timed_out_;
-  session_times_s_.push_back(outcome.session_s);
+  const std::size_t s =
+      static_cast<std::size_t>(shard_of_device(client->config().device_id));
+  return shards_[s]->submit(client, budget_s);
 }
 
 ServerStats AuthServer::stats() const {
-  std::lock_guard lock(mutex_);
-  std::lock_guard stats_lock(stats_mutex_);
-  ServerStats snapshot;
-  snapshot.submitted = submitted_;
-  snapshot.rejected = rejected_;
-  snapshot.completed = completed_;
-  snapshot.authenticated = authenticated_;
-  snapshot.timed_out = timed_out_;
-  snapshot.queue_depth = static_cast<int>(queue_.size());
-  snapshot.in_flight = in_flight_;
-  if (!session_times_s_.empty()) {
-    double sum = 0.0;
-    for (double t : session_times_s_) sum += t;
-    snapshot.mean_session_s =
-        sum / static_cast<double>(session_times_s_.size());
-    snapshot.p50_session_s = percentile(session_times_s_, 0.50);
-    snapshot.p95_session_s = percentile(session_times_s_, 0.95);
+  // Each shard's slice is internally consistent (taken under its stripe
+  // locks); the aggregate is the sum of per-shard snapshots.
+  std::vector<Shard::StatsSlice> slices;
+  slices.reserve(shards_.size());
+  for (const auto& shard : shards_) slices.push_back(shard->stats_slice());
+
+  ServerStats agg;
+  agg.shards = static_cast<int>(shards_.size());
+  double time_sum = 0.0;
+  std::vector<const ReservoirSample*> reservoirs;
+  reservoirs.reserve(slices.size());
+  for (const Shard::StatsSlice& s : slices) {
+    agg.submitted += s.submitted;
+    agg.rejected += s.rejected;
+    agg.shed_infeasible += s.shed_infeasible;
+    agg.completed += s.completed;
+    agg.authenticated += s.authenticated;
+    agg.timed_out += s.timed_out;
+    agg.cancelled += s.cancelled;
+    agg.queue_depth += s.queue_depth;
+    agg.in_flight += s.in_flight;
+    agg.device_states += s.device_states;
+    time_sum += s.session_time_sum;
+    if (!s.session_times.empty()) reservoirs.push_back(&s.session_times);
   }
-  return snapshot;
+  if (agg.completed > 0) {
+    agg.mean_session_s = time_sum / static_cast<double>(agg.completed);
+  }
+  if (!reservoirs.empty()) {
+    agg.p50_session_s = merged_percentile(reservoirs, 0.50);
+    agg.p95_session_s = merged_percentile(reservoirs, 0.95);
+  }
+  return agg;
 }
 
 void AuthServer::shutdown() {
-  std::deque<std::unique_ptr<Session>> orphans;
-  {
-    std::lock_guard lock(mutex_);
-    if (shutdown_) return;  // first caller joins; the dtor re-call no-ops
-    shutdown_ = true;
-    // Cancel sessions still queued; drivers drain in-flight work only.
-    orphans.swap(queue_);
-  }
-  cv_queue_.notify_all();
-  for (auto& session : orphans) {
-    session->ctx.cancel();
-    SessionOutcome outcome;
-    outcome.device_id = session->client->config().device_id;
-    outcome.accepted = true;
-    outcome.session_s = session->admitted.elapsed_s();
-    session->promise.set_value(std::move(outcome));
-  }
-  for (auto& driver : drivers_) driver.join();
-  drivers_.clear();
+  for (const auto& shard : shards_) shard->shutdown();
 }
 
 }  // namespace rbc::server

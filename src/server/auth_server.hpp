@@ -1,85 +1,28 @@
-// The concurrent multi-session authentication server.
+// The concurrent multi-session authentication server: a thin router over
+// N serving shards.
 //
 // The paper frames RBC-SALTED from the server's side: a CA "authenticates a
 // stream of clients", each within a hard threshold T. AuthServer is that
-// stream made concrete — the admission -> schedule -> search -> register
-// pipeline over one CA + RA pair:
+// stream made concrete at fleet scale — submit() hashes the device id to a
+// shard (common/shard_hash.hpp) and the shard runs the whole
+// admission -> EDF dispatch -> search -> register pipeline against its own
+// queue, drivers, device locks and stats stripe (see server/shard.hpp).
+// Search compute stays fully shared: every shard's sessions multiplex the
+// one process-wide par::WorkerGroup.
 //
-//   * Admission: submit() either enqueues the session or REJECTS it when
-//     the bounded queue is full (backpressure — a server past capacity must
-//     shed load early, not time sessions out after burning search cycles).
-//     The session's SearchContext is created here, so every second spent
-//     queued counts against its threshold T.
-//   * Scheduling: max_in_flight driver threads pop sessions in admission
-//     order. Sessions for the SAME device serialize on a per-device lock
-//     (two interleaved searches against one enrollment record would race
-//     the RA key rotation); sessions for different devices overlap freely,
-//     multiplexing their shell rounds on the shared WorkerGroup.
-//   * Search: the driver runs the full protocol exchange; the session's
-//     deadline and cancellation propagate through process_digest into the
-//     backend via the SearchContext.
-//   * Register: step 9 lands in the RA, which serializes internally.
-//
-// ServerStats is a consistent snapshot for operators: queue depth, sessions
-// in flight, admission/rejection/timeout counters and p50/p95 session time.
+// stats() aggregates the shard stripes into one consistent ServerStats
+// snapshot; percentiles come from fixed-size per-shard reservoirs merged by
+// population weight, so the cost is O(shards * reservoir) no matter how
+// many sessions the server has ever completed.
 #pragma once
 
-#include <condition_variable>
-#include <deque>
 #include <future>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
-#include "common/timer.hpp"
-#include "parallel/search_context.hpp"
-#include "rbc/protocol.hpp"
+#include "server/shard.hpp"
 
 namespace rbc::server {
-
-struct ServerConfig {
-  /// Bounded admission queue; submissions beyond it are rejected.
-  int max_queue_depth = 64;
-  /// Concurrent session drivers (in-flight authentications).
-  int max_in_flight = 4;
-  /// Per-session threshold T, seconds of wall clock from ADMISSION — queue
-  /// wait, simulated communication and search all spend from this budget.
-  double session_budget_s = 20.0;
-  /// Latency model applied to each session's simulated channel.
-  double per_message_latency_s = 0.15;
-  /// When true the channel SLEEPS its latencies in wall-clock time instead
-  /// of only charging the logical clock. Overlapping sessions then overlap
-  /// their waits exactly as a real server overlaps network I/O — this is
-  /// what the throughput bench measures; tests keep it off for speed.
-  bool realtime_comm = false;
-};
-
-/// What became of one submitted session.
-struct SessionOutcome {
-  u64 device_id = 0;
-  bool accepted = false;       // false: rejected at admission (queue full)
-  bool authenticated = false;
-  bool timed_out = false;      // threshold T expired (queued or searching)
-  double queue_wait_s = 0.0;   // admission -> driver pickup
-  double session_s = 0.0;      // admission -> completion, wall clock
-  SessionReport report;        // full Table-5 decomposition (when run)
-};
-
-/// Point-in-time operational snapshot.
-struct ServerStats {
-  u64 submitted = 0;
-  u64 rejected = 0;       // shed at admission
-  u64 completed = 0;      // sessions fully processed (any verdict)
-  u64 authenticated = 0;
-  u64 timed_out = 0;
-  int queue_depth = 0;    // sessions admitted, not yet picked up
-  int in_flight = 0;      // sessions currently on a driver
-  double mean_session_s = 0.0;
-  double p50_session_s = 0.0;
-  double p95_session_s = 0.0;
-};
 
 class AuthServer {
  public:
@@ -88,62 +31,42 @@ class AuthServer {
   /// sessions multiplex one set of worker threads.
   AuthServer(ServerConfig cfg, CertificateAuthority* ca,
              RegistrationAuthority* ra);
-  ~AuthServer();  // drains the queue (cancelling pending sessions) and joins
+  ~AuthServer();  // drains the queues (cancelling pending sessions) and joins
 
   AuthServer(const AuthServer&) = delete;
   AuthServer& operator=(const AuthServer&) = delete;
 
-  /// Admits one authentication session for `client`. Always returns a
-  /// future; a rejected session resolves immediately with accepted=false.
+  /// Admits one authentication session for `client`, routed to the shard
+  /// owning its device id. Always returns a future; a rejected session
+  /// resolves immediately with accepted=false and a RejectReason.
   /// The client object must stay alive until the future resolves and must
   /// not be submitted again before then (its PUF-read state is per-session;
   /// per-DEVICE serialization is the server's job, per-CLIENT-object
   /// serialization is the caller's).
   std::future<SessionOutcome> submit(Client* client);
 
+  /// Same, with a per-session threshold budget overriding the configured
+  /// session_budget_s. This is what makes EDF dispatch meaningful: with a
+  /// uniform budget every deadline is admission + constant and EDF
+  /// degenerates to FIFO; a tight-budget session submitted here overtakes
+  /// slack ones already queued on its shard.
+  std::future<SessionOutcome> submit(Client* client, double budget_s);
+
+  /// Consistent aggregate snapshot across all shard stripes.
   ServerStats stats() const;
 
-  /// Stops accepting work, cancels queued sessions, joins the drivers.
-  /// Idempotent; also run by the destructor.
+  /// Which shard serves this device (diagnostics / test support).
+  int shard_of_device(u64 device_id) const;
+  int num_shards() const noexcept { return static_cast<int>(shards_.size()); }
+
+  /// Stops accepting work, cancels queued sessions (completing them as
+  /// cancelled so submitted == rejected + completed reconciles), joins all
+  /// shard drivers. Idempotent; also run by the destructor.
   void shutdown();
 
  private:
-  struct Session {
-    Client* client = nullptr;
-    par::SearchContext ctx;
-    WallTimer admitted;  // wall clock since admission
-    std::promise<SessionOutcome> promise;
-    explicit Session(Client* c, double budget_s)
-        : client(c), ctx(par::SearchContext::with_budget(budget_s)) {}
-  };
-
-  void driver_loop();
-  void run_session(Session& session);
-  void record_outcome(const SessionOutcome& outcome);
-
   ServerConfig cfg_;
-  CertificateAuthority* ca_;
-  RegistrationAuthority* ra_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable cv_queue_;
-  std::deque<std::unique_ptr<Session>> queue_;
-  bool shutdown_ = false;
-  std::vector<std::thread> drivers_;
-
-  /// Per-device serialization: one lock per device id, created on first use.
-  std::mutex device_locks_mutex_;
-  std::map<u64, std::shared_ptr<std::mutex>> device_locks_;
-
-  /// Counters and completed-session times (for percentiles).
-  mutable std::mutex stats_mutex_;
-  u64 submitted_ = 0;
-  u64 rejected_ = 0;
-  u64 completed_ = 0;
-  u64 authenticated_ = 0;
-  u64 timed_out_ = 0;
-  int in_flight_ = 0;
-  std::vector<double> session_times_s_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace rbc::server

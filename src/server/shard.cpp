@@ -1,0 +1,228 @@
+#include "server/shard.hpp"
+
+#include <algorithm>
+
+namespace rbc::server {
+
+Shard::Shard(const ServerConfig& cfg, int index, int num_shards,
+             int queue_depth, int drivers, CertificateAuthority* ca,
+             RegistrationAuthority* ra)
+    : cfg_(cfg),
+      index_(index),
+      queue_depth_(queue_depth),
+      ca_view_(ca->shard_view(static_cast<u32>(index),
+                              static_cast<u32>(num_shards))),
+      ra_view_(ra->shard_view(static_cast<u32>(index),
+                              static_cast<u32>(num_shards))),
+      base_latency_(cfg.per_message_latency_s, cfg.per_message_jitter_s,
+                    u64{0x1a7e0000} + static_cast<u64>(index)),
+      session_times_(512, u64{0x5e55} + static_cast<u64>(index)) {
+  RBC_CHECK_MSG(queue_depth >= 1, "shard admission queue needs capacity");
+  RBC_CHECK_MSG(drivers >= 1, "shard needs at least one session driver");
+  RBC_CHECK(cfg_.session_budget_s > 0.0);
+  RBC_CHECK_MSG(cfg_.max_device_states >= 1, "device table needs capacity");
+  base_latency_.set_realtime(cfg.realtime_comm);
+  drivers_.reserve(static_cast<std::size_t>(drivers));
+  for (int i = 0; i < drivers; ++i)
+    drivers_.emplace_back([this] { driver_loop(); });
+}
+
+Shard::~Shard() { shutdown(); }
+
+std::future<SessionOutcome> Shard::submit(Client* client, double budget_s) {
+  RBC_CHECK(client != nullptr);
+  RBC_CHECK_MSG(budget_s > 0.0, "session budget must be positive");
+
+  SessionOutcome rejection;
+  rejection.device_id = client->config().device_id;
+  rejection.accepted = false;
+
+  // Feasibility shed: the deadline clock starts NOW; if the budget cannot
+  // even cover the modeled communication floor (4 messages + the PUF read,
+  // counted only in realtime mode where comm spends wall clock) plus the
+  // configured minimum search time, admitting the session only burns
+  // cycles it is guaranteed to time out on.
+  double floor_s = cfg_.min_search_time_s;
+  if (cfg_.realtime_comm) {
+    floor_s += 4.0 * cfg_.per_message_latency_s +
+               client->config().puf_read_time_s;
+  }
+
+  auto session = std::make_unique<Session>(client, budget_s, 0);
+  std::future<SessionOutcome> future = session->promise.get_future();
+
+  {
+    std::lock_guard lock(mutex_);
+    std::lock_guard stats_lock(stats_mutex_);
+    ++submitted_;
+    RejectReason reason = RejectReason::kNone;
+    if (shutdown_) {
+      reason = RejectReason::kShutdown;
+    } else if (session->ctx.remaining_s() < floor_s) {
+      reason = RejectReason::kInfeasible;
+      ++shed_infeasible_;
+    } else if (queue_.size() >= static_cast<std::size_t>(queue_depth_)) {
+      // Backpressure: shed at admission, before any search cycles burn.
+      reason = RejectReason::kQueueFull;
+    }
+    if (reason != RejectReason::kNone) {
+      ++rejected_;
+      rejection.reject_reason = reason;
+      session->promise.set_value(rejection);
+      return future;
+    }
+    session->seq = next_seq_++;
+    queue_.push_back(std::move(session));
+    std::push_heap(queue_.begin(), queue_.end(), LaterDeadline{});
+  }
+  cv_queue_.notify_one();
+  return future;
+}
+
+void Shard::driver_loop() {
+  while (true) {
+    std::unique_ptr<Session> session;
+    {
+      std::unique_lock lock(mutex_);
+      cv_queue_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to drain
+      // EDF pickup: the queued session with the EARLIEST deadline runs
+      // next, so a tight-threshold session overtakes slack ones instead of
+      // expiring behind them in FIFO order.
+      std::pop_heap(queue_.begin(), queue_.end(), LaterDeadline{});
+      session = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    {
+      std::lock_guard stats_lock(stats_mutex_);
+      ++in_flight_;
+    }
+    run_session(*session);  // record_outcome drops in_flight_ BEFORE the
+                            // promise resolves, so a caller who just got its
+                            // outcome never reads a stale in-flight count
+  }
+}
+
+std::shared_ptr<std::mutex> Shard::acquire_device_lock(u64 device_id) {
+  std::lock_guard lock(devices_mutex_);
+  DeviceSlot& slot = devices_[device_id];
+  if (!slot.lock) slot.lock = std::make_shared<std::mutex>();
+  slot.last_used = ++device_seq_;
+  std::shared_ptr<std::mutex> handle = slot.lock;
+  if (devices_.size() > static_cast<std::size_t>(cfg_.max_device_states))
+    evict_idle_devices_locked();
+  return handle;
+}
+
+void Shard::evict_idle_devices_locked() {
+  // Collect idle entries (no session holds the lock: our table's shared_ptr
+  // is the only reference) oldest-first and erase until back under the cap.
+  // Busy devices are pinned, so the table can transiently exceed the cap by
+  // the number of in-flight sessions — the bound operators care about.
+  std::vector<std::pair<u64, u64>> idle;  // (last_used, device_id)
+  for (const auto& [device_id, slot] : devices_) {
+    if (slot.lock.use_count() == 1) idle.emplace_back(slot.last_used, device_id);
+  }
+  std::sort(idle.begin(), idle.end());
+  const std::size_t cap = static_cast<std::size_t>(cfg_.max_device_states);
+  for (const auto& [unused_seq, device_id] : idle) {
+    if (devices_.size() <= cap) break;
+    devices_.erase(device_id);
+  }
+}
+
+void Shard::run_session(Session& session) {
+  SessionOutcome outcome;
+  outcome.device_id = session.client->config().device_id;
+  outcome.accepted = true;
+  outcome.queue_wait_s = session.admitted.elapsed_s();
+
+  // The budget started at admission; a session that waited past its
+  // threshold is reported timed out without spending search cycles.
+  if (!session.ctx.check_deadline()) {
+    // Per-device serialization: interleaved sessions for one device would
+    // race the enrollment image read against the RA key rotation. The lock
+    // lives in THIS shard's bounded table — routing guarantees every
+    // session for the device lands here.
+    const std::shared_ptr<std::mutex> device_lock =
+        acquire_device_lock(outcome.device_id);
+    std::lock_guard device_guard(*device_lock);
+    outcome.report =
+        run_authentication(*session.client, ca_view_, ra_view_,
+                           base_latency_.fork(session.seq), &session.ctx);
+    outcome.authenticated = outcome.report.result.authenticated;
+  }
+  outcome.timed_out = session.ctx.timed_out() ||
+                      outcome.report.result.timed_out;
+  outcome.session_s = session.admitted.elapsed_s();
+
+  record_outcome(outcome, /*on_driver=*/true);
+  session.promise.set_value(std::move(outcome));
+}
+
+void Shard::record_outcome(const SessionOutcome& outcome, bool on_driver) {
+  std::lock_guard lock(stats_mutex_);
+  if (on_driver) --in_flight_;
+  ++completed_;
+  if (outcome.authenticated) ++authenticated_;
+  if (outcome.timed_out) ++timed_out_;
+  if (outcome.cancelled) ++cancelled_;
+  session_time_sum_ += outcome.session_s;
+  session_times_.add(outcome.session_s);
+}
+
+Shard::StatsSlice Shard::stats_slice() const {
+  StatsSlice slice;
+  {
+    std::lock_guard lock(mutex_);
+    slice.queue_depth = static_cast<int>(queue_.size());
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    slice.submitted = submitted_;
+    slice.rejected = rejected_;
+    slice.shed_infeasible = shed_infeasible_;
+    slice.completed = completed_;
+    slice.authenticated = authenticated_;
+    slice.timed_out = timed_out_;
+    slice.cancelled = cancelled_;
+    slice.in_flight = in_flight_;
+    slice.session_time_sum = session_time_sum_;
+    slice.session_times = session_times_;
+  }
+  {
+    std::lock_guard lock(devices_mutex_);
+    slice.device_states = devices_.size();
+  }
+  return slice;
+}
+
+void Shard::shutdown() {
+  std::vector<std::unique_ptr<Session>> orphans;
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) return;  // first caller joins; the dtor re-call no-ops
+    shutdown_ = true;
+    // Cancel sessions still queued; drivers drain in-flight work only.
+    orphans.swap(queue_);
+  }
+  cv_queue_.notify_all();
+  for (auto& session : orphans) {
+    session->ctx.cancel();
+    SessionOutcome outcome;
+    outcome.device_id = session->client->config().device_id;
+    outcome.accepted = true;
+    outcome.cancelled = true;
+    outcome.queue_wait_s = session->admitted.elapsed_s();
+    outcome.session_s = session->admitted.elapsed_s();
+    // A cancelled-in-queue session still COMPLETES for accounting purposes:
+    // submitted == rejected + completed must reconcile after shutdown (the
+    // seed server resolved these futures without counting them anywhere).
+    record_outcome(outcome, /*on_driver=*/false);
+    session->promise.set_value(std::move(outcome));
+  }
+  for (auto& driver : drivers_) driver.join();
+  drivers_.clear();
+}
+
+}  // namespace rbc::server

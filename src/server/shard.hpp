@@ -1,0 +1,234 @@
+// One serving shard: a device-id slice of the authentication world.
+//
+// The PR-1 server funneled every session through one admission mutex, one
+// FIFO queue, and one ever-growing device-lock map. At fleet scale the
+// serving seam — not the search kernel — becomes the bottleneck, so the
+// server is re-seamed shard-per-core: each Shard owns
+//
+//   * its own bounded admission queue, dispatched EARLIEST-DEADLINE-FIRST
+//     (a tight-threshold session overtakes slack ones; FIFO is EDF's
+//     degenerate case when all budgets are equal),
+//   * admission-time FEASIBILITY shedding — a session whose remaining
+//     budget cannot cover the modeled communication floor plus the
+//     configured minimum search time is rejected at submit() instead of
+//     timing out after burning cycles,
+//   * its own driver threads and per-device session locks in a BOUNDED
+//     table (idle devices are evicted LRU once the table exceeds its cap —
+//     the global map used to grow forever),
+//   * its own stats stripe: counters, exact mean, and a fixed-size
+//     reservoir for percentiles (the unbounded session-time vector and its
+//     O(n log n) scan under two mutexes are gone).
+//
+// Shards share NO mutable state with each other: the CA/RA/enrollment-DB
+// accesses go through shard-scoped views onto lock stripes keyed by the
+// same routing hash (common/shard_hash.hpp), and all shards multiplex the
+// one process-wide WorkerGroup for search compute.
+#pragma once
+
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "parallel/search_context.hpp"
+#include "rbc/protocol.hpp"
+
+namespace rbc::server {
+
+struct ServerConfig {
+  /// Serving shards (1..kAuthorityStripes). Each owns a device-id slice of
+  /// the queue, drivers, device locks and stats; 1 reproduces the previous
+  /// single-queue server exactly.
+  int num_shards = 1;
+  /// Bounded admission queue, TOTAL across shards (split evenly, min 1 per
+  /// shard); submissions beyond a shard's slice are rejected.
+  int max_queue_depth = 64;
+  /// Concurrent session drivers, TOTAL across shards (split evenly, min 1
+  /// per shard — so effective total is max(max_in_flight, num_shards)).
+  int max_in_flight = 4;
+  /// Per-session threshold T, seconds of wall clock from ADMISSION — queue
+  /// wait, simulated communication and search all spend from this budget.
+  double session_budget_s = 20.0;
+  /// Latency model applied to each session's simulated channel. Each shard
+  /// forks per-session models from one per-shard base, so jitter streams
+  /// are independent across shards.
+  double per_message_latency_s = 0.15;
+  double per_message_jitter_s = 0.0;
+  /// When true the channel SLEEPS its latencies in wall-clock time instead
+  /// of only charging the logical clock. Overlapping sessions then overlap
+  /// their waits exactly as a real server overlaps network I/O — this is
+  /// what the throughput bench measures; tests keep it off for speed.
+  bool realtime_comm = false;
+  /// Modeled minimum search time used by admission-time feasibility
+  /// shedding: a session is rejected at submit() when its remaining budget
+  /// is below the communication floor (counted only in realtime mode,
+  /// where comm actually spends wall clock) plus this value. 0 disables
+  /// the search-floor component.
+  double min_search_time_s = 0.0;
+  /// Per-shard bound on retained per-device lock states; idle devices
+  /// beyond it are evicted LRU (a rolling device population no longer
+  /// grows server memory without bound).
+  int max_device_states = 1024;
+};
+
+/// Why a submission was refused at admission (SessionOutcome::reject_reason).
+enum class RejectReason : u8 {
+  kNone = 0,       // not rejected
+  kQueueFull,      // the shard's admission queue slice was full
+  kShutdown,       // server already shut down
+  kInfeasible,     // budget cannot cover modeled comm + minimum search
+};
+
+/// What became of one submitted session.
+struct SessionOutcome {
+  u64 device_id = 0;
+  bool accepted = false;       // false: rejected at admission
+  RejectReason reject_reason = RejectReason::kNone;
+  bool authenticated = false;
+  bool timed_out = false;      // threshold T expired (queued or searching)
+  bool cancelled = false;      // shut down while still queued
+  double queue_wait_s = 0.0;   // admission -> driver pickup
+  double session_s = 0.0;      // admission -> completion, wall clock
+  SessionReport report;        // full Table-5 decomposition (when run)
+};
+
+/// Point-in-time operational snapshot, aggregated across shards.
+///
+/// Counter invariant at quiescence (no queued or in-flight sessions):
+///   submitted == rejected + completed
+/// with shed_infeasible <= rejected and cancelled + timed_out counted
+/// inside completed. Percentiles are reservoir estimates (bounded memory;
+/// see ReservoirSample for the approximation bound); the mean is exact.
+struct ServerStats {
+  u64 submitted = 0;
+  u64 rejected = 0;         // shed at admission (all reasons)
+  u64 shed_infeasible = 0;  // ...of which: deadline-infeasible at submit
+  u64 completed = 0;        // sessions fully processed (any verdict)
+  u64 authenticated = 0;
+  u64 timed_out = 0;
+  u64 cancelled = 0;        // cancelled in queue by shutdown
+  int queue_depth = 0;      // sessions admitted, not yet picked up
+  int in_flight = 0;        // sessions currently on a driver
+  int shards = 1;
+  u64 device_states = 0;    // retained per-device lock states, all shards
+  double mean_session_s = 0.0;
+  double p50_session_s = 0.0;
+  double p95_session_s = 0.0;
+};
+
+class Shard {
+ public:
+  /// `queue_depth`/`drivers` are this shard's slice of the server totals.
+  Shard(const ServerConfig& cfg, int index, int num_shards, int queue_depth,
+        int drivers, CertificateAuthority* ca, RegistrationAuthority* ra);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Admits one session for `client` (which must route to this shard) with
+  /// the given threshold budget. Returns a future; rejected sessions
+  /// resolve immediately.
+  std::future<SessionOutcome> submit(Client* client, double budget_s);
+
+  /// One shard's contribution to the aggregate ServerStats.
+  struct StatsSlice {
+    u64 submitted = 0;
+    u64 rejected = 0;
+    u64 shed_infeasible = 0;
+    u64 completed = 0;
+    u64 authenticated = 0;
+    u64 timed_out = 0;
+    u64 cancelled = 0;
+    int queue_depth = 0;
+    int in_flight = 0;
+    std::size_t device_states = 0;
+    double session_time_sum = 0.0;
+    ReservoirSample session_times{1};  // copy of the shard's reservoir
+  };
+  StatsSlice stats_slice() const;
+
+  /// Stops accepting work, cancels queued sessions (completing them as
+  /// cancelled so the counter invariant holds), joins the drivers.
+  void shutdown();
+
+ private:
+  struct Session {
+    Client* client = nullptr;
+    par::SearchContext ctx;
+    WallTimer admitted;  // wall clock since admission
+    u64 seq = 0;         // admission order, the EDF tie-break
+    std::promise<SessionOutcome> promise;
+    Session(Client* c, double budget_s, u64 sequence)
+        : client(c),
+          ctx(par::SearchContext::with_budget(budget_s)),
+          seq(sequence) {}
+  };
+
+  /// Max-heap comparator for std::push_heap: true when `a` should be
+  /// scheduled AFTER `b` (later deadline; admission order breaks ties).
+  struct LaterDeadline {
+    bool operator()(const std::unique_ptr<Session>& a,
+                    const std::unique_ptr<Session>& b) const {
+      if (a->ctx.deadline() != b->ctx.deadline())
+        return a->ctx.deadline() > b->ctx.deadline();
+      return a->seq > b->seq;
+    }
+  };
+
+  void driver_loop();
+  void run_session(Session& session);
+  /// `on_driver` distinguishes outcomes completing on a driver thread
+  /// (which decrement in_flight_) from queue-cancelled ones (which were
+  /// never in flight).
+  void record_outcome(const SessionOutcome& outcome, bool on_driver);
+  std::shared_ptr<std::mutex> acquire_device_lock(u64 device_id);
+  void evict_idle_devices_locked();
+
+  ServerConfig cfg_;
+  int index_ = 0;
+  int queue_depth_ = 1;
+  CertificateAuthority::ShardView ca_view_;
+  RegistrationAuthority::ShardView ra_view_;
+  net::LatencyModel base_latency_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_queue_;
+  /// EDF priority queue (std::*_heap over a vector; earliest deadline on
+  /// top). Replaces the FIFO deque.
+  std::vector<std::unique_ptr<Session>> queue_;
+  u64 next_seq_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> drivers_;
+
+  /// Per-device serialization, bounded: LRU-evicted once past
+  /// max_device_states (only idle entries — a lock held by a running
+  /// session is pinned by its shared_ptr use count).
+  struct DeviceSlot {
+    std::shared_ptr<std::mutex> lock;
+    u64 last_used = 0;
+  };
+  mutable std::mutex devices_mutex_;
+  std::unordered_map<u64, DeviceSlot> devices_;
+  u64 device_seq_ = 0;
+
+  /// This shard's stats stripe.
+  mutable std::mutex stats_mutex_;
+  u64 submitted_ = 0;
+  u64 rejected_ = 0;
+  u64 shed_infeasible_ = 0;
+  u64 completed_ = 0;
+  u64 authenticated_ = 0;
+  u64 timed_out_ = 0;
+  u64 cancelled_ = 0;
+  int in_flight_ = 0;
+  double session_time_sum_ = 0.0;
+  ReservoirSample session_times_;
+};
+
+}  // namespace rbc::server

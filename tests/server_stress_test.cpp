@@ -112,6 +112,7 @@ TEST(ServerStress, EightOverlappingSessionsStayIsolated) {
   EXPECT_EQ(stats.rejected, 0u);
   EXPECT_EQ(stats.timed_out, 0u);
   EXPECT_LE(stats.p50_session_s, stats.p95_session_s);
+  EXPECT_EQ(stats.submitted, stats.rejected + stats.completed);
 }
 
 TEST(ServerStress, MixedBackendsShareOneWorkerGroup) {
@@ -208,6 +209,7 @@ TEST(ServerStress, SessionDeadlinePropagatesIntoSearch) {
       << "deadline did not reach the search workers";
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.submitted, stats.rejected + stats.completed);
 }
 
 TEST(ServerStress, BoundedQueueShedsLoadAtAdmission) {
@@ -244,6 +246,7 @@ TEST(ServerStress, BoundedQueueShedsLoadAtAdmission) {
   EXPECT_EQ(stats.completed, accepted);
   EXPECT_EQ(stats.queue_depth, 0);
   EXPECT_EQ(stats.in_flight, 0);
+  EXPECT_EQ(stats.submitted, stats.rejected + stats.completed);
 }
 
 TEST(ServerStress, SubmitAfterShutdownIsRejected) {
@@ -254,7 +257,10 @@ TEST(ServerStress, SubmitAfterShutdownIsRejected) {
   auto client = f.make_client(0, 1, 0xF00D);
   const SessionOutcome outcome = server.submit(client.get()).get();
   EXPECT_FALSE(outcome.accepted);
-  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(outcome.reject_reason, RejectReason::kShutdown);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.submitted, stats.rejected + stats.completed);
 }
 
 }  // namespace

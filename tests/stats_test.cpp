@@ -55,5 +55,84 @@ TEST(Percentile, Validation) {
   EXPECT_DOUBLE_EQ(percentile({3.0}, 0.99), 3.0);
 }
 
+TEST(ReservoirSample, ExactBelowCapacity) {
+  // Until the stream exceeds the capacity the reservoir IS the stream, so
+  // its percentiles equal the exact order statistics.
+  ReservoirSample r(/*capacity=*/128);
+  std::vector<double> exact;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>((i * 37) % 100);
+    r.add(x);
+    exact.push_back(x);
+  }
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.size(), 100u);
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), percentile(exact, 0.5));
+  EXPECT_DOUBLE_EQ(r.percentile(0.95), percentile(exact, 0.95));
+}
+
+TEST(ReservoirSample, BoundedMemoryBeyondCapacity) {
+  ReservoirSample r(/*capacity=*/64);
+  for (int i = 0; i < 100000; ++i) r.add(static_cast<double>(i));
+  EXPECT_EQ(r.count(), 100000u);
+  EXPECT_EQ(r.size(), 64u);
+  EXPECT_EQ(r.samples().size(), 64u);
+}
+
+TEST(ReservoirSample, QuantileErrorWithinDocumentedBound) {
+  // Uniform ramp on [0, 1): with K = 256 the documented standard error in
+  // rank terms is sqrt(q(1-q)/K) ~= 0.031 at the median. 5 sigma of slack
+  // keeps the test deterministic-failure-free while still catching a
+  // broken sampler (e.g. one that keeps only the head of the stream).
+  ReservoirSample r(/*capacity=*/256);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    r.add(static_cast<double>(i) / static_cast<double>(n));
+  EXPECT_NEAR(r.percentile(0.5), 0.5, 5.0 * 0.0313);
+  EXPECT_NEAR(r.percentile(0.95), 0.95, 5.0 * 0.0137);
+}
+
+TEST(ReservoirSample, DeterministicForSeedAndStream) {
+  ReservoirSample a(/*capacity=*/32, /*seed=*/77);
+  ReservoirSample b(/*capacity=*/32, /*seed=*/77);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(static_cast<double>(i));
+    b.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(ReservoirSample, PercentileOnEmptyThrows) {
+  ReservoirSample r(8);
+  EXPECT_TRUE(r.empty());
+  EXPECT_THROW(r.percentile(0.5), CheckFailure);
+}
+
+TEST(MergedPercentile, WeightsByPopulationNotRetention) {
+  // Reservoir A carries 1000 streamed samples (all 1.0), B carries 10 (all
+  // 100.0); both retain at most 16. The merge must weight by POPULATION, so
+  // B's values surface only above its ~1% weight share.
+  ReservoirSample a(16), b(16);
+  for (int i = 0; i < 1000; ++i) a.add(1.0);
+  for (int i = 0; i < 10; ++i) b.add(100.0);
+  const std::vector<const ReservoirSample*> rs = {&a, &b};
+  EXPECT_DOUBLE_EQ(merged_percentile(rs, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(merged_percentile(rs, 0.95), 1.0);
+  EXPECT_DOUBLE_EQ(merged_percentile(rs, 0.999), 100.0);
+}
+
+TEST(MergedPercentile, SingleReservoirTracksDirectPercentile) {
+  // merged_percentile is nearest-rank (it returns an actual sample) while
+  // ReservoirSample::percentile interpolates, so on a unit-step ramp the
+  // two agree to within one step.
+  ReservoirSample r(64);
+  for (int i = 1; i <= 40; ++i) r.add(static_cast<double>(i));
+  const std::vector<const ReservoirSample*> rs = {&r};
+  EXPECT_NEAR(merged_percentile(rs, 0.5), r.percentile(0.5), 1.0);
+  EXPECT_NEAR(merged_percentile(rs, 0.95), r.percentile(0.95), 1.0);
+  EXPECT_DOUBLE_EQ(merged_percentile(rs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(merged_percentile(rs, 1.0), 40.0);
+}
+
 }  // namespace
 }  // namespace rbc
