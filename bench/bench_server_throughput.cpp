@@ -27,6 +27,12 @@
 //     workload; per-session overhead across shard counts.
 // `--json <path>` records the sweep for BENCH_PR6.json; `--sweep-only`
 // skips phases 1-2 (the CI smoke).
+//
+// Phase 4 is the CHAOS phase (PR 7): the same realtime workload run against
+// seed-reproducible fault plans at drop rates {0%, 2%, 5%, 10%}, quantifying
+// how the ARQ's retransmit/backoff schedule degrades tail latency as the
+// link gets lossier. `--chaos-only` runs just this phase (the CI chaos
+// smoke); every run uses fixed seeds, so the numbers replay exactly.
 #include <cstdlib>
 #include <cstring>
 #include <future>
@@ -241,6 +247,114 @@ struct SweepRow {
   RunResult r;
 };
 
+/// One chaos point: `sessions` realtime sessions against a 4-shard server
+/// whose channels drop `drop_rate` of frames (plus a fixed light corruption
+/// rate), recovered by the retransmit policy. Fixed fault_seed + explicit
+/// per-session salts make every point replayable.
+RunResult run_chaos_point(Workload& w, int sessions, int submitters,
+                          double drop_rate, u64 fault_seed) {
+  server::ServerConfig cfg;
+  cfg.num_shards = 4;
+  cfg.max_queue_depth = 4 * sessions;
+  cfg.max_in_flight = 16;
+  cfg.session_budget_s = 600.0;
+  cfg.per_message_latency_s = 0.02;  // scaled-down realtime wire latency
+  cfg.realtime_comm = true;
+  cfg.fault.drop_rate = drop_rate;
+  cfg.fault.corrupt_rate = drop_rate > 0.0 ? 0.01 : 0.0;
+  cfg.fault_seed = fault_seed;
+  cfg.retry.max_attempts = 6;
+  cfg.retry.timeout_s = 0.04;  // scaled with the wire latency
+  cfg.retry.backoff = 2.0;
+  cfg.retry.max_timeout_s = 0.32;
+  server::AuthServer server(cfg, w.ca.get(), &w.ra);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(static_cast<std::size_t>(sessions));
+  for (int i = 0; i < sessions; ++i)
+    clients.push_back(w.make_client(i % static_cast<int>(w.device_ids.size()),
+                                    0xCA05 + static_cast<u64>(i)));
+
+  std::vector<std::future<server::SessionOutcome>> futures(
+      static_cast<std::size_t>(sessions));
+  WallTimer timer;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(submitters));
+    for (int c = 0; c < submitters; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = c; i < sessions; i += submitters) {
+          auto future = server.submit(clients[static_cast<unsigned>(i)].get(),
+                                      cfg.session_budget_s,
+                                      /*net_salt=*/static_cast<u64>(i));
+          future.wait();  // closed loop: realtime I/O is slept
+          futures[static_cast<unsigned>(i)] = std::move(future);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  RunResult r;
+  r.wall_s = timer.elapsed_s();
+  r.sessions_per_s = sessions / r.wall_s;
+  for (int i = 0; i < sessions; ++i) {
+    const auto outcome = futures[static_cast<unsigned>(i)].get();
+    // A transport failure is an expected chaos verdict, not corruption; any
+    // session that claims success must still have registered its own key.
+    const bool ok =
+        outcome.accepted &&
+        (outcome.transport_failed ||
+         (outcome.authenticated &&
+          outcome.report.registered_public_key ==
+              clients[static_cast<unsigned>(i)]->derive_public_key(
+                  w.ca->config().salt)));
+    if (!ok) ++r.key_mismatches;
+  }
+  r.stats = server.stats();
+  return r;
+}
+
+/// Phase 4: p95 degradation vs drop rate under the retransmit policy.
+bool run_chaos_sweep(Workload& w) {
+  rbc::bench::print_title(
+      "Chaos sweep — p95 degradation vs drop rate (4 shards, ARQ retries)");
+  std::printf("96 realtime sessions per point, 8 closed-loop clients, fixed "
+              "fault seeds;\nretry: 6 attempts, 0.04 s initial timeout, 2x "
+              "backoff capped at 0.32 s.\n");
+  rbc::bench::Table table({"drop", "wall (s)", "sessions/s", "p50 (s)",
+                           "p95 (s)", "p95 vs 0%", "retx", "dropped",
+                           "failed", "auth", "corrupt"});
+  double lossless_p95 = 0.0;
+  bool ok = true;
+  for (const double drop : {0.0, 0.02, 0.05, 0.10}) {
+    const RunResult r =
+        run_chaos_point(w, 96, 8, drop, /*fault_seed=*/0xC4A05);
+    if (drop == 0.0) lossless_p95 = r.stats.p95_session_s;
+    const double vs0 = lossless_p95 > 0.0
+                           ? r.stats.p95_session_s / lossless_p95
+                           : 1.0;
+    char drop_label[16];
+    std::snprintf(drop_label, sizeof(drop_label), "%.0f%%", drop * 100.0);
+    table.add_row({drop_label, rbc::bench::fmt(r.wall_s, 3),
+                   rbc::bench::fmt(r.sessions_per_s, 1),
+                   rbc::bench::fmt(r.stats.p50_session_s, 4),
+                   rbc::bench::fmt(r.stats.p95_session_s, 4),
+                   rbc::bench::fmt(vs0),
+                   std::to_string(r.stats.retransmits),
+                   std::to_string(r.stats.frames_dropped),
+                   std::to_string(r.stats.transport_failed),
+                   std::to_string(r.stats.authenticated),
+                   std::to_string(r.key_mismatches)});
+    // Graceful degradation: every session resolves (submitted reconciles)
+    // and no session corrupts state, at every loss rate.
+    ok = ok && r.key_mismatches == 0 &&
+         r.stats.submitted == r.stats.rejected + r.stats.completed;
+  }
+  table.print();
+  return ok;
+}
+
 std::vector<SweepRow> run_sweep(Workload& w, const SweepConfig& sc,
                                 const char* title, u64 salt) {
   rbc::bench::print_title(title);
@@ -341,16 +455,27 @@ int main(int argc, char** argv) {
 
   std::string json_path;
   bool sweep_only = false;
+  bool chaos_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
       sweep_only = true;
+    } else if (std::strcmp(argv[i], "--chaos-only") == 0) {
+      chaos_only = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--sweep-only] [--json <path>]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--sweep-only] [--chaos-only] [--json <path>]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  if (chaos_only) {
+    Workload chaos_workload(32);
+    const bool chaos_pass = run_chaos_sweep(chaos_workload);
+    std::printf("RESULT: %s\n", chaos_pass ? "PASS" : "FAIL");
+    return chaos_pass ? 0 : 1;
   }
 
   bool phases_pass = true;
@@ -450,7 +575,15 @@ int main(int argc, char** argv) {
                      p95_ratio, p95_ok);
   }
 
-  const bool pass = phases_pass && p95_ok && sweep_corrupt == 0;
+  // Phase 4: chaos sweep (skipped under --sweep-only to keep the PR-6 CI
+  // smoke unchanged; run alone via --chaos-only).
+  bool chaos_pass = true;
+  if (!sweep_only) {
+    Workload chaos_workload(32);
+    chaos_pass = run_chaos_sweep(chaos_workload);
+  }
+
+  const bool pass = phases_pass && p95_ok && sweep_corrupt == 0 && chaos_pass;
   std::printf("RESULT: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

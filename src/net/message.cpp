@@ -1,5 +1,6 @@
 #include "net/message.hpp"
 
+#include <array>
 #include <cstring>
 
 namespace rbc::net {
@@ -11,7 +12,13 @@ enum Tag : u8 {
   kChallenge = 0x02,
   kDigest = 0x03,
   kResult = 0x04,
+  kSeqFrame = 0x05,  // sequenced retransmit envelope (never nested)
 };
+
+/// Longest payload any message can legally carry (a SHA3-256 digest). Length
+/// fields are bounds-checked against this BEFORE any enum interpretation so
+/// a frame that is both oversized and garbage reports the size problem.
+constexpr u32 kMaxDigestLen = 32;
 
 void put_u32(Bytes& out, u32 v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
@@ -96,6 +103,8 @@ std::string to_string(WireError e) {
       return "invalid enumeration value";
     case WireError::kBadDigestLength:
       return "digest length does not match hash algorithm";
+    case WireError::kBadChecksum:
+      return "frame checksum mismatch";
   }
   return "?";
 }
@@ -169,14 +178,19 @@ Expected<Message, WireError> deserialize(ByteSpan frame) {
       u32 len = 0;
       if (!r.read_u8(hash) || !r.read_u32(len))
         return unexpected(WireError::kTruncated);
+      // Bounds-check the length field BEFORE interpreting the enum byte: an
+      // attacker-controlled length must never gate behind a value check
+      // (oversized/truncated payloads report as such even when the enum byte
+      // is also garbage, and no read is attempted past the buffer).
+      if (len > kMaxDigestLen) return unexpected(WireError::kBadDigestLength);
+      if (!r.read_bytes(m.digest, len)) return unexpected(WireError::kTruncated);
+      if (!r.at_end()) return unexpected(WireError::kTrailingBytes);
       if (hash != static_cast<u8>(hash::HashAlgo::kSha1) &&
           hash != static_cast<u8>(hash::HashAlgo::kSha3_256))
         return unexpected(WireError::kBadEnumValue);
       m.hash_algo = static_cast<hash::HashAlgo>(hash);
       if (len != hash::digest_size(m.hash_algo))
         return unexpected(WireError::kBadDigestLength);
-      if (!r.read_bytes(m.digest, len)) return unexpected(WireError::kTruncated);
-      if (!r.at_end()) return unexpected(WireError::kTrailingBytes);
       return Message{m};
     }
     case kResult: {
@@ -196,6 +210,50 @@ Expected<Message, WireError> deserialize(ByteSpan frame) {
     default:
       return unexpected(WireError::kUnknownTag);
   }
+}
+
+u32 crc32_ieee(ByteSpan data) {
+  // Reflected CRC-32 (polynomial 0xEDB88320), table built on first use.
+  static const auto table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  u32 crc = 0xFFFFFFFFu;
+  for (const u8 byte : data) crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Bytes seal_seq_frame(u32 seq, ByteSpan payload) {
+  Bytes out;
+  out.reserve(13 + payload.size());
+  out.push_back(kSeqFrame);
+  put_u32(out, seq);
+  put_u32(out, static_cast<u32>(payload.size()));
+  put_u32(out, crc32_ieee(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Expected<SeqFrame, WireError> open_seq_frame(ByteSpan frame) {
+  if (frame.empty()) return unexpected(WireError::kEmptyFrame);
+  if (frame[0] != kSeqFrame) return unexpected(WireError::kUnknownTag);
+  Reader r(frame.subspan(1));
+  SeqFrame sf;
+  u32 len = 0, crc = 0;
+  if (!r.read_u32(sf.seq) || !r.read_u32(len) || !r.read_u32(crc))
+    return unexpected(WireError::kTruncated);
+  // The length field is bounds-checked against the buffer before any copy;
+  // a flipped length bit surfaces as truncation/trailing bytes, not a read
+  // past the frame.
+  if (!r.read_bytes(sf.payload, len)) return unexpected(WireError::kTruncated);
+  if (!r.at_end()) return unexpected(WireError::kTrailingBytes);
+  if (crc32_ieee(sf.payload) != crc) return unexpected(WireError::kBadChecksum);
+  return sf;
 }
 
 }  // namespace rbc::net

@@ -81,10 +81,43 @@ enum class WireError {
   kTrailingBytes,
   kBadEnumValue,
   kBadDigestLength,
+  kBadChecksum,
 };
 
 std::string to_string(WireError e);
 
 Expected<Message, WireError> deserialize(ByteSpan frame);
+
+// --- sequenced retransmit framing -----------------------------------------
+//
+// Lossy links wrap every protocol frame in a sequence-numbered envelope so
+// the stop-and-wait ARQ layer (rbc/protocol) can suppress duplicates and
+// detect in-flight corruption without trusting the payload to parse:
+//
+//   tag 0x05 | seq u32 LE | len u32 LE | crc32 u32 LE | payload (len bytes)
+//
+// The CRC-32 (IEEE reflected polynomial) covers the payload only; any
+// single-bit flip anywhere in the envelope is detected (header flips break
+// the length/checksum consistency, payload flips break the checksum), so a
+// corrupted frame degrades to a LOSS the retransmit path already handles.
+// Lossless channels never use the envelope: the zero-fault wire format is
+// byte-identical to the four bare message frames above.
+
+/// CRC-32 (IEEE 802.3, reflected) — the envelope's integrity check.
+u32 crc32_ieee(ByteSpan data);
+
+struct SeqFrame {
+  u32 seq = 0;
+  Bytes payload;
+
+  friend bool operator==(const SeqFrame&, const SeqFrame&) = default;
+};
+
+/// Wraps `payload` in the sequenced envelope.
+Bytes seal_seq_frame(u32 seq, ByteSpan payload);
+
+/// Parses and integrity-checks an envelope. kBadChecksum flags a frame that
+/// framed correctly but whose payload was damaged in flight.
+Expected<SeqFrame, WireError> open_seq_frame(ByteSpan frame);
 
 }  // namespace rbc::net

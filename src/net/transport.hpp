@@ -17,6 +17,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
 
 namespace rbc::net {
@@ -73,10 +74,15 @@ class LatencyModel {
 };
 
 /// One endpoint's view of a duplex in-process channel. Sends enqueue into
-/// the peer's inbox and charge simulated time.
+/// the peer's inbox and charge simulated time. An optional FaultPlan makes
+/// the endpoint's OUTBOUND path lossy: each send draws one FaultDecision
+/// (drop / duplicate / corrupt / reorder / stall) from the plan's seeded
+/// stream. With an inactive plan the send path is byte- and clock-identical
+/// to the original lossless transport.
 class Channel {
  public:
-  Channel(LatencyModel latency) : latency_(std::move(latency)) {}
+  explicit Channel(LatencyModel latency, FaultPlan faults = FaultPlan())
+      : latency_(std::move(latency)), faults_(std::move(faults)) {}
 
   /// Binds two endpoints back to back.
   static void connect(Channel& a, Channel& b) {
@@ -84,13 +90,52 @@ class Channel {
     b.peer_ = &a;
   }
 
-  void send(const Message& msg) {
+  void send(const Message& msg) { send_frame(serialize(msg)); }
+
+  /// Sends an already-encoded frame (the reliable link's sequenced envelopes
+  /// go through here). Latency is charged first, then the fault plan decides
+  /// the frame's fate.
+  void send_frame(Bytes frame) {
     RBC_CHECK_MSG(peer_ != nullptr, "channel is not connected");
-    const double lat = latency_.sample();
+    ++stats_.frames_sent;
+    if (!faults_.active()) {
+      const double lat = latency_.sample();
+      elapsed_s_ += lat;
+      peer_->elapsed_s_ += lat;  // receiver also waits for the frame
+      if (latency_.realtime()) sleep_for(lat);
+      peer_->inbox_.push_back(std::move(frame));
+      return;
+    }
+    const FaultDecision d = faults_.next();
+    if (d.stall_s > 0.0) ++stats_.stalled;
+    const double lat = latency_.sample() + d.stall_s;
     elapsed_s_ += lat;
-    peer_->elapsed_s_ += lat;  // receiver also waits for the frame
+    if (d.drop) {
+      // The sender still spent the transmission time; the receiver never
+      // saw the frame, so its clock is not charged.
+      ++stats_.dropped;
+      if (latency_.realtime()) sleep_for(lat);
+      return;
+    }
+    peer_->elapsed_s_ += lat;
     if (latency_.realtime()) sleep_for(lat);
-    peer_->inbox_.push_back(serialize(msg));
+    if (d.corrupt && !frame.empty()) {
+      ++stats_.corrupted;
+      const u64 bit = d.corrupt_bit % (static_cast<u64>(frame.size()) * 8);
+      frame[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    }
+    if (d.duplicate) {
+      ++stats_.duplicated;
+      peer_->inbox_.push_back(frame);
+    }
+    if (d.reorder && !peer_->inbox_.empty()) {
+      // Overtake everything still queued at the peer (late retransmits and
+      // duplicates are what it typically jumps).
+      ++stats_.reordered;
+      peer_->inbox_.push_front(std::move(frame));
+    } else {
+      peer_->inbox_.push_back(std::move(frame));
+    }
   }
 
   /// Simulates out-of-band time spent by this endpoint (e.g. the client's
@@ -101,18 +146,38 @@ class Channel {
     if (latency_.realtime()) sleep_for(seconds);
   }
 
+  /// Charges BOTH endpoints of the link (the ARQ layer's response timeouts:
+  /// sender and receiver sit out the same wait). Sleeps once in realtime.
+  void charge_link_time(double seconds) {
+    RBC_CHECK(seconds >= 0.0);
+    RBC_CHECK_MSG(peer_ != nullptr, "channel is not connected");
+    elapsed_s_ += seconds;
+    peer_->elapsed_s_ += seconds;
+    if (latency_.realtime()) sleep_for(seconds);
+  }
+
   bool has_message() const noexcept { return !inbox_.empty(); }
 
-  /// Pops the next frame and decodes it.
-  Expected<Message, WireError> receive() {
+  /// Pops the next frame without decoding (the reliable link validates the
+  /// sequenced envelope itself before deserializing the payload).
+  Bytes receive_raw() {
     RBC_CHECK_MSG(!inbox_.empty(), "receive on empty channel");
-    const Bytes frame = std::move(inbox_.front());
+    Bytes frame = std::move(inbox_.front());
     inbox_.pop_front();
-    return deserialize(frame);
+    return frame;
   }
+
+  /// Pops the next frame and decodes it.
+  Expected<Message, WireError> receive() { return deserialize(receive_raw()); }
 
   /// Accumulated simulated communication time at this endpoint, seconds.
   double elapsed_s() const noexcept { return elapsed_s_; }
+
+  /// Outbound wire counters (what the fault plan did to this endpoint's
+  /// sends); the recovery-side fields stay zero at this layer.
+  const LinkStats& link_stats() const noexcept { return stats_; }
+
+  bool faulty() const noexcept { return faults_.active(); }
 
   /// Injects a raw (possibly corrupt) frame into this endpoint's inbox —
   /// used by failure-injection tests.
@@ -124,6 +189,8 @@ class Channel {
   }
 
   LatencyModel latency_;
+  FaultPlan faults_;
+  LinkStats stats_;
   Channel* peer_ = nullptr;
   std::deque<Bytes> inbox_;
   double elapsed_s_ = 0.0;

@@ -1,5 +1,8 @@
 #include "rbc/protocol.hpp"
 
+#include <algorithm>
+#include <optional>
+
 #include "hash/keccak.hpp"
 #include "hash/sha1.hpp"
 
@@ -129,57 +132,171 @@ net::AuthResult CertificateAuthority::process_digest(
 
 namespace {
 
+/// Stop-and-wait ARQ over a (possibly lossy) channel pair. The exchange is
+/// lock-step request/response, so the driver co-simulates both endpoints:
+/// a transfer sends one sequenced frame and drains the receiver's inbox for
+/// it; anything damaged (checksum), stale (old sequence number) or absent
+/// (dropped) costs the sender a response timeout — charged to both logical
+/// clocks, slept in realtime mode — before the bounded-backoff retransmit.
+/// Duplicate fault copies of frame k survive in the inbox until the next
+/// same-direction transfer, whose drain discards them by sequence number.
+class ReliableLink {
+ public:
+  enum class Error : u8 {
+    kRetriesExhausted,  // max_attempts sends never produced an intact frame
+    kDeadline,          // the session deadline expired mid-retry
+  };
+
+  ReliableLink(net::Channel& client_end, net::Channel& ca_end,
+               const RetryPolicy& policy, par::SearchContext* ctx)
+      : client_end_(client_end), ca_end_(ca_end), policy_(policy), ctx_(ctx) {
+    policy_.validate();
+  }
+
+  Expected<net::Message, Error> transfer(net::Channel& src, net::Channel& dst,
+                                         const net::Message& msg) {
+    const Bytes payload = net::serialize(msg);
+    u32& seq = (&src == &client_end_) ? client_to_ca_seq_ : ca_to_client_seq_;
+    for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+      // Retries charge the session's budget: once the deadline has expired
+      // the driver stops retransmitting instead of finishing the backoff
+      // schedule against a client that can no longer be answered in time.
+      if (ctx_ != nullptr && ctx_->check_deadline())
+        return unexpected(Error::kDeadline);
+      if (attempt > 0) ++stats_.retransmits;
+      src.send_frame(net::seal_seq_frame(seq, payload));
+      while (dst.has_message()) {
+        const Bytes raw = dst.receive_raw();
+        const auto envelope = net::open_seq_frame(raw);
+        if (!envelope.has_value()) {
+          ++stats_.corrupt_discarded;
+          continue;
+        }
+        if (envelope->seq != seq) {
+          ++stats_.duplicates_suppressed;  // stale copy of a delivered frame
+          continue;
+        }
+        const auto decoded = net::deserialize(envelope->payload);
+        if (!decoded.has_value()) {
+          // Checksum collision or header damage that still framed: treat
+          // exactly like a lost frame.
+          ++stats_.corrupt_discarded;
+          continue;
+        }
+        ++seq;
+        return decoded.value();
+      }
+      // Nothing intact arrived: response timeout, exponential backoff.
+      ++stats_.timeouts;
+      double wait = policy_.timeout_s;
+      for (int i = 0; i < attempt; ++i) wait *= policy_.backoff;
+      src.charge_link_time(std::min(wait, policy_.max_timeout_s));
+    }
+    return unexpected(Error::kRetriesExhausted);
+  }
+
+  const net::LinkStats& stats() const noexcept { return stats_; }
+
+ private:
+  net::Channel& client_end_;
+  net::Channel& ca_end_;
+  RetryPolicy policy_;
+  par::SearchContext* ctx_;
+  u32 client_to_ca_seq_ = 0;
+  u32 ca_to_client_seq_ = 0;
+  net::LinkStats stats_;
+};
+
+/// Per-direction fork salts: each endpoint's outbound fault stream must be
+/// independent, and both must be pure functions of the session plan's seed.
+constexpr u64 kClientTxSalt = 0x0C11E27;
+constexpr u64 kCaTxSalt = 0x0CA5E27;
+
 /// The Fig. 1 exchange, generic over plain authorities or shard-scoped
-/// views (both expose issue_challenge / process_digest / lookup).
+/// views (both expose issue_challenge / process_digest / lookup). With an
+/// active fault plan the four messages travel as sequenced envelopes under
+/// the ARQ driver; otherwise the original lossless path runs unchanged
+/// (byte-identical wire format, identical clock accounting).
 template <typename Ca, typename Ra>
 SessionReport run_exchange(Client& client, Ca&& ca, Ra&& ra,
                            net::LatencyModel latency,
-                           par::SearchContext* session_ctx) {
-  net::Channel client_end{latency};
-  net::Channel ca_end{latency};
+                           par::SearchContext* session_ctx,
+                           const LinkOptions* link) {
+  const bool lossy = link != nullptr && link->faults.active();
+  net::Channel client_end{latency, lossy ? link->faults.fork(kClientTxSalt)
+                                         : net::FaultPlan()};
+  net::Channel ca_end{latency, lossy ? link->faults.fork(kCaTxSalt)
+                                     : net::FaultPlan()};
   net::Channel::connect(client_end, ca_end);
+  ReliableLink arq(client_end, ca_end,
+                   lossy ? link->retry : RetryPolicy{}, session_ctx);
 
   SessionReport session;
+
+  // Delivers one protocol message, lossless or via ARQ. nullopt means the
+  // transport gave up (retries exhausted or deadline expired mid-retry).
+  auto deliver = [&](net::Channel& src, net::Channel& dst,
+                     const net::Message& msg) -> std::optional<net::Message> {
+    if (!lossy) {
+      src.send(msg);
+      auto received = dst.receive();
+      RBC_CHECK(received.has_value());
+      return std::move(received).value();
+    }
+    auto received = arq.transfer(src, dst, msg);
+    if (!received.has_value()) {
+      session.transport_failed = true;
+      return std::nullopt;
+    }
+    return std::move(received).value();
+  };
+
+  // Accounting shared by the abandoned and completed paths.
+  auto finish = [&]() -> SessionReport& {
+    session.comm_time_s = client_end.elapsed_s();
+    session.total_time_s = session.comm_time_s + session.result.search_seconds;
+    session.link.merge(arq.stats());
+    session.link.merge(client_end.link_stats());
+    session.link.merge(ca_end.link_stats());
+    return session;
+  };
 
   // 1. Handshake.
   net::HandshakeRequest handshake;
   handshake.device_id = client.config().device_id;
   handshake.hash_algo = client.config().hash_algo;
   handshake.keygen_algo = client.config().keygen_algo;
-  client_end.send(net::Message{handshake});
-  const auto handshake_msg = ca_end.receive();
-  RBC_CHECK(handshake_msg.has_value());
+  const auto handshake_msg = deliver(client_end, ca_end,
+                                     net::Message{handshake});
+  if (!handshake_msg) return finish();
 
   // 2. Challenge.
   const net::Challenge challenge = ca.issue_challenge(
-      std::get<net::HandshakeRequest>(handshake_msg.value()));
-  ca_end.send(net::Message{challenge});
-  const auto challenge_msg = client_end.receive();
-  RBC_CHECK(challenge_msg.has_value());
+      std::get<net::HandshakeRequest>(*handshake_msg));
+  const auto challenge_msg = deliver(ca_end, client_end,
+                                     net::Message{challenge});
+  if (!challenge_msg) return finish();
 
   // 3. Client reads the PUF (charged as local time) and submits M1.
   client_end.charge_local_time(client.config().puf_read_time_s);
   const net::DigestSubmission submission =
-      client.respond(std::get<net::Challenge>(challenge_msg.value()));
-  client_end.send(net::Message{submission});
-  const auto submission_msg = ca_end.receive();
-  RBC_CHECK(submission_msg.has_value());
+      client.respond(std::get<net::Challenge>(*challenge_msg));
+  const auto submission_msg = deliver(client_end, ca_end,
+                                      net::Message{submission});
+  if (!submission_msg) return finish();
 
   // 4-9. Search + key registration on the CA.
   session.result = ca.process_digest(
-      handshake, challenge,
-      std::get<net::DigestSubmission>(submission_msg.value()),
+      handshake, challenge, std::get<net::DigestSubmission>(*submission_msg),
       &session.engine, session_ctx);
-  ca_end.send(net::Message{session.result});
-  const auto result_msg = client_end.receive();
-  RBC_CHECK(result_msg.has_value());
+  const auto result_msg = deliver(ca_end, client_end,
+                                  net::Message{session.result});
+  if (!result_msg) return finish();
 
-  session.comm_time_s = client_end.elapsed_s();
-  session.total_time_s = session.comm_time_s + session.result.search_seconds;
   if (const auto pk = ra.lookup(handshake.device_id)) {
     session.registered_public_key = *pk;
   }
-  return session;
+  return finish();
 }
 
 }  // namespace
@@ -187,16 +304,18 @@ SessionReport run_exchange(Client& client, Ca&& ca, Ra&& ra,
 SessionReport run_authentication(Client& client, CertificateAuthority& ca,
                                  RegistrationAuthority& ra,
                                  net::LatencyModel latency,
-                                 par::SearchContext* session_ctx) {
-  return run_exchange(client, ca, ra, std::move(latency), session_ctx);
+                                 par::SearchContext* session_ctx,
+                                 const LinkOptions* link) {
+  return run_exchange(client, ca, ra, std::move(latency), session_ctx, link);
 }
 
 SessionReport run_authentication(Client& client,
                                  CertificateAuthority::ShardView ca,
                                  RegistrationAuthority::ShardView ra,
                                  net::LatencyModel latency,
-                                 par::SearchContext* session_ctx) {
-  return run_exchange(client, ca, ra, std::move(latency), session_ctx);
+                                 par::SearchContext* session_ctx,
+                                 const LinkOptions* link) {
+  return run_exchange(client, ca, ra, std::move(latency), session_ctx, link);
 }
 
 }  // namespace rbc

@@ -364,6 +364,34 @@ class CertificateAuthority {
   std::unique_ptr<std::array<RngStripe, kAuthorityStripes>> rng_stripes_;
 };
 
+/// Bounded exponential-backoff retransmission for lossy links. The exchange
+/// is stop-and-wait ARQ: each protocol message is sent under a per-direction
+/// sequence number, and the sender waits `timeout_s` (doubling per attempt,
+/// capped at max_timeout_s) for the frame to arrive intact before
+/// retransmitting. All waits are charged to BOTH endpoints' communication
+/// clocks (and slept in realtime mode), so retries genuinely spend the
+/// session's threshold budget.
+struct RetryPolicy {
+  int max_attempts = 6;        // total tries per message (1 = no retransmit)
+  double timeout_s = 0.2;      // first response timeout, seconds
+  double backoff = 2.0;        // exponential backoff factor
+  double max_timeout_s = 1.6;  // backoff cap, seconds
+
+  void validate() const {
+    RBC_CHECK_MSG(max_attempts >= 1, "need at least one send attempt");
+    RBC_CHECK(timeout_s >= 0.0 && backoff >= 1.0 &&
+              max_timeout_s >= timeout_s);
+  }
+};
+
+/// Per-session network options: an (already forked) fault plan plus the
+/// retransmit policy that recovers from it. An inactive fault plan selects
+/// the plain lossless path — wire bytes identical to the pre-fault protocol.
+struct LinkOptions {
+  net::FaultPlan faults;
+  RetryPolicy retry{};
+};
+
 /// One full authentication session over a simulated channel.
 struct SessionReport {
   net::AuthResult result;
@@ -372,15 +400,24 @@ struct SessionReport {
   double total_time_s = 0.0;   // comm + host search time
   /// Public key registered at the RA (empty when authentication failed).
   Bytes registered_public_key;
+  /// True when a message exhausted its retransmit budget (or the session
+  /// deadline expired mid-retry) and the exchange was abandoned.
+  bool transport_failed = false;
+  /// Merged wire + ARQ counters for the session's link (all zero on a
+  /// lossless channel).
+  net::LinkStats link;
 };
 
 /// `session`, when non-null, is the session's admission-time context: its
-/// deadline governs the CA search and its cancellation aborts it.
+/// deadline governs the CA search and its cancellation aborts it. `link`,
+/// when non-null with an active fault plan, runs the exchange over a lossy
+/// channel with sequenced retransmit framing.
 SessionReport run_authentication(Client& client, CertificateAuthority& ca,
                                  RegistrationAuthority& ra,
                                  net::LatencyModel latency =
                                      net::LatencyModel(0.15),
-                                 par::SearchContext* session = nullptr);
+                                 par::SearchContext* session = nullptr,
+                                 const LinkOptions* link = nullptr);
 
 /// Shard-scoped overload used by the serving layer: identical exchange, but
 /// every authority access goes through the views' confinement checks.
@@ -389,6 +426,7 @@ SessionReport run_authentication(Client& client,
                                  RegistrationAuthority::ShardView ra,
                                  net::LatencyModel latency =
                                      net::LatencyModel(0.15),
-                                 par::SearchContext* session = nullptr);
+                                 par::SearchContext* session = nullptr,
+                                 const LinkOptions* link = nullptr);
 
 }  // namespace rbc

@@ -46,6 +46,14 @@ std::future<SessionOutcome> AuthServer::submit(Client* client,
   return shards_[s]->submit(client, budget_s);
 }
 
+std::future<SessionOutcome> AuthServer::submit(Client* client, double budget_s,
+                                               u64 net_salt) {
+  RBC_CHECK(client != nullptr);
+  const std::size_t s =
+      static_cast<std::size_t>(shard_of_device(client->config().device_id));
+  return shards_[s]->submit(client, budget_s, net_salt);
+}
+
 ServerStats AuthServer::stats() const {
   // Each shard's slice is internally consistent (taken under its stripe
   // locks); the aggregate is the sum of per-shard snapshots.
@@ -66,6 +74,10 @@ ServerStats AuthServer::stats() const {
     agg.authenticated += s.authenticated;
     agg.timed_out += s.timed_out;
     agg.cancelled += s.cancelled;
+    agg.transport_failed += s.transport_failed;
+    agg.retransmits += s.retransmits;
+    agg.frames_dropped += s.frames_dropped;
+    agg.frames_corrupted += s.frames_corrupted;
     agg.queue_depth += s.queue_depth;
     agg.in_flight += s.in_flight;
     agg.device_states += s.device_states;

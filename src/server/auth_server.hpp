@@ -52,6 +52,14 @@ class AuthServer {
   /// slack ones already queued on its shard.
   std::future<SessionOutcome> submit(Client* client, double budget_s);
 
+  /// Same, additionally pinning the session's fault-stream salt. Chaos
+  /// harnesses use this so a run's fault schedule is a pure function of
+  /// (cfg.fault_seed, net_salt) — independent of shard count, routing and
+  /// admission order — and any failure replays from the salt logged in its
+  /// SessionOutcome.
+  std::future<SessionOutcome> submit(Client* client, double budget_s,
+                                     u64 net_salt);
+
   /// Consistent aggregate snapshot across all shard stripes.
   ServerStats stats() const;
 

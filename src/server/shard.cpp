@@ -16,11 +16,13 @@ Shard::Shard(const ServerConfig& cfg, int index, int num_shards,
                               static_cast<u32>(num_shards))),
       base_latency_(cfg.per_message_latency_s, cfg.per_message_jitter_s,
                     u64{0x1a7e0000} + static_cast<u64>(index)),
+      base_faults_(cfg.fault, cfg.fault_seed),
       session_times_(512, u64{0x5e55} + static_cast<u64>(index)) {
   RBC_CHECK_MSG(queue_depth >= 1, "shard admission queue needs capacity");
   RBC_CHECK_MSG(drivers >= 1, "shard needs at least one session driver");
   RBC_CHECK(cfg_.session_budget_s > 0.0);
   RBC_CHECK_MSG(cfg_.max_device_states >= 1, "device table needs capacity");
+  if (cfg_.fault.active()) cfg_.retry.validate();
   base_latency_.set_realtime(cfg.realtime_comm);
   drivers_.reserve(static_cast<std::size_t>(drivers));
   for (int i = 0; i < drivers; ++i)
@@ -31,11 +33,27 @@ Shard::~Shard() { shutdown(); }
 
 std::future<SessionOutcome> Shard::submit(Client* client, double budget_s) {
   RBC_CHECK(client != nullptr);
+  // Default salt: device id mixed with this shard's admission sequence.
+  // Deterministic for sequential submitters; chaos harnesses that need
+  // routing-independent replay pass an explicit salt instead.
+  u64 seq_now;
+  {
+    std::lock_guard lock(mutex_);
+    seq_now = next_seq_;
+  }
+  return submit(client, budget_s,
+                mix_device_id(client->config().device_id) ^ seq_now);
+}
+
+std::future<SessionOutcome> Shard::submit(Client* client, double budget_s,
+                                          u64 net_salt) {
+  RBC_CHECK(client != nullptr);
   RBC_CHECK_MSG(budget_s > 0.0, "session budget must be positive");
 
   SessionOutcome rejection;
   rejection.device_id = client->config().device_id;
   rejection.accepted = false;
+  rejection.net_salt = net_salt;
 
   // Feasibility shed: the deadline clock starts NOW; if the budget cannot
   // even cover the modeled communication floor (4 messages + the PUF read,
@@ -48,7 +66,7 @@ std::future<SessionOutcome> Shard::submit(Client* client, double budget_s) {
                client->config().puf_read_time_s;
   }
 
-  auto session = std::make_unique<Session>(client, budget_s, 0);
+  auto session = std::make_unique<Session>(client, budget_s, 0, net_salt);
   std::future<SessionOutcome> future = session->promise.get_future();
 
   {
@@ -135,6 +153,7 @@ void Shard::run_session(Session& session) {
   SessionOutcome outcome;
   outcome.device_id = session.client->config().device_id;
   outcome.accepted = true;
+  outcome.net_salt = session.net_salt;
   outcome.queue_wait_s = session.admitted.elapsed_s();
 
   // The budget started at admission; a session that waited past its
@@ -147,13 +166,31 @@ void Shard::run_session(Session& session) {
     const std::shared_ptr<std::mutex> device_lock =
         acquire_device_lock(outcome.device_id);
     std::lock_guard device_guard(*device_lock);
+    // Lossy-network drill: fork this session's fault stream from the shared
+    // base plan. The fork is a pure function of (fault_seed, net_salt), so
+    // the session replays identically on any shard layout.
+    LinkOptions link_opts;
+    const LinkOptions* link = nullptr;
+    if (cfg_.fault.active()) {
+      link_opts.faults = base_faults_.fork(session.net_salt);
+      link_opts.retry = cfg_.retry;
+      link = &link_opts;
+    }
     outcome.report =
         run_authentication(*session.client, ca_view_, ra_view_,
-                           base_latency_.fork(session.seq), &session.ctx);
+                           base_latency_.fork(session.seq), &session.ctx,
+                           link);
     outcome.authenticated = outcome.report.result.authenticated;
   }
   outcome.timed_out = session.ctx.timed_out() ||
                       outcome.report.result.timed_out;
+  // Graceful degradation, not a hung driver: an exchange that exhausted its
+  // retransmit budget completes with a typed failure reason. A deadline
+  // expiry mid-retry stays classified as a timeout.
+  outcome.transport_failed = outcome.report.transport_failed &&
+                             !outcome.timed_out;
+  if (outcome.transport_failed)
+    outcome.reject_reason = RejectReason::kTransportFailure;
   outcome.session_s = session.admitted.elapsed_s();
 
   record_outcome(outcome, /*on_driver=*/true);
@@ -167,6 +204,10 @@ void Shard::record_outcome(const SessionOutcome& outcome, bool on_driver) {
   if (outcome.authenticated) ++authenticated_;
   if (outcome.timed_out) ++timed_out_;
   if (outcome.cancelled) ++cancelled_;
+  if (outcome.transport_failed) ++transport_failed_;
+  retransmits_ += outcome.report.link.retransmits;
+  frames_dropped_ += outcome.report.link.dropped;
+  frames_corrupted_ += outcome.report.link.corrupted;
   session_time_sum_ += outcome.session_s;
   session_times_.add(outcome.session_s);
 }
@@ -186,6 +227,10 @@ Shard::StatsSlice Shard::stats_slice() const {
     slice.authenticated = authenticated_;
     slice.timed_out = timed_out_;
     slice.cancelled = cancelled_;
+    slice.transport_failed = transport_failed_;
+    slice.retransmits = retransmits_;
+    slice.frames_dropped = frames_dropped_;
+    slice.frames_corrupted = frames_corrupted_;
     slice.in_flight = in_flight_;
     slice.session_time_sum = session_time_sum_;
     slice.session_times = session_times_;
@@ -213,6 +258,7 @@ void Shard::shutdown() {
     outcome.device_id = session->client->config().device_id;
     outcome.accepted = true;
     outcome.cancelled = true;
+    outcome.net_salt = session->net_salt;
     outcome.queue_wait_s = session->admitted.elapsed_s();
     outcome.session_s = session->admitted.elapsed_s();
     // A cancelled-in-queue session still COMPLETES for accounting purposes:

@@ -74,14 +74,32 @@ struct ServerConfig {
   /// beyond it are evicted LRU (a rolling device population no longer
   /// grows server memory without bound).
   int max_device_states = 1024;
+  /// Deterministic fault injection on every session's simulated channel
+  /// (chaos testing / degraded-network drills). All-zero rates leave the
+  /// wire bytes and clock accounting identical to the fault-free server.
+  net::FaultConfig fault{};
+  /// Base seed for the server's fault streams. Each session's plan is
+  /// FaultPlan(fault, fault_seed).fork(net_salt) — a pure function of
+  /// (fault_seed, net_salt), and deliberately NOT shard-salted, so a 1-shard
+  /// and a 4-shard server given the same per-session salts inject identical
+  /// faults and any observed failure replays from its logged salt.
+  u64 fault_seed = 0;
+  /// Retransmit policy for lossy sessions (ignored while `fault` is
+  /// inactive). Retries charge the session's threshold budget.
+  RetryPolicy retry{};
 };
 
-/// Why a submission was refused at admission (SessionOutcome::reject_reason).
+/// Why a session failed (SessionOutcome::reject_reason). The first three
+/// are admission-time refusals; kTransportFailure is the one reason set on
+/// a COMPLETED outcome (accepted=true): the exchange exhausted its
+/// retransmit budget against the fault plan, and the driver resolved the
+/// session instead of hanging on a dead link.
 enum class RejectReason : u8 {
   kNone = 0,       // not rejected
   kQueueFull,      // the shard's admission queue slice was full
   kShutdown,       // server already shut down
   kInfeasible,     // budget cannot cover modeled comm + minimum search
+  kTransportFailure,  // retransmits exhausted mid-exchange (completed)
 };
 
 /// What became of one submitted session.
@@ -92,6 +110,11 @@ struct SessionOutcome {
   bool authenticated = false;
   bool timed_out = false;      // threshold T expired (queued or searching)
   bool cancelled = false;      // shut down while still queued
+  bool transport_failed = false;  // exchange abandoned: retries exhausted
+  /// The fault-stream salt this session's channel drew from: replaying with
+  /// FaultPlan(cfg.fault, cfg.fault_seed).fork(net_salt) reproduces every
+  /// drop/corruption/stall the session saw.
+  u64 net_salt = 0;
   double queue_wait_s = 0.0;   // admission -> driver pickup
   double session_s = 0.0;      // admission -> completion, wall clock
   SessionReport report;        // full Table-5 decomposition (when run)
@@ -112,6 +135,10 @@ struct ServerStats {
   u64 authenticated = 0;
   u64 timed_out = 0;
   u64 cancelled = 0;        // cancelled in queue by shutdown
+  u64 transport_failed = 0;  // completed, but retransmits exhausted
+  u64 retransmits = 0;       // ARQ retransmissions across all sessions
+  u64 frames_dropped = 0;    // frames the fault plans swallowed
+  u64 frames_corrupted = 0;  // frames bit-flipped in flight
   int queue_depth = 0;      // sessions admitted, not yet picked up
   int in_flight = 0;        // sessions currently on a driver
   int shards = 1;
@@ -133,8 +160,12 @@ class Shard {
 
   /// Admits one session for `client` (which must route to this shard) with
   /// the given threshold budget. Returns a future; rejected sessions
-  /// resolve immediately.
+  /// resolve immediately. The default fault-stream salt mixes the device id
+  /// with the shard's admission sequence; chaos harnesses pass an explicit
+  /// salt via the 3-arg overload so runs replay independent of routing.
   std::future<SessionOutcome> submit(Client* client, double budget_s);
+  std::future<SessionOutcome> submit(Client* client, double budget_s,
+                                     u64 net_salt);
 
   /// One shard's contribution to the aggregate ServerStats.
   struct StatsSlice {
@@ -145,6 +176,10 @@ class Shard {
     u64 authenticated = 0;
     u64 timed_out = 0;
     u64 cancelled = 0;
+    u64 transport_failed = 0;
+    u64 retransmits = 0;
+    u64 frames_dropped = 0;
+    u64 frames_corrupted = 0;
     int queue_depth = 0;
     int in_flight = 0;
     std::size_t device_states = 0;
@@ -163,11 +198,13 @@ class Shard {
     par::SearchContext ctx;
     WallTimer admitted;  // wall clock since admission
     u64 seq = 0;         // admission order, the EDF tie-break
+    u64 net_salt = 0;    // fault-stream fork salt (seed reproducibility)
     std::promise<SessionOutcome> promise;
-    Session(Client* c, double budget_s, u64 sequence)
+    Session(Client* c, double budget_s, u64 sequence, u64 salt)
         : client(c),
           ctx(par::SearchContext::with_budget(budget_s)),
-          seq(sequence) {}
+          seq(sequence),
+          net_salt(salt) {}
   };
 
   /// Max-heap comparator for std::push_heap: true when `a` should be
@@ -196,6 +233,9 @@ class Shard {
   CertificateAuthority::ShardView ca_view_;
   RegistrationAuthority::ShardView ra_view_;
   net::LatencyModel base_latency_;
+  /// Shared across shards by construction (same cfg seed, no shard salt):
+  /// per-session plans depend only on (fault_seed, net_salt).
+  net::FaultPlan base_faults_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_queue_;
@@ -226,6 +266,10 @@ class Shard {
   u64 authenticated_ = 0;
   u64 timed_out_ = 0;
   u64 cancelled_ = 0;
+  u64 transport_failed_ = 0;
+  u64 retransmits_ = 0;
+  u64 frames_dropped_ = 0;
+  u64 frames_corrupted_ = 0;
   int in_flight_ = 0;
   double session_time_sum_ = 0.0;
   ReservoirSample session_times_;

@@ -118,10 +118,40 @@ TEST(Deserialize, DigestLengthMustMatchAlgorithm) {
   EXPECT_EQ(r.error(), WireError::kBadDigestLength);
 }
 
+TEST(Deserialize, OversizedLengthFieldCheckedBeforeEnumByte) {
+  // A hostile frame can be wrong in several ways at once; the length bound
+  // must be enforced FIRST (before any enum interpretation or payload read),
+  // so an oversized length with a garbage algorithm byte still reports the
+  // size problem — and a huge length never reads past the buffer.
+  DigestSubmission m;
+  m.hash_algo = hash::HashAlgo::kSha3_256;
+  m.digest.assign(32, 0x5a);
+  Bytes frame = serialize(Message{m});
+  frame[1] = 0x77;                            // garbage hash-algo byte
+  frame[2] = 0xFF;                            // length LSB
+  frame[3] = frame[4] = frame[5] = 0xFF;      // length = 0xFFFFFFFF
+  auto r = deserialize(frame);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), WireError::kBadDigestLength);
+}
+
+TEST(Deserialize, InBoundsLengthWithBadEnumStillRejectsTheEnum) {
+  // Once the length passes its bound, the enum byte is still validated.
+  DigestSubmission m;
+  m.hash_algo = hash::HashAlgo::kSha3_256;
+  m.digest.assign(32, 0x5a);
+  Bytes frame = serialize(Message{m});
+  frame[1] = 0x77;  // garbage hash-algo byte, length stays a legal 32
+  auto r = deserialize(frame);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), WireError::kBadEnumValue);
+}
+
 TEST(WireErrorStrings, AllDistinct) {
   const WireError all[] = {WireError::kEmptyFrame,   WireError::kUnknownTag,
                            WireError::kTruncated,    WireError::kTrailingBytes,
-                           WireError::kBadEnumValue, WireError::kBadDigestLength};
+                           WireError::kBadEnumValue, WireError::kBadDigestLength,
+                           WireError::kBadChecksum};
   for (const auto& a : all) {
     EXPECT_FALSE(to_string(a).empty());
     for (const auto& b : all) {

@@ -23,6 +23,91 @@ TEST(LatencyModel, RejectsNegative) {
   EXPECT_THROW(LatencyModel(-0.1), rbc::CheckFailure);
 }
 
+TEST(LatencyModel, ForkWithSameSaltReproducesTheJitterStream) {
+  const LatencyModel base(0.10, 0.05, /*jitter_seed=*/42);
+  LatencyModel a = base.fork(9);
+  LatencyModel b = base.fork(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample(), b.sample()) << "draw " << i;
+  }
+}
+
+TEST(LatencyModel, ForkWithDifferentSaltsDecorrelatesTheStreams) {
+  const LatencyModel base(0.10, 0.05, /*jitter_seed=*/42);
+  LatencyModel a = base.fork(1);
+  LatencyModel b = base.fork(2);
+  int identical = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.sample() == b.sample()) ++identical;
+  }
+  EXPECT_LT(identical, 8) << "sibling forks share their jitter stream";
+}
+
+TEST(LatencyModel, ForkIsIndependentOfParentStreamPosition) {
+  // fork() derives from the parent's ORIGINAL seed: draining samples from
+  // the parent must not change what its forks produce.
+  LatencyModel fresh(0.10, 0.05, /*jitter_seed=*/42);
+  LatencyModel drained(0.10, 0.05, /*jitter_seed=*/42);
+  for (int i = 0; i < 50; ++i) drained.sample();
+  LatencyModel a = fresh.fork(3);
+  LatencyModel b = drained.fork(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample(), b.sample()) << "draw " << i;
+  }
+}
+
+TEST(LatencyModel, ForkPreservesRealtimeMode) {
+  LatencyModel base(0.01);
+  base.set_realtime(true);
+  EXPECT_TRUE(base.fork(5).realtime());
+  base.set_realtime(false);
+  EXPECT_FALSE(base.fork(5).realtime());
+}
+
+TEST(Channel, RealtimeModeSleepsTheChargedLatency) {
+  // Lower-bound-only assertions: the sleep must be at least the charged
+  // time; scheduler overshoot is unbounded and must not fail the test.
+  LatencyModel model(0.02);
+  model.set_realtime(true);
+  Channel a{model};
+  Channel b{model};
+  Channel::connect(a, b);
+
+  const auto start = std::chrono::steady_clock::now();
+  a.send(Message{HandshakeRequest{}});
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(wall, 0.02);
+  EXPECT_DOUBLE_EQ(a.elapsed_s(), 0.02);
+  EXPECT_DOUBLE_EQ(b.elapsed_s(), 0.02);
+}
+
+TEST(Channel, ChargeLinkTimeChargesBothEndsAndSleepsOnce) {
+  LatencyModel model(0.0);
+  model.set_realtime(true);
+  Channel a{model};
+  Channel b{model};
+  Channel::connect(a, b);
+
+  const auto start = std::chrono::steady_clock::now();
+  a.charge_link_time(0.03);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Both logical clocks advance by the wait, but wall time is spent once —
+  // a single co-simulated driver sits out the timeout for both endpoints.
+  EXPECT_DOUBLE_EQ(a.elapsed_s(), 0.03);
+  EXPECT_DOUBLE_EQ(b.elapsed_s(), 0.03);
+  EXPECT_GE(wall, 0.03);
+  EXPECT_THROW(a.charge_link_time(-0.1), rbc::CheckFailure);
+}
+
+TEST(Channel, ChargeLinkTimeWithoutPeerThrows) {
+  Channel a{LatencyModel(0.0)};
+  EXPECT_THROW(a.charge_link_time(0.1), rbc::CheckFailure);
+}
+
 TEST(Channel, SendReceiveRoundTrip) {
   Channel client{LatencyModel(0.15)};
   Channel server{LatencyModel(0.15)};
