@@ -79,6 +79,67 @@ RBC_TARGET_AVX2 inline __m256i rotl64c(__m256i x) noexcept {
   return _mm256_or_si256(_mm256_slli_epi64(x, R), _mm256_srli_epi64(x, 64 - R));
 }
 
+/// One Keccak-f round reading `a` and writing `e`: theta, then rho+pi+chi
+/// fused per OUTPUT row so only five B values and five theta D values are
+/// live at once (a materialized b[25] next to a[25] spills every round — a
+/// ymm register file holds 16 values). `RBC_KECCAK_ROW(Y, s0..s4)` lists the
+/// pi-inverse source indices feeding output lanes 5Y..5Y+4; each source
+/// lane's theta column is src % 5.
+RBC_TARGET_AVX2 inline void keccak_round_x4(const __m256i* a, __m256i* e,
+                                            u64 rc) noexcept {
+  __m256i c0 = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_xor_si256(a[0], a[5]),
+                       _mm256_xor_si256(a[10], a[15])),
+      a[20]);
+  __m256i c1 = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_xor_si256(a[1], a[6]),
+                       _mm256_xor_si256(a[11], a[16])),
+      a[21]);
+  __m256i c2 = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_xor_si256(a[2], a[7]),
+                       _mm256_xor_si256(a[12], a[17])),
+      a[22]);
+  __m256i c3 = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_xor_si256(a[3], a[8]),
+                       _mm256_xor_si256(a[13], a[18])),
+      a[23]);
+  __m256i c4 = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_xor_si256(a[4], a[9]),
+                       _mm256_xor_si256(a[14], a[19])),
+      a[24]);
+  const __m256i d0 = _mm256_xor_si256(c4, rotl64c<1>(c1));
+  const __m256i d1 = _mm256_xor_si256(c0, rotl64c<1>(c2));
+  const __m256i d2 = _mm256_xor_si256(c1, rotl64c<1>(c3));
+  const __m256i d3 = _mm256_xor_si256(c2, rotl64c<1>(c4));
+  const __m256i d4 = _mm256_xor_si256(c3, rotl64c<1>(c0));
+
+#define RBC_KECCAK_B(src, dcol)                        \
+  rotl64c<kKeccakRho[src]>(_mm256_xor_si256(a[src], dcol))
+#define RBC_KECCAK_ROW(Y, s0, dc0, s1, dc1, s2, dc2, s3, dc3, s4, dc4)      \
+  {                                                                         \
+    const __m256i b0 = RBC_KECCAK_B(s0, dc0);                               \
+    const __m256i b1 = RBC_KECCAK_B(s1, dc1);                               \
+    const __m256i b2 = RBC_KECCAK_B(s2, dc2);                               \
+    const __m256i b3 = RBC_KECCAK_B(s3, dc3);                               \
+    const __m256i b4 = RBC_KECCAK_B(s4, dc4);                               \
+    e[5 * (Y) + 0] = _mm256_xor_si256(b0, _mm256_andnot_si256(b1, b2));     \
+    e[5 * (Y) + 1] = _mm256_xor_si256(b1, _mm256_andnot_si256(b2, b3));     \
+    e[5 * (Y) + 2] = _mm256_xor_si256(b2, _mm256_andnot_si256(b3, b4));     \
+    e[5 * (Y) + 3] = _mm256_xor_si256(b3, _mm256_andnot_si256(b4, b0));     \
+    e[5 * (Y) + 4] = _mm256_xor_si256(b4, _mm256_andnot_si256(b0, b1));     \
+  }
+  RBC_KECCAK_ROW(0, 0, d0, 6, d1, 12, d2, 18, d3, 24, d4)
+  RBC_KECCAK_ROW(1, 3, d3, 9, d4, 10, d0, 16, d1, 22, d2)
+  RBC_KECCAK_ROW(2, 1, d1, 7, d2, 13, d3, 19, d4, 20, d0)
+  RBC_KECCAK_ROW(3, 4, d4, 5, d0, 11, d1, 17, d2, 23, d3)
+  RBC_KECCAK_ROW(4, 2, d2, 8, d3, 14, d4, 15, d0, 21, d1)
+#undef RBC_KECCAK_ROW
+#undef RBC_KECCAK_B
+
+  e[0] = _mm256_xor_si256(e[0],
+                          _mm256_set1_epi64x(static_cast<long long>(rc)));
+}
+
 RBC_TARGET_AVX2 void sha3_seed_x4_avx2(const Seed256* seeds,
                                        Digest256* out) noexcept {
   __m256i s[25];
@@ -93,60 +154,10 @@ RBC_TARGET_AVX2 void sha3_seed_x4_avx2(const Seed256* seeds,
   s[16] = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
   for (int i = 17; i < 25; ++i) s[i] = _mm256_setzero_si256();
 
-  for (int round = 0; round < 24; ++round) {
-    // theta
-    __m256i c[5], d[5];
-    for (int x = 0; x < 5; ++x)
-      c[x] = _mm256_xor_si256(
-          _mm256_xor_si256(_mm256_xor_si256(s[x], s[x + 5]),
-                           _mm256_xor_si256(s[x + 10], s[x + 15])),
-          s[x + 20]);
-    for (int x = 0; x < 5; ++x)
-      d[x] = _mm256_xor_si256(c[(x + 4) % 5], rotl64c<1>(c[(x + 1) % 5]));
-    for (int i = 0; i < 25; ++i) s[i] = _mm256_xor_si256(s[i], d[i % 5]);
-
-    // rho + pi, unrolled so every rotation count is a compile-time constant.
-    __m256i b[25];
-#define RBC_KECCAK_RHOPI(dst, src) \
-  b[dst] = rotl64c<kKeccakRho[src]>(s[src]);
-    RBC_KECCAK_RHOPI(0, 0)
-    RBC_KECCAK_RHOPI(10, 1)
-    RBC_KECCAK_RHOPI(20, 2)
-    RBC_KECCAK_RHOPI(5, 3)
-    RBC_KECCAK_RHOPI(15, 4)
-    RBC_KECCAK_RHOPI(16, 5)
-    RBC_KECCAK_RHOPI(1, 6)
-    RBC_KECCAK_RHOPI(11, 7)
-    RBC_KECCAK_RHOPI(21, 8)
-    RBC_KECCAK_RHOPI(6, 9)
-    RBC_KECCAK_RHOPI(7, 10)
-    RBC_KECCAK_RHOPI(17, 11)
-    RBC_KECCAK_RHOPI(2, 12)
-    RBC_KECCAK_RHOPI(12, 13)
-    RBC_KECCAK_RHOPI(22, 14)
-    RBC_KECCAK_RHOPI(23, 15)
-    RBC_KECCAK_RHOPI(8, 16)
-    RBC_KECCAK_RHOPI(18, 17)
-    RBC_KECCAK_RHOPI(3, 18)
-    RBC_KECCAK_RHOPI(13, 19)
-    RBC_KECCAK_RHOPI(14, 20)
-    RBC_KECCAK_RHOPI(24, 21)
-    RBC_KECCAK_RHOPI(9, 22)
-    RBC_KECCAK_RHOPI(19, 23)
-    RBC_KECCAK_RHOPI(4, 24)
-#undef RBC_KECCAK_RHOPI
-
-    // chi
-    for (int y = 0; y < 5; ++y)
-      for (int x = 0; x < 5; ++x)
-        s[x + 5 * y] = _mm256_xor_si256(
-            b[x + 5 * y], _mm256_andnot_si256(b[(x + 1) % 5 + 5 * y],
-                                              b[(x + 2) % 5 + 5 * y]));
-
-    // iota
-    s[0] = _mm256_xor_si256(
-        s[0], _mm256_set1_epi64x(
-                  static_cast<long long>(kKeccakRoundConstants[round])));
+  __m256i t[25];
+  for (int round = 0; round < 24; round += 2) {
+    keccak_round_x4(s, t, kKeccakRoundConstants[round]);
+    keccak_round_x4(t, s, kKeccakRoundConstants[round + 1]);
   }
 
   alignas(32) u64 lanes[4][4];  // lanes[t][l] = Keccak lane t of hash lane l

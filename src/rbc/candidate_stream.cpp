@@ -1,0 +1,114 @@
+#include "rbc/candidate_stream.hpp"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "combinatorics/algorithm515.hpp"
+#include "combinatorics/chase382.hpp"
+#include "combinatorics/gosper.hpp"
+
+namespace rbc {
+
+namespace {
+
+template <typename Factory>
+ShellMaskCache::Table walk_shell(Factory factory, int k) {
+  ShellMaskCache::Table table;
+  factory.prepare(k, 1);
+  auto it = factory.make(0);
+  Seed256 mask;
+  while (it.next(mask)) table.push_back(mask);
+  return table;
+}
+
+}  // namespace
+
+std::shared_ptr<const ShellMaskCache::Table> ShellMaskCache::get(
+    sim::IterAlgo iter, int k, int n_bits) {
+  RBC_CHECK(k >= 1 && k <= comb::kMaxK && n_bits >= k);
+  const u128 masks = comb::binomial128(n_bits, k);
+  RBC_CHECK_MSG(masks <= kMaxTableMasks,
+                "shell too large for a cached mask table");
+
+  using Key = std::tuple<int, int, int>;  // (iterator, n_bits, k)
+  static std::mutex mutex;
+  static std::map<Key, std::shared_ptr<const Table>>* cache =
+      new std::map<Key, std::shared_ptr<const Table>>();
+
+  const Key key{static_cast<int>(iter), n_bits, k};
+  {
+    std::lock_guard lock(mutex);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  // Build outside the lock: the walk is O(C(n, k)) and other shells should
+  // not serialize behind it. A racing builder of the SAME shell produces an
+  // identical table; first insert wins and the loser's copy is dropped.
+  Table built;
+  switch (iter) {
+    case sim::IterAlgo::kChase382:
+      built = walk_shell(comb::ChaseFactory(n_bits), k);
+      break;
+    case sim::IterAlgo::kAlg515:
+      built = walk_shell(
+          comb::Algorithm515Factory(comb::Alg515Mode::kSuccessor, n_bits), k);
+      break;
+    case sim::IterAlgo::kGosper:
+      built = walk_shell(comb::GosperFactory(n_bits), k);
+      break;
+  }
+  RBC_CHECK(built.size() == static_cast<std::size_t>(masks));
+  auto shared = std::make_shared<const Table>(std::move(built));
+  std::lock_guard lock(mutex);
+  auto [it, inserted] = cache->emplace(key, std::move(shared));
+  return it->second;
+}
+
+TableCandidateStream::TableCandidateStream(const Seed256& s_init,
+                                           int max_distance,
+                                           sim::IterAlgo iter, int n_bits)
+    : s_init_(s_init), d_(max_distance) {
+  RBC_CHECK(max_distance >= 0 && max_distance <= comb::kMaxK);
+  tables_.resize(static_cast<std::size_t>(d_) + 1);
+  for (int k = 1; k <= d_; ++k)
+    tables_[static_cast<std::size_t>(k)] = ShellMaskCache::get(iter, k, n_bits);
+}
+
+std::size_t TableCandidateStream::fill(Seed256* seeds, std::size_t n) {
+  if (n == 0 || exhausted_) return 0;
+  while (true) {
+    if (shell_ == 0) {
+      seeds[0] = s_init_;
+      last_shell_ = 0;
+      position_ = 1;
+      if (d_ == 0) {
+        exhausted_ = true;
+      } else {
+        shell_ = 1;
+      }
+      return 1;
+    }
+    const ShellMaskCache::Table& table =
+        *tables_[static_cast<std::size_t>(shell_)];
+    const u64 left = table.size() - index_;
+    const std::size_t produced =
+        static_cast<std::size_t>(std::min<u64>(left, n));
+    if (produced > 0) {
+      for (std::size_t i = 0; i < produced; ++i)
+        seeds[i] = s_init_ ^ table[static_cast<std::size_t>(index_ + i)];
+      index_ += produced;
+      last_shell_ = shell_;
+      position_ += produced;
+      return produced;
+    }
+    if (shell_ >= d_) {
+      exhausted_ = true;
+      return 0;
+    }
+    ++shell_;
+    index_ = 0;
+  }
+}
+
+}  // namespace rbc

@@ -1,0 +1,193 @@
+// Resumable candidate enumeration for the Hamming-ball search.
+//
+// rbc_search's enumeration order is a protocol-visible contract: verdicts
+// and the per-session `seeds_hashed` accounting both depend on the exact
+// visit order (S_init first, then shells 1..d in the iterator family's
+// sequence). A CandidateStream reifies that order as a *resumable* cursor —
+// fill(seeds, n) produces the next n candidates and can stop at any point —
+// so the same enumeration can be driven by a private search loop (the
+// 1-thread static schedule below in search.hpp) or interleaved with other
+// sessions' streams by the server's fusion engine (server/fusion_engine.hpp),
+// which deals lane slots of one shared hash batch across many streams.
+//
+// Contract (what fusion equivalence tests pin down):
+//   * The first fill() emits exactly one candidate: S_init (distance 0).
+//   * A single fill() never crosses a shell boundary — every candidate of
+//     one call sits in one shell, reported by last_shell(). Callers that
+//     mirror the solo loop's between-shell deadline checks get a natural
+//     seam at each short return.
+//   * Candidates are produced in the iterator family's canonical 1-slice
+//     order (prepare(k, 1) / make(0)), which is byte-identical to the
+//     static single-thread schedule — so counting every produced candidate
+//     up to and including a match reproduces the solo `seeds_hashed`
+//     exactly.
+//
+// Two implementations:
+//   * BallStream<Factory> walks a borrowed iterator factory lazily — the
+//     per-shell prepare() cost lands on the session, same as the solo path.
+//   * TableCandidateStream steps through process-wide cached XOR-mask
+//     tables (ShellMaskCache): O(1) setup and O(1) stepping per candidate.
+//     The walk that builds a shell's table is paid once per process instead
+//     of once per session — this is where the fusion engine's per-session
+//     setup win comes from. Memory is bounded by the fusion admission
+//     threshold (masks are 32 B each; a d<=2 ball over 256 bits is ~1 MiB).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bits/seed256.hpp"
+#include "combinatorics/binomial.hpp"
+#include "combinatorics/shell.hpp"
+#include "common/types.hpp"
+#include "sim/calibration.hpp"
+
+namespace rbc {
+
+class CandidateStream {
+ public:
+  virtual ~CandidateStream() = default;
+
+  /// Writes up to `n` candidate seeds, all from one shell, in canonical
+  /// order. Returns the count produced; 0 means the ball is exhausted.
+  virtual std::size_t fill(Seed256* seeds, std::size_t n) = 0;
+
+  /// Shell (Hamming distance) of the candidates the most recent fill()
+  /// produced. Undefined before the first fill.
+  virtual int last_shell() const noexcept = 0;
+
+  /// Candidates produced so far — equals the solo search's `seeds_hashed`
+  /// when the caller hashes and counts everything up to a stop point.
+  virtual u64 position() const noexcept = 0;
+
+  virtual bool exhausted() const noexcept = 0;
+};
+
+/// Number of candidates in the ball of radius `max_distance` (the d0 seed
+/// plus every shell) — the fusion engine's admission-size model.
+inline u128 ball_candidates(int max_distance, int n_bits = comb::kSeedBits) {
+  u128 total = 1;
+  for (int k = 1; k <= max_distance; ++k) total += comb::binomial128(n_bits, k);
+  return total;
+}
+
+/// Streams a ball by walking a borrowed iterator factory. Shell k's
+/// prepare(k, 1) runs lazily on the first fill that needs it, mirroring the
+/// solo loop's per-shell preparation point; the factory must outlive the
+/// stream and not be re-prepared by anyone else while it runs.
+template <comb::SeedIteratorFactory Factory>
+class BallStream final : public CandidateStream {
+ public:
+  BallStream(const Seed256& s_init, int max_distance, Factory& factory)
+      : s_init_(s_init), d_(max_distance), factory_(factory) {}
+
+  /// Starts the cursor after distance 0 — for callers (rbc_search) that
+  /// have already hashed S_init themselves.
+  void skip_base() {
+    RBC_CHECK(position_ == 0);
+    position_ = 1;
+    if (d_ == 0) {
+      exhausted_ = true;
+    } else {
+      shell_ = 1;
+    }
+  }
+
+  std::size_t fill(Seed256* seeds, std::size_t n) override {
+    if (n == 0 || exhausted_) return 0;
+    while (true) {
+      if (shell_ == 0) {
+        seeds[0] = s_init_;
+        last_shell_ = 0;
+        position_ = 1;
+        if (d_ == 0) {
+          exhausted_ = true;
+        } else {
+          shell_ = 1;
+        }
+        return 1;
+      }
+      if (!it_.has_value()) {
+        factory_.prepare(shell_, 1);
+        it_.emplace(factory_.make(0));
+      }
+      std::size_t produced = 0;
+      Seed256 mask;
+      while (produced < n && it_->next(mask)) {
+        seeds[produced++] = s_init_ ^ mask;
+      }
+      if (produced > 0) {
+        last_shell_ = shell_;
+        position_ += produced;
+        return produced;
+      }
+      it_.reset();
+      if (shell_ >= d_) {
+        exhausted_ = true;
+        return 0;
+      }
+      ++shell_;
+    }
+  }
+
+  int last_shell() const noexcept override { return last_shell_; }
+  u64 position() const noexcept override { return position_; }
+  bool exhausted() const noexcept override { return exhausted_; }
+
+ private:
+  Seed256 s_init_;
+  int d_;
+  Factory& factory_;
+  int shell_ = 0;       // shell the next candidate comes from
+  int last_shell_ = -1;
+  u64 position_ = 0;
+  bool exhausted_ = false;
+  std::optional<typename Factory::iterator> it_;
+};
+
+/// Process-wide cache of per-shell XOR-delta tables: table entry i is the
+/// i-th mask of shell k in the iterator family's canonical 1-slice order.
+/// Built once per (iterator, n_bits, k) by walking the factory — every
+/// later stream steps through it at O(1) per candidate with no per-session
+/// prepare walk. Thread-safe; entries are immutable once published.
+class ShellMaskCache {
+ public:
+  using Table = std::vector<Seed256>;
+
+  /// Fetches (building on first use) the mask table for shell k. CHECK-fails
+  /// on shells too large to sensibly materialize (the fusion admission
+  /// threshold keeps real callers far below the cap).
+  static std::shared_ptr<const Table> get(sim::IterAlgo iter, int k,
+                                          int n_bits = comb::kSeedBits);
+
+  /// Hard size cap per shell table, in masks (32 B each). Guards the cache
+  /// against a misconfigured threshold; d<=3 over 256 bits fits.
+  static constexpr u64 kMaxTableMasks = u64{1} << 22;
+};
+
+/// O(1)-resume candidate stream over cached shell tables. Construction
+/// fetches the tables for shells 1..max_distance (building any that are not
+/// cached yet — a once-per-process cost); stepping is an XOR per candidate.
+class TableCandidateStream final : public CandidateStream {
+ public:
+  TableCandidateStream(const Seed256& s_init, int max_distance,
+                       sim::IterAlgo iter, int n_bits = comb::kSeedBits);
+
+  std::size_t fill(Seed256* seeds, std::size_t n) override;
+  int last_shell() const noexcept override { return last_shell_; }
+  u64 position() const noexcept override { return position_; }
+  bool exhausted() const noexcept override { return exhausted_; }
+
+ private:
+  Seed256 s_init_;
+  int d_;
+  int shell_ = 0;       // shell the next candidate comes from
+  int last_shell_ = -1;
+  u64 index_ = 0;       // cursor within the current shell's table
+  u64 position_ = 0;
+  bool exhausted_ = false;
+  std::vector<std::shared_ptr<const ShellMaskCache::Table>> tables_;
+};
+
+}  // namespace rbc

@@ -1,6 +1,8 @@
 #include "rbc/protocol.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 #include <optional>
 
 #include "hash/keccak.hpp"
@@ -10,13 +12,22 @@ namespace rbc {
 
 namespace {
 
+/// Hashes into a fixed-size stack buffer and copies once into the wire
+/// Bytes. Digest COMPARISONS never come through here — they use
+/// hash::seed_digest_equals on stack digests (no per-check allocation).
 Bytes hash_seed_bytes(const Seed256& seed, hash::HashAlgo algo) {
+  std::array<u8, 32> buf;
+  std::size_t len;
   if (algo == hash::HashAlgo::kSha1) {
-    const auto d = hash::sha1_seed(seed);
-    return Bytes(d.bytes.begin(), d.bytes.end());
+    const hash::Digest160 d = hash::sha1_seed(seed);
+    len = d.bytes.size();
+    std::memcpy(buf.data(), d.bytes.data(), len);
+  } else {
+    const hash::Digest256 d = hash::sha3_256_seed(seed);
+    len = d.bytes.size();
+    std::memcpy(buf.data(), d.bytes.data(), len);
   }
-  const auto d = hash::sha3_256_seed(seed);
-  return Bytes(d.bytes.begin(), d.bytes.end());
+  return Bytes(buf.data(), buf.data() + len);
 }
 
 }  // namespace
@@ -91,7 +102,7 @@ net::Challenge CertificateAuthority::issue_challenge(
 net::AuthResult CertificateAuthority::process_digest(
     const net::HandshakeRequest& handshake, const net::Challenge& challenge,
     const net::DigestSubmission& submission, EngineReport* report_out,
-    par::SearchContext* session) {
+    par::SearchContext* session, SearchOffload* offload) {
   RBC_CHECK_MSG(db_.contains(handshake.device_id),
                 "digest from un-enrolled device");
   RBC_CHECK_MSG(submission.hash_algo == handshake.hash_algo,
@@ -106,8 +117,18 @@ net::AuthResult CertificateAuthority::process_digest(
   opts.max_distance = cfg_.max_distance;
   opts.early_exit = true;
   opts.timeout_s = cfg_.time_threshold_s;
-  const EngineReport report = backend_->search(
-      s_init, submission.digest, submission.hash_algo, opts, session);
+  // Offer the search to the serving layer's fused engine first; a decline
+  // (oversized ball, shutdown, no offload) runs the CA's own backend.
+  std::optional<EngineReport> fused;
+  if (offload != nullptr) {
+    fused = offload->try_search(s_init, submission.digest,
+                                submission.hash_algo, opts, session);
+  }
+  const EngineReport report =
+      fused.has_value()
+          ? *std::move(fused)
+          : backend_->search(s_init, submission.digest, submission.hash_algo,
+                             opts, session);
   if (report_out != nullptr) *report_out = report;
 
   net::AuthResult result;
@@ -221,7 +242,7 @@ template <typename Ca, typename Ra>
 SessionReport run_exchange(Client& client, Ca&& ca, Ra&& ra,
                            net::LatencyModel latency,
                            par::SearchContext* session_ctx,
-                           const LinkOptions* link) {
+                           const LinkOptions* link, SearchOffload* offload) {
   const bool lossy = link != nullptr && link->faults.active();
   net::Channel client_end{latency, lossy ? link->faults.fork(kClientTxSalt)
                                          : net::FaultPlan()};
@@ -288,7 +309,7 @@ SessionReport run_exchange(Client& client, Ca&& ca, Ra&& ra,
   // 4-9. Search + key registration on the CA.
   session.result = ca.process_digest(
       handshake, challenge, std::get<net::DigestSubmission>(*submission_msg),
-      &session.engine, session_ctx);
+      &session.engine, session_ctx, offload);
   const auto result_msg = deliver(ca_end, client_end,
                                   net::Message{session.result});
   if (!result_msg) return finish();
@@ -305,8 +326,10 @@ SessionReport run_authentication(Client& client, CertificateAuthority& ca,
                                  RegistrationAuthority& ra,
                                  net::LatencyModel latency,
                                  par::SearchContext* session_ctx,
-                                 const LinkOptions* link) {
-  return run_exchange(client, ca, ra, std::move(latency), session_ctx, link);
+                                 const LinkOptions* link,
+                                 SearchOffload* offload) {
+  return run_exchange(client, ca, ra, std::move(latency), session_ctx, link,
+                      offload);
 }
 
 SessionReport run_authentication(Client& client,
@@ -314,8 +337,10 @@ SessionReport run_authentication(Client& client,
                                  RegistrationAuthority::ShardView ra,
                                  net::LatencyModel latency,
                                  par::SearchContext* session_ctx,
-                                 const LinkOptions* link) {
-  return run_exchange(client, ca, ra, std::move(latency), session_ctx, link);
+                                 const LinkOptions* link,
+                                 SearchOffload* offload) {
+  return run_exchange(client, ca, ra, std::move(latency), session_ctx, link,
+                      offload);
 }
 
 }  // namespace rbc

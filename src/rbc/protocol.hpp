@@ -304,12 +304,16 @@ class CertificateAuthority {
   /// multiplexes the shared worker group, and the RA serializes per stripe.
   /// `session`, when non-null, carries the session deadline into the search
   /// (queue and communication time already spent count against the
-  /// threshold).
+  /// threshold). `offload`, when non-null, is consulted before the backend:
+  /// a serving shard passes its FusionEngine here so small searches join the
+  /// shared cross-session hash batches; a decline falls through to the
+  /// backend unchanged.
   net::AuthResult process_digest(const net::HandshakeRequest& handshake,
                                  const net::Challenge& challenge,
                                  const net::DigestSubmission& submission,
                                  EngineReport* report_out = nullptr,
-                                 par::SearchContext* session = nullptr);
+                                 par::SearchContext* session = nullptr,
+                                 SearchOffload* offload = nullptr);
 
   /// Shard-scoped handle mirroring RegistrationAuthority::ShardView: the
   /// serving shard drives its sessions through this so any cross-shard
@@ -324,10 +328,11 @@ class CertificateAuthority {
                                    const net::Challenge& challenge,
                                    const net::DigestSubmission& submission,
                                    EngineReport* report_out = nullptr,
-                                   par::SearchContext* session = nullptr) {
+                                   par::SearchContext* session = nullptr,
+                                   SearchOffload* offload = nullptr) {
       check_owned(handshake.device_id);
       return ca_->process_digest(handshake, challenge, submission, report_out,
-                                 session);
+                                 session, offload);
     }
     const CaConfig& config() const noexcept { return ca_->config(); }
     u32 shard() const noexcept { return shard_; }
@@ -411,13 +416,15 @@ struct SessionReport {
 /// `session`, when non-null, is the session's admission-time context: its
 /// deadline governs the CA search and its cancellation aborts it. `link`,
 /// when non-null with an active fault plan, runs the exchange over a lossy
-/// channel with sequenced retransmit framing.
+/// channel with sequenced retransmit framing. `offload`, when non-null, is
+/// offered the CA search before the backend runs it (see SearchOffload).
 SessionReport run_authentication(Client& client, CertificateAuthority& ca,
                                  RegistrationAuthority& ra,
                                  net::LatencyModel latency =
                                      net::LatencyModel(0.15),
                                  par::SearchContext* session = nullptr,
-                                 const LinkOptions* link = nullptr);
+                                 const LinkOptions* link = nullptr,
+                                 SearchOffload* offload = nullptr);
 
 /// Shard-scoped overload used by the serving layer: identical exchange, but
 /// every authority access goes through the views' confinement checks.
@@ -427,6 +434,7 @@ SessionReport run_authentication(Client& client,
                                  net::LatencyModel latency =
                                      net::LatencyModel(0.15),
                                  par::SearchContext* session = nullptr,
-                                 const LinkOptions* link = nullptr);
+                                 const LinkOptions* link = nullptr,
+                                 SearchOffload* offload = nullptr);
 
 }  // namespace rbc

@@ -60,6 +60,7 @@
 #include "parallel/search_context.hpp"
 #include "parallel/tile_scheduler.hpp"
 #include "parallel/worker_group.hpp"
+#include "rbc/candidate_stream.hpp"
 
 namespace rbc {
 
@@ -278,6 +279,78 @@ void rbc_search_tiled(const Seed256& s_init,
   }
 }
 
+/// Single-unit scan of a CandidateStream: the static schedule's inner loop
+/// (block refill -> multi-lane hash -> head prefilter -> full compare ->
+/// visit-order counting) driving a resumable cursor instead of per-shell
+/// iterator slices. This is the reference enumeration the fusion engine's
+/// interleaved execution must reproduce candidate-for-candidate: the stream
+/// yields S_init first, then shells 1..d in canonical order, and `counted`
+/// stops at the match exactly like the per-shell loop's `i + 1`.
+///
+/// Stop conditions mirror the per-shell loop: the deadline/early-exit poll
+/// fires at the check-interval cadence AND whenever a refill crosses into a
+/// new shell (the old between-shell check); candidates fetched but not yet
+/// hashed when a stop fires are discarded uncounted.
+template <hash::SeedHash Hash>
+void scan_stream(CandidateStream& stream,
+                 const typename Hash::digest_type& target, const Hash& hash,
+                 const SearchOptions& opts, par::SearchContext& ctx,
+                 std::optional<std::pair<Seed256, int>>& found,
+                 u64& hashed_out) {
+  constexpr std::size_t kBlock = hash::seed_hash_batch<Hash>();
+  std::array<Seed256, kBlock> candidates;
+  std::array<typename Hash::digest_type, kBlock> digests;
+  u32 target_head;
+  std::memcpy(&target_head, target.bytes.data(), sizeof(target_head));
+  const u32 blocks_per_check = static_cast<u32>(
+      (std::max<u64>(opts.check_interval, 1) + kBlock - 1) / kBlock);
+  par::CheckThrottle throttle(blocks_per_check);
+
+  u64 local_hashed = 0;
+  u64 since_hook = 0;
+  int last_shell = stream.last_shell();
+  bool running = true;
+  while (running) {
+    bool check_now = false;
+    if (throttle.due()) {
+      if (opts.quantum_hook) {
+        opts.quantum_hook(0, since_hook);
+        since_hook = 0;
+      }
+      check_now = true;
+    }
+    const std::size_t n = stream.fill(candidates.data(), kBlock);
+    if (n == 0) break;
+    if (stream.last_shell() != last_shell) {
+      last_shell = stream.last_shell();
+      check_now = true;  // between-shell poll point of the per-shell loop
+    }
+    if (check_now &&
+        (ctx.check_deadline() || ctx.should_stop(opts.early_exit))) {
+      break;  // the just-fetched block is discarded unhashed
+    }
+    hash::hash_seed_block(hash, candidates.data(), n, digests.data());
+    std::size_t counted = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      u32 head;
+      std::memcpy(&head, digests[i].bytes.data(), sizeof(head));
+      if (head != target_head || digests[i] != target) continue;
+      if (!found) found = {candidates[i], last_shell};
+      ctx.signal_match();
+      if (opts.early_exit) {
+        counted = i + 1;  // lanes past the match were speculative
+        running = false;
+      }
+      break;
+    }
+    local_hashed += counted;
+    since_hook += counted;
+  }
+  if (opts.quantum_hook && since_hook > 0) opts.quantum_hook(0, since_hook);
+  ctx.add_progress(local_hashed);
+  hashed_out += local_hashed;
+}
+
 }  // namespace detail
 
 /// Searches for a seed whose hash equals `target`, running work units on
@@ -329,7 +402,18 @@ SearchResult rbc_search(const Seed256& s_init,
     }
   }
 
-  if (!ran_tiled) {
+  if (!ran_tiled && opts.num_threads == 1) {
+    // Single-unit searches (e.g. per-session server searches) drive the
+    // resumable CandidateStream directly on the calling thread: same visit
+    // order and accounting as the per-shell SPMD round below, minus the
+    // WorkerGroup round-trip per shell. The stream starts after distance 0,
+    // which was hashed above.
+    BallStream<Factory> stream(s_init, opts.max_distance, factory);
+    stream.skip_base();
+    detail::scan_stream<Hash>(stream, target, hash, opts, ctx, found,
+                              result.seeds_hashed);
+    ctx.check_deadline();
+  } else if (!ran_tiled) {
     const int p = opts.num_threads;
     std::vector<u64> hashed_per_unit(static_cast<std::size_t>(p), 0);
 

@@ -81,8 +81,17 @@ ServerStats AuthServer::stats() const {
     agg.queue_depth += s.queue_depth;
     agg.in_flight += s.in_flight;
     agg.device_states += s.device_states;
+    agg.fused_sessions += s.fused_sessions;
+    agg.fusion_declined += s.fusion_declined;
+    agg.fusion_batches += s.fusion_batches;
+    agg.fusion_lanes_filled += s.fusion_lanes_filled;
+    agg.fusion_lanes_issued += s.fusion_lanes_issued;
     time_sum += s.session_time_sum;
     if (!s.session_times.empty()) reservoirs.push_back(&s.session_times);
+  }
+  if (agg.fusion_lanes_issued > 0) {
+    agg.lane_occupancy = static_cast<double>(agg.fusion_lanes_filled) /
+                         static_cast<double>(agg.fusion_lanes_issued);
   }
   if (agg.completed > 0) {
     agg.mean_session_s = time_sum / static_cast<double>(agg.completed);

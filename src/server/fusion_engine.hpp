@@ -1,0 +1,100 @@
+// Cross-session lane fusion: continuous batching of hash work.
+//
+// The PR-3 batch layer fills a PRIVATE 16-lane block per search, so a small
+// session (d <= 2: a few hundred to ~33k candidates) spends most of its
+// serving cost on per-session setup — iterator prepare walks, WorkerGroup
+// round-trips — and its final ragged block leaves lanes idle exactly when
+// the server is busiest. The multi-buffer kernels hash unrelated buffers
+// per lane, so nothing requires a batch's lanes to belong to one session.
+//
+// FusionEngine is the serving-side fix: one engine per shard implements
+// rbc::SearchOffload. Driver threads submit a session's search; the engine
+// turns it into a resumable TableCandidateStream (O(1) setup against
+// process-wide shell mask tables) and a single pump thread deals lane slots
+// of shared full-width sha1_seed_multi / sha3_256_seed_multi batches across
+// every in-flight stream:
+//
+//   * admission  — try_search accepts a search when its modeled ball size
+//     is at or below cfg.threshold_seeds (and the run queue has room);
+//     anything larger, exhaustive-mode searches, and post-shutdown calls
+//     decline and fall through to the session's normal backend path.
+//   * fairness   — each batch deals lane slots round-robin over the active
+//     streams in earliest-deadline-first order, so a tight-deadline stream
+//     is served first every batch and no stream starves.
+//   * retirement — a stream leaves the batch on match, ball exhaustion,
+//     deadline expiry or cancel; its lane slots are backfilled from the
+//     remaining streams and the pending queue within the same batch.
+//
+// Equivalence contract (tested in tests/fusion_test.cpp): for a given
+// (S_init, digest) the fused path reports the same verdict, seed, distance
+// and the exact same seeds_hashed as the solo single-thread search — the
+// stream enumerates in canonical order and counting stops at the match,
+// mirroring the solo loop's `counted = i + 1`.
+#pragma once
+
+#include <memory>
+
+#include "rbc/engines.hpp"
+
+namespace rbc::server {
+
+struct FusionConfig {
+  /// Largest ball (candidate count through max_distance, d0 included) the
+  /// engine absorbs; larger searches decline to the tiled solo path. The
+  /// default admits SHA-1/SHA-3 balls through d = 2 (32 897 candidates
+  /// over 256 bits) and declines d >= 3. Also bounds the shell mask table
+  /// memory at ~32 B per candidate.
+  u64 threshold_seeds = u64{1} << 16;
+  /// Lane slots per fused batch (1..hash::kMaxTaggedLanes). Wider batches
+  /// amortize dispatch across more sessions; 32 = two full kernel blocks.
+  int batch_lanes = 32;
+  /// Bound on streams queued + active; admissions beyond it decline (the
+  /// session then runs solo rather than queueing unboundedly).
+  int max_streams = 256;
+  /// Iterator family whose canonical order the streams reproduce. Must
+  /// match the CA backend's iterator or the per-session seeds_hashed of
+  /// fused and solo runs diverge (the visit ORDER is the contract).
+  sim::IterAlgo iterator = sim::IterAlgo::kChase382;
+};
+
+/// Counters behind ServerStats' fusion fields. Occupancy is
+/// lanes_filled / lanes_issued: the fraction of dealt lane slots that
+/// carried a candidate (idle slots appear only when every stream drained
+/// mid-batch with nothing left to backfill from).
+struct FusionStats {
+  u64 fused_sessions = 0;  // searches absorbed into shared batches
+  u64 declined = 0;        // try_search offers that fell through to solo
+  u64 batch_count = 0;     // fused multi-lane batches issued
+  u64 lanes_filled = 0;    // lane slots that carried a candidate
+  u64 lanes_issued = 0;    // lane slots available across issued batches
+};
+
+class FusionEngine final : public SearchOffload {
+ public:
+  explicit FusionEngine(FusionConfig cfg = {});
+  ~FusionEngine() override;
+
+  FusionEngine(const FusionEngine&) = delete;
+  FusionEngine& operator=(const FusionEngine&) = delete;
+
+  /// Blocking: enqueues the search as a candidate stream and waits for the
+  /// pump to retire it. Returns nullopt to decline (see header comment);
+  /// the caller then runs its own backend.
+  std::optional<EngineReport> try_search(const Seed256& s_init,
+                                         ByteSpan digest, hash::HashAlgo algo,
+                                         const SearchOptions& opts,
+                                         par::SearchContext* session) override;
+
+  FusionStats stats() const;
+
+  /// Declines new work, retires in-flight streams as cancelled, joins the
+  /// pump. Idempotent; the destructor calls it. Shards call this AFTER
+  /// joining their drivers so in-flight sessions drain normally first.
+  void shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rbc::server

@@ -24,6 +24,16 @@ Shard::Shard(const ServerConfig& cfg, int index, int num_shards,
   RBC_CHECK_MSG(cfg_.max_device_states >= 1, "device table needs capacity");
   if (cfg_.fault.active()) cfg_.retry.validate();
   base_latency_.set_realtime(cfg.realtime_comm);
+  if (cfg_.fusion_enabled) {
+    FusionConfig fusion_cfg;
+    fusion_cfg.threshold_seeds = cfg_.fusion_threshold;
+    fusion_cfg.batch_lanes = cfg_.fusion_lanes;
+    // Keep more stream slots than this shard has drivers so backfill never
+    // starves; the default (kChase382) iterator matches the CA backends'
+    // default enumeration order, which the fused accounting depends on.
+    fusion_cfg.max_streams = std::max(drivers * 2, 8);
+    fusion_ = std::make_unique<FusionEngine>(fusion_cfg);
+  }
   drivers_.reserve(static_cast<std::size_t>(drivers));
   for (int i = 0; i < drivers; ++i)
     drivers_.emplace_back([this] { driver_loop(); });
@@ -179,7 +189,7 @@ void Shard::run_session(Session& session) {
     outcome.report =
         run_authentication(*session.client, ca_view_, ra_view_,
                            base_latency_.fork(session.seq), &session.ctx,
-                           link);
+                           link, fusion_.get());
     outcome.authenticated = outcome.report.result.authenticated;
   }
   outcome.timed_out = session.ctx.timed_out() ||
@@ -239,6 +249,14 @@ Shard::StatsSlice Shard::stats_slice() const {
     std::lock_guard lock(devices_mutex_);
     slice.device_states = devices_.size();
   }
+  if (fusion_) {
+    const FusionStats fusion = fusion_->stats();
+    slice.fused_sessions = fusion.fused_sessions;
+    slice.fusion_declined = fusion.declined;
+    slice.fusion_batches = fusion.batch_count;
+    slice.fusion_lanes_filled = fusion.lanes_filled;
+    slice.fusion_lanes_issued = fusion.lanes_issued;
+  }
   return slice;
 }
 
@@ -269,6 +287,9 @@ void Shard::shutdown() {
   }
   for (auto& driver : drivers_) driver.join();
   drivers_.clear();
+  // Only after the drivers join: in-flight sessions block on the engine's
+  // futures, so stopping it earlier would deadlock the drain.
+  if (fusion_) fusion_->shutdown();
 }
 
 }  // namespace rbc::server

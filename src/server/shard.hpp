@@ -37,6 +37,7 @@
 #include "common/timer.hpp"
 #include "parallel/search_context.hpp"
 #include "rbc/protocol.hpp"
+#include "server/fusion_engine.hpp"
 
 namespace rbc::server {
 
@@ -87,6 +88,18 @@ struct ServerConfig {
   /// Retransmit policy for lossy sessions (ignored while `fault` is
   /// inactive). Retries charge the session's threshold budget.
   RetryPolicy retry{};
+  /// Cross-session lane fusion (docs/perf.md): when true each shard runs a
+  /// FusionEngine and offers every session's search to it; small searches
+  /// are multiplexed into shared full-width hash batches, large ones
+  /// decline and run the regular backend path. Off by default — the fused
+  /// path is verdict- and accounting-identical, but the knob keeps the
+  /// seed behavior bit-for-bit reproducible.
+  bool fusion_enabled = false;
+  /// Admission cap for fusion, in modeled ball candidates (d0 + shells).
+  /// The default absorbs d <= 2 over 256 bits and declines d >= 3.
+  u64 fusion_threshold = u64{1} << 16;
+  /// Lane slots per fused batch (clamped to hash::kMaxTaggedLanes).
+  int fusion_lanes = 32;
 };
 
 /// Why a session failed (SessionOutcome::reject_reason). The first three
@@ -146,6 +159,16 @@ struct ServerStats {
   double mean_session_s = 0.0;
   double p50_session_s = 0.0;
   double p95_session_s = 0.0;
+  /// Lane-fusion counters (zero unless cfg.fusion_enabled), summed across
+  /// the shards' engines. lane_occupancy = fusion_lanes_filled /
+  /// fusion_lanes_issued — the fraction of dealt lane slots that carried a
+  /// candidate (0 when no fused batch ran).
+  u64 fused_sessions = 0;
+  u64 fusion_declined = 0;
+  u64 fusion_batches = 0;
+  u64 fusion_lanes_filled = 0;
+  u64 fusion_lanes_issued = 0;
+  double lane_occupancy = 0.0;
 };
 
 class Shard {
@@ -184,6 +207,11 @@ class Shard {
     int in_flight = 0;
     std::size_t device_states = 0;
     double session_time_sum = 0.0;
+    u64 fused_sessions = 0;
+    u64 fusion_declined = 0;
+    u64 fusion_batches = 0;
+    u64 fusion_lanes_filled = 0;
+    u64 fusion_lanes_issued = 0;
     ReservoirSample session_times{1};  // copy of the shard's reservoir
   };
   StatsSlice stats_slice() const;
@@ -236,6 +264,10 @@ class Shard {
   /// Shared across shards by construction (same cfg seed, no shard salt):
   /// per-session plans depend only on (fault_seed, net_salt).
   net::FaultPlan base_faults_;
+  /// Per-shard fused batch engine (cfg.fusion_enabled); drivers offer every
+  /// session's search to it through the SearchOffload seam. Shut down AFTER
+  /// the drivers join — in-flight sessions block on its futures.
+  std::unique_ptr<FusionEngine> fusion_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_queue_;

@@ -1,0 +1,551 @@
+// Cross-session lane fusion: equivalence and stress suites.
+//
+// The load-bearing property is the equivalence contract: for any admitted
+// search, the fused path must report the SAME verdict, seed, distance and
+// the EXACT same seeds_hashed as the backend's single-thread solo search —
+// fusion is an execution substitution, not a semantic change. These tests
+// pin that down candidate-by-candidate (stream order), lane-by-lane (the
+// tagged batch kernel), search-by-search (solo vs fused over randomized
+// concurrent mixes), and server-by-server (shard counts and chaos faults
+// must not perturb verdicts when fusion is on).
+//
+// FusionEngine*/FusionServer* run under TSan in CI: driver threads block on
+// futures while one pump deals their streams into shared batches, which
+// exercises the admission/backfill/retire seams concurrently.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "combinatorics/chase382.hpp"
+#include "rbc/candidate_stream.hpp"
+#include "server/auth_server.hpp"
+#include "server/fusion_engine.hpp"
+
+namespace rbc::server {
+namespace {
+
+constexpr u64 kBallD2 = 1 + 256 + 32640;  // |ball(d<=2)| over 256 bits
+
+Seed256 random_seed(u64 salt) {
+  Xoshiro256 rng(salt);
+  return Seed256::random(rng);
+}
+
+/// A mask with exactly `k` distinct bits set, drawn from `salt`.
+Seed256 mask_of_weight(int k, u64 salt) {
+  Xoshiro256 rng(salt);
+  Seed256 mask;
+  while (mask.popcount() < k)
+    mask.set_bit(static_cast<int>(rng.next() % 256));
+  return mask;
+}
+
+Bytes digest_of(const Seed256& s, hash::HashAlgo algo) {
+  if (algo == hash::HashAlgo::kSha1) {
+    const hash::Digest160 d = hash::sha1_seed(s);
+    return Bytes(d.bytes.begin(), d.bytes.end());
+  }
+  const hash::Digest256 d = hash::sha3_256_seed(s);
+  return Bytes(d.bytes.begin(), d.bytes.end());
+}
+
+SearchOptions small_search_opts() {
+  SearchOptions opts;
+  opts.max_distance = 2;
+  opts.early_exit = true;
+  opts.timeout_s = 600.0;
+  opts.num_threads = 1;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Stream contract
+// ---------------------------------------------------------------------------
+
+TEST(FusionStream, TableStreamReproducesBallStreamOrder) {
+  // The cached-table stream must emit the byte-identical candidate sequence
+  // the factory-walking stream emits, regardless of the fill granularity —
+  // resumability cannot perturb the enumeration order.
+  const Seed256 s_init = random_seed(0xF051);
+  comb::ChaseFactory factory;
+  BallStream<comb::ChaseFactory> reference(s_init, 2, factory);
+  TableCandidateStream table(s_init, 2, sim::IterAlgo::kChase382);
+
+  std::vector<Seed256> want;
+  std::array<Seed256, 64> buf;
+  while (std::size_t n = reference.fill(buf.data(), buf.size()))
+    want.insert(want.end(), buf.begin(), buf.begin() + n);
+  ASSERT_EQ(want.size(), kBallD2);
+
+  std::vector<Seed256> got;
+  std::size_t ask = 1;  // ragged asks: 1, 2, 3, ... wraps shell boundaries
+  while (std::size_t n = table.fill(buf.data(), (ask % 63) + 1)) {
+    got.insert(got.end(), buf.begin(), buf.begin() + n);
+    ++ask;
+  }
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_TRUE(table.exhausted());
+  EXPECT_EQ(table.position(), kBallD2);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(got[i], want[i]) << "candidate " << i;
+}
+
+TEST(FusionStream, FillsNeverCrossShellBoundaries) {
+  const Seed256 s_init = random_seed(0xF052);
+  TableCandidateStream stream(s_init, 2, sim::IterAlgo::kChase382);
+  std::array<Seed256, 48> buf;
+
+  // First fill emits exactly the d0 candidate.
+  ASSERT_EQ(stream.fill(buf.data(), buf.size()), 1u);
+  EXPECT_EQ(stream.last_shell(), 0);
+  EXPECT_EQ(buf[0], s_init);
+
+  u64 per_shell[3] = {1, 0, 0};
+  int prev_shell = 0;
+  while (std::size_t n = stream.fill(buf.data(), buf.size())) {
+    const int shell = stream.last_shell();
+    ASSERT_GE(shell, prev_shell) << "shells must be visited in order";
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ((buf[i] ^ s_init).popcount(), shell)
+          << "fill mixed candidates from different shells";
+    per_shell[shell] += n;
+    prev_shell = shell;
+  }
+  EXPECT_EQ(per_shell[1], 256u);
+  EXPECT_EQ(per_shell[2], 32640u);
+}
+
+// ---------------------------------------------------------------------------
+// Tagged batch kernel
+// ---------------------------------------------------------------------------
+
+TEST(FusionBatch, TaggedBlockPrefiltersPerLaneTargets) {
+  // Lanes from two different "streams" in one block: the hit mask must
+  // flag each planted match against ITS OWN stream's target head, and the
+  // digests must equal the scalar hash lane by lane.
+  const Seed256 a = random_seed(0xAB01);
+  const Seed256 b = random_seed(0xAB02);
+  const hash::Digest256 target_a = hash::sha3_256_seed(a);
+  const hash::Digest256 target_b = hash::sha3_256_seed(b);
+  u32 heads[2];
+  std::memcpy(&heads[0], target_a.bytes.data(), sizeof(u32));
+  std::memcpy(&heads[1], target_b.bytes.data(), sizeof(u32));
+
+  std::array<Seed256, 8> seeds;
+  std::array<u16, 8> tags;
+  for (std::size_t i = 0; i < 8; ++i) {
+    seeds[i] = random_seed(0x9000 + i);
+    tags[i] = static_cast<u16>(i % 2);
+  }
+  seeds[3] = b;  // planted: stream 1's match in a stream-1 lane
+  seeds[6] = a;  // planted: stream 0's match in a stream-0 lane
+  tags[3] = 1;
+  tags[6] = 0;
+
+  std::array<hash::Digest256, 8> digests;
+  const u64 hits = hash::hash_seed_block_tagged(
+      hash::Sha3BatchSeedHash{}, seeds.data(), 8, tags.data(), heads,
+      digests.data());
+  EXPECT_NE(hits & (u64{1} << 3), 0u);
+  EXPECT_NE(hits & (u64{1} << 6), 0u);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(digests[i], hash::sha3_256_seed(seeds[i])) << "lane " << i;
+  EXPECT_EQ(digests[3], target_b);
+  EXPECT_EQ(digests[6], target_a);
+}
+
+// ---------------------------------------------------------------------------
+// Solo vs fused equivalence
+// ---------------------------------------------------------------------------
+
+struct SoloBaseline {
+  std::unique_ptr<SearchBackend> backend;
+  SoloBaseline() {
+    EngineConfig cfg;
+    cfg.host_threads = 1;  // the contract is against the 1-thread search
+    backend = make_backend("cpu", cfg);
+  }
+  EngineReport run(const Seed256& s_init, const Bytes& digest,
+                   hash::HashAlgo algo, const SearchOptions& opts) {
+    return backend->search(s_init, ByteSpan(digest), algo, opts, nullptr);
+  }
+};
+
+void expect_equivalent(const EngineReport& solo, const EngineReport& fused,
+                       const char* what) {
+  EXPECT_EQ(solo.result.found, fused.result.found) << what;
+  EXPECT_EQ(solo.result.seeds_hashed, fused.result.seeds_hashed) << what;
+  EXPECT_EQ(solo.result.timed_out, fused.result.timed_out) << what;
+  if (solo.result.found) {
+    EXPECT_EQ(solo.result.seed, fused.result.seed) << what;
+    EXPECT_EQ(solo.result.distance, fused.result.distance) << what;
+  }
+}
+
+TEST(FusionEngine, SoloAndFusedAgreeOnPlantedMatches) {
+  SoloBaseline solo;
+  FusionEngine engine;
+  const SearchOptions opts = small_search_opts();
+  const hash::HashAlgo algos[] = {hash::HashAlgo::kSha1,
+                                  hash::HashAlgo::kSha3_256};
+  for (hash::HashAlgo algo : algos) {
+    for (int d = 0; d <= 2; ++d) {
+      const Seed256 s_init = random_seed(0x5EED0 + static_cast<u64>(d));
+      const Seed256 planted =
+          s_init ^ mask_of_weight(d, 0xFACE + static_cast<u64>(d));
+      const Bytes digest = digest_of(planted, algo);
+      const EngineReport want = solo.run(s_init, digest, algo, opts);
+      ASSERT_TRUE(want.result.found);
+      ASSERT_EQ(want.result.distance, d);
+      auto fused =
+          engine.try_search(s_init, ByteSpan(digest), algo, opts, nullptr);
+      ASSERT_TRUE(fused.has_value());
+      expect_equivalent(want, *fused, "planted match");
+    }
+  }
+}
+
+TEST(FusionEngine, SoloAndFusedAgreeOnMiss) {
+  SoloBaseline solo;
+  FusionEngine engine;
+  const SearchOptions opts = small_search_opts();
+  const Seed256 s_init = random_seed(0x5EED9);
+  // A target from outside the ball: both paths must exhaust all 32 897
+  // candidates and report the full visit count.
+  const Bytes digest =
+      digest_of(s_init ^ mask_of_weight(7, 0xBEEF), hash::HashAlgo::kSha3_256);
+  const EngineReport want =
+      solo.run(s_init, digest, hash::HashAlgo::kSha3_256, opts);
+  ASSERT_FALSE(want.result.found);
+  ASSERT_EQ(want.result.seeds_hashed, kBallD2);
+  auto fused = engine.try_search(s_init, ByteSpan(digest),
+                                 hash::HashAlgo::kSha3_256, opts, nullptr);
+  ASSERT_TRUE(fused.has_value());
+  expect_equivalent(want, *fused, "miss");
+}
+
+TEST(FusionEngine, ConcurrentRandomMixMatchesSoloExactly) {
+  // The headline equivalence: a randomized mix of concurrent sessions —
+  // both algorithms, planted matches at d0/d1/d2 (ragged tails, mid-batch
+  // early exit with same-batch backfill) and full-ball misses — must each
+  // retire with the solo verdict AND the solo seeds_hashed, while genuinely
+  // sharing batches (the engine sees them all in flight at once).
+  constexpr int kSessions = 24;
+  SoloBaseline solo;
+  FusionEngine engine;
+  const SearchOptions opts = small_search_opts();
+
+  struct Case {
+    Seed256 s_init;
+    Bytes digest;
+    hash::HashAlgo algo;
+    EngineReport want;
+  };
+  std::vector<Case> cases;
+  for (int i = 0; i < kSessions; ++i) {
+    Case c;
+    c.s_init = random_seed(0xA11CE + static_cast<u64>(i));
+    c.algo = (i % 3 == 0) ? hash::HashAlgo::kSha1 : hash::HashAlgo::kSha3_256;
+    const int kind = i % 5;  // 0..2: planted at d=kind; 3,4: miss
+    const int weight = kind <= 2 ? kind : 9;
+    c.digest = digest_of(
+        c.s_init ^ mask_of_weight(weight, 0xD00D + static_cast<u64>(i)),
+        c.algo);
+    c.want = solo.run(c.s_init, c.digest, c.algo, opts);
+    cases.push_back(std::move(c));
+  }
+
+  std::vector<std::optional<EngineReport>> fused(kSessions);
+  std::vector<std::thread> drivers;
+  for (int i = 0; i < kSessions; ++i) {
+    drivers.emplace_back([&, i] {
+      const Case& c = cases[static_cast<unsigned>(i)];
+      fused[static_cast<unsigned>(i)] = engine.try_search(
+          c.s_init, ByteSpan(c.digest), c.algo, opts, nullptr);
+    });
+  }
+  for (auto& t : drivers) t.join();
+
+  for (int i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(fused[static_cast<unsigned>(i)].has_value()) << "session " << i;
+    expect_equivalent(cases[static_cast<unsigned>(i)].want,
+                      *fused[static_cast<unsigned>(i)], "concurrent mix");
+  }
+
+  const FusionStats stats = engine.stats();
+  EXPECT_EQ(stats.fused_sessions, static_cast<u64>(kSessions));
+  EXPECT_GT(stats.batch_count, 0u);
+  EXPECT_LE(stats.lanes_filled, stats.lanes_issued);
+  EXPECT_GT(stats.lanes_filled, 0u);
+}
+
+TEST(FusionEngine, PreExpiredDeadlineCountsExactlyTheBaseSeed) {
+  // A session whose budget is already gone still hashes S_init before the
+  // first deadline poll — on BOTH paths — so seeds_hashed is exactly 1.
+  SoloBaseline solo;
+  FusionEngine engine;
+  const SearchOptions opts = small_search_opts();
+  const Seed256 s_init = random_seed(0xDEAD1);
+  const Bytes digest =
+      digest_of(s_init ^ mask_of_weight(6, 0x0DD), hash::HashAlgo::kSha3_256);
+
+  par::SearchContext solo_ctx = par::SearchContext::with_budget(0.0);
+  const EngineReport want = solo.backend->search(
+      s_init, ByteSpan(digest), hash::HashAlgo::kSha3_256, opts, &solo_ctx);
+  ASSERT_EQ(want.result.seeds_hashed, 1u);
+  ASSERT_TRUE(want.result.timed_out);
+
+  par::SearchContext fused_ctx = par::SearchContext::with_budget(0.0);
+  auto fused = engine.try_search(s_init, ByteSpan(digest),
+                                 hash::HashAlgo::kSha3_256, opts, &fused_ctx);
+  ASSERT_TRUE(fused.has_value());
+  expect_equivalent(want, *fused, "pre-expired deadline");
+}
+
+TEST(FusionEngine, CancelledSessionRetiresAsCancelled) {
+  FusionEngine engine;
+  const SearchOptions opts = small_search_opts();
+  const Seed256 s_init = random_seed(0xCA9CE1);
+  const Bytes digest =
+      digest_of(s_init ^ mask_of_weight(5, 0x123), hash::HashAlgo::kSha1);
+  par::SearchContext ctx;
+  ctx.cancel();
+  auto fused = engine.try_search(s_init, ByteSpan(digest),
+                                 hash::HashAlgo::kSha1, opts, &ctx);
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_FALSE(fused->result.found);
+  EXPECT_TRUE(fused->result.cancelled);
+  EXPECT_FALSE(fused->result.timed_out);
+  EXPECT_EQ(fused->result.seeds_hashed, 1u);  // d0 precedes the first poll
+}
+
+TEST(FusionEngine, MidStreamDeadlineExpiryStaysSane) {
+  // Wall-clock expiry mid-ball cannot be byte-equal to a solo run (the
+  // clock decides where each path stops), so assert the verdict envelope:
+  // either the miss completed with the full count, or it timed out having
+  // visited a prefix of the ball.
+  FusionEngine engine;
+  SearchOptions opts = small_search_opts();
+  const Seed256 s_init = random_seed(0x71AE0);
+  const Bytes digest =
+      digest_of(s_init ^ mask_of_weight(8, 0x456), hash::HashAlgo::kSha3_256);
+  par::SearchContext ctx = par::SearchContext::with_budget(200e-6);
+  auto fused = engine.try_search(s_init, ByteSpan(digest),
+                                 hash::HashAlgo::kSha3_256, opts, &ctx);
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_FALSE(fused->result.found);
+  EXPECT_GE(fused->result.seeds_hashed, 1u);
+  EXPECT_LE(fused->result.seeds_hashed, kBallD2);
+  if (!fused->result.timed_out)
+    EXPECT_EQ(fused->result.seeds_hashed, kBallD2);
+}
+
+TEST(FusionEngine, DeclinesEverythingOutsideTheContract) {
+  FusionEngine engine;
+  const Seed256 s_init = random_seed(0xDEC11);
+  const Bytes digest = digest_of(s_init, hash::HashAlgo::kSha3_256);
+  const auto algo = hash::HashAlgo::kSha3_256;
+
+  SearchOptions exhaustive = small_search_opts();
+  exhaustive.early_exit = false;  // exhaustive runs keep the private loop
+  EXPECT_FALSE(
+      engine.try_search(s_init, ByteSpan(digest), algo, exhaustive, nullptr)
+          .has_value());
+
+  SearchOptions wide = small_search_opts();
+  wide.num_threads = 2;  // equivalence is against the 1-thread search
+  EXPECT_FALSE(engine.try_search(s_init, ByteSpan(digest), algo, wide, nullptr)
+                   .has_value());
+
+  SearchOptions big = small_search_opts();
+  big.max_distance = 3;  // ball(d<=3) is ~2.8M candidates, over threshold
+  EXPECT_FALSE(engine.try_search(s_init, ByteSpan(digest), algo, big, nullptr)
+                   .has_value());
+
+  engine.shutdown();
+  EXPECT_FALSE(engine.try_search(s_init, ByteSpan(digest), algo,
+                                 small_search_opts(), nullptr)
+                   .has_value());
+
+  EXPECT_EQ(engine.stats().declined, 4u);
+  EXPECT_EQ(engine.stats().fused_sessions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Server integration
+// ---------------------------------------------------------------------------
+
+crypto::Aes128::Key master_key() {
+  crypto::Aes128::Key k{};
+  k[0] = 0x42;
+  return k;
+}
+
+puf::SramPufModel::Params device_params() {
+  puf::SramPufModel::Params p;
+  p.num_addresses = 4;
+  p.erratic_cell_fraction = 0.04;
+  p.stable_flip_probability = 0.004;
+  p.erratic_flip_probability = 0.30;
+  return p;
+}
+
+struct FusionServerFixture {
+  std::vector<std::unique_ptr<puf::SramPufModel>> devices;
+  std::vector<u64> device_ids;
+  RegistrationAuthority ra;
+  std::unique_ptr<CertificateAuthority> ca;
+
+  explicit FusionServerFixture(int num_devices, u64 id_base) {
+    EnrollmentDatabase db(master_key());
+    for (int i = 0; i < num_devices; ++i) {
+      const u64 id = id_base + static_cast<u64>(i);
+      devices.push_back(
+          std::make_unique<puf::SramPufModel>(device_params(), id));
+      device_ids.push_back(id);
+      Xoshiro256 enroll_rng(id ^ 0xE27011);
+      db.enroll(id, *devices.back(), 100, 0.05, enroll_rng);
+    }
+    CaConfig ca_cfg;
+    ca_cfg.max_distance = 2;
+    ca_cfg.time_threshold_s = 600.0;
+    EngineConfig engine_cfg;
+    engine_cfg.host_threads = 1;
+    ca = std::make_unique<CertificateAuthority>(
+        ca_cfg, std::move(db), make_backend("cpu", engine_cfg), &ra);
+  }
+
+  std::unique_ptr<Client> make_client(int device_index, int injected_distance,
+                                      u64 rng_salt) const {
+    const std::size_t index = static_cast<std::size_t>(device_index);
+    ClientConfig ccfg;
+    ccfg.device_id = device_ids[index];
+    ccfg.injected_distance = injected_distance;
+    return std::make_unique<Client>(ccfg, devices[index].get(),
+                                    ccfg.device_id ^ rng_salt);
+  }
+};
+
+TEST(FusionServer, FusedBurstAuthenticatesAndReportsOccupancy) {
+  constexpr int kSessions = 16;
+  FusionServerFixture f(kSessions, /*id_base=*/4200);
+  ServerConfig cfg;
+  cfg.max_queue_depth = kSessions;
+  cfg.max_in_flight = kSessions;  // deep overlap: all streams fuse at once
+  cfg.session_budget_s = 600.0;
+  cfg.fusion_enabled = true;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::future<SessionOutcome>> futures;
+  for (int i = 0; i < kSessions; ++i) {
+    clients.push_back(f.make_client(i, /*injected_distance=*/2, 0xF00D));
+    futures.push_back(server.submit(clients.back().get()));
+  }
+  for (int i = 0; i < kSessions; ++i) {
+    const SessionOutcome outcome = futures[static_cast<unsigned>(i)].get();
+    ASSERT_TRUE(outcome.accepted) << "session " << i;
+    EXPECT_TRUE(outcome.authenticated) << "session " << i;
+    const auto registered = f.ra.lookup(outcome.device_id);
+    ASSERT_TRUE(registered.has_value());
+    EXPECT_EQ(*registered, clients[static_cast<unsigned>(i)]->derive_public_key(
+                               f.ca->config().salt));
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.authenticated, static_cast<u64>(kSessions));
+  // Every session's d<=2 search fits under the fusion threshold, so every
+  // session fuses; each client submits one digest per protocol run.
+  EXPECT_EQ(stats.fused_sessions, static_cast<u64>(kSessions));
+  EXPECT_GT(stats.fusion_batches, 0u);
+  EXPECT_LE(stats.fusion_lanes_filled, stats.fusion_lanes_issued);
+  EXPECT_GT(stats.lane_occupancy, 0.0);
+  EXPECT_LE(stats.lane_occupancy, 1.0);
+}
+
+TEST(FusionServer, FusionOffLeavesStatsZeroAndVerdictsIntact) {
+  constexpr int kSessions = 6;
+  FusionServerFixture f(kSessions, /*id_base=*/4300);
+  ServerConfig cfg;
+  cfg.max_queue_depth = kSessions;
+  cfg.max_in_flight = 2;
+  cfg.session_budget_s = 600.0;
+  cfg.fusion_enabled = false;  // the seed-default path, bit for bit
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::future<SessionOutcome>> futures;
+  for (int i = 0; i < kSessions; ++i) {
+    clients.push_back(f.make_client(i, 1, 0xB0B0));
+    futures.push_back(server.submit(clients.back().get()));
+  }
+  for (auto& fut : futures) {
+    const SessionOutcome outcome = fut.get();
+    ASSERT_TRUE(outcome.accepted);
+    EXPECT_TRUE(outcome.authenticated);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.fused_sessions, 0u);
+  EXPECT_EQ(stats.fusion_batches, 0u);
+  EXPECT_EQ(stats.fusion_lanes_issued, 0u);
+  EXPECT_EQ(stats.lane_occupancy, 0.0);
+}
+
+TEST(FusionServer, SingleAndFourShardFusedServersAgreeUnderChaos) {
+  // PR-7's shard-layout invariance must survive fusion: with explicit
+  // per-session salts the fault streams are layout-independent, and the
+  // fused search changes no verdict — so a 1-shard and a 4-shard fused
+  // server agree session by session even on a lossy link.
+  constexpr int kDevices = 12;
+  net::FaultConfig faults;
+  faults.drop_rate = 0.4;
+  faults.corrupt_rate = 0.1;
+  faults.duplicate_rate = 0.1;
+
+  auto run_with_shards = [&](int num_shards) {
+    FusionServerFixture f(kDevices, /*id_base=*/4400);
+    ServerConfig cfg;
+    cfg.num_shards = num_shards;
+    cfg.max_queue_depth = 64;
+    cfg.max_in_flight = num_shards;
+    cfg.session_budget_s = 600.0;
+    cfg.per_message_latency_s = 0.0;
+    cfg.fault = faults;
+    cfg.fault_seed = 0x5A17;
+    cfg.retry.max_attempts = 2;
+    cfg.retry.timeout_s = 0.01;
+    cfg.retry.max_timeout_s = 0.04;
+    cfg.fusion_enabled = true;
+    AuthServer server(cfg, f.ca.get(), &f.ra);
+    std::vector<SessionOutcome> outcomes;
+    for (int i = 0; i < kDevices; ++i) {
+      auto client = f.make_client(i, 1, 0xE1);
+      outcomes.push_back(
+          server.submit(client.get(), 600.0, 0xAB00 + static_cast<u64>(i))
+              .get());
+    }
+    return outcomes;
+  };
+
+  const auto single = run_with_shards(1);
+  const auto sharded = run_with_shards(4);
+  ASSERT_EQ(single.size(), sharded.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single[i].authenticated, sharded[i].authenticated)
+        << "session " << i;
+    EXPECT_EQ(single[i].transport_failed, sharded[i].transport_failed)
+        << "session " << i;
+    EXPECT_EQ(single[i].reject_reason, sharded[i].reject_reason)
+        << "session " << i;
+    EXPECT_EQ(single[i].report.link.retransmits,
+              sharded[i].report.link.retransmits)
+        << "session " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rbc::server
