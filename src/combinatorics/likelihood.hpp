@@ -1,0 +1,118 @@
+// Maximum-likelihood-first shell enumeration.
+//
+// The canonical iterators (Gosper/515/Chase) visit a shell in combinatorial
+// order, so the expected hit position is half the shell no matter which bits
+// actually flipped. But the SRAM PUF model concentrates nearly all flips in a
+// small erratic-cell minority, and enrollment calibration measures per-cell
+// flip rates (puf::ReliabilityProfile). This module orders each shell by
+// posterior likelihood instead: under an independent-bit flip model with
+// per-bit probability p_i, the probability that exactly the subset S flipped
+// is proportional to prod_{i in S} p_i/(1-p_i), so sorting subsets by
+// DESCENDING product probability equals sorting by ASCENDING sum of the
+// per-bit log-odds weights w_i = round(16*ln((1-p_i)/p_i)) — exactly the
+// quantized u8 weights the reliability profile stores.
+//
+// WeightedShellEnumerator emits all C(n, k) subsets of shell k in
+// non-decreasing weight-sum order WITHOUT materializing the shell: a lazy
+// best-first (A*) walk over prefix states with Lawler/Murty-style binary
+// branching (extend-last / shift-last over positions pre-sorted by weight).
+// Each emission costs O(k + log h) for frontier size h, and h is bounded by
+// the number of candidates popped, so an early hit at rank r costs O(k·r)
+// total work — the whole point of the optimization.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "bits/seed256.hpp"
+#include "combinatorics/binomial.hpp"
+#include "common/types.hpp"
+
+namespace rbc::comb {
+
+/// Per-bit weights plus the position permutation sorted by (weight, bit) —
+/// the shared, immutable input of every WeightedShellEnumerator for one
+/// (device, address) pair. Built from a puf::ReliabilityProfile's raw bytes
+/// (the combinatorics layer stays independent of the puf layer).
+struct ReliabilityOrder {
+  std::array<u8, kSeedBits> weight{};  // weight[bit]; LOW = likely to flip
+  std::array<u16, kSeedBits> pos{};    // bit positions sorted by (weight, bit)
+  int n_bits = kSeedBits;
+
+  /// `weights` must point at `n_bits` bytes, one per bit position.
+  static ReliabilityOrder from_weights(const u8* weights,
+                                       int n_bits = kSeedBits);
+};
+
+/// Lazy best-first enumerator of one shell: emits every popcount-k mask over
+/// `order.n_bits` positions exactly once, in non-decreasing weight-sum order
+/// (ties broken deterministically by generation sequence). The caller owns
+/// `order` and must keep it alive for the enumerator's lifetime.
+///
+/// State space: a node is a strictly-increasing prefix c[0..m-1] of indices
+/// into order.pos whose last element is e = c[m-1]. Its key is
+/// f = g + h where g = sum of the prefix's weights and h = the sum of the
+/// (k-m) cheapest positions strictly after e (a consistent heuristic, exact
+/// for the greedy completion). Children:
+///   shift-last:  replace e by e+1            (f' >= f, proven below)
+///   extend-last: append e+1 to the prefix    (f' == f)
+/// Every k-prefix (complete subset) is generated exactly once: its unique
+/// parent is shift^-1 when the last element is not adjacent to the previous,
+/// else extend^-1. Complete nodes emit when popped and push only their shift
+/// child, so the frontier grows by at most one node per pop.
+class WeightedShellEnumerator {
+ public:
+  WeightedShellEnumerator(const ReliabilityOrder& order, int k);
+
+  /// Writes the next mask in order; returns false when the shell is done.
+  bool next(Seed256& mask);
+
+  /// Weight sum of the most recently emitted mask (for monotonicity tests).
+  u32 last_weight() const noexcept { return last_weight_; }
+  u64 produced() const noexcept { return produced_; }
+
+ private:
+  struct Node {
+    u32 f = 0;    // g + admissible completion bound
+    u64 seq = 0;  // insertion sequence: deterministic tie-break
+    u32 g = 0;    // weight sum of the prefix
+    u16 e = 0;    // last chosen index into order.pos
+    u16 m = 0;    // prefix length
+    std::array<u8, kMaxK> c{};  // prefix indices (n_bits <= 256 fits u8)
+  };
+  struct NodeGreater {
+    bool operator()(const Node& a, const Node& b) const noexcept {
+      if (a.f != b.f) return a.f > b.f;
+      return a.seq > b.seq;
+    }
+  };
+
+  u32 sorted_weight(int i) const noexcept {
+    return order_->weight[order_->pos[static_cast<unsigned>(i)]];
+  }
+  /// Sum of the j cheapest positions strictly after index e.
+  u32 suffix_bound(int e, int j) const noexcept {
+    return prefix_sum_[static_cast<unsigned>(e + 1 + j)] -
+           prefix_sum_[static_cast<unsigned>(e + 1)];
+  }
+
+  const ReliabilityOrder* order_;
+  int k_;
+  int n_;
+  std::vector<u32> prefix_sum_;  // prefix_sum_[i] = sum of sorted weights < i
+  std::priority_queue<Node, std::vector<Node>, NodeGreater> heap_;
+  u64 seq_ = 0;
+  u64 produced_ = 0;
+  u32 last_weight_ = 0;
+};
+
+/// 1-based rank of `diff` (the XOR offset from S_init) in the canonical
+/// ball enumeration order: S_init first, then shells 1..d in colexicographic
+/// (Gosper) order within each shell. Saturates to u64 max for shells too
+/// large to rank. Used to report how deep the canonical order would have had
+/// to search for the hit the reliability order found early.
+u64 canonical_ball_rank(const Seed256& diff, int n_bits = kSeedBits);
+
+}  // namespace rbc::comb

@@ -1,6 +1,7 @@
 #include "puf/puf.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rbc::puf {
 
@@ -71,6 +72,44 @@ const Seed256& EnrollmentImage::word(u32 address) const {
 TapkiMask TapkiMask::calibrate(const SramPufModel& device, u32 address,
                                int num_reads, double max_flip_rate,
                                Xoshiro256& rng) {
+  return calibrate_cell_stats(device, address, num_reads, max_flip_rate, rng)
+      .mask;
+}
+
+TapkiMask TapkiMask::all_stable() { return TapkiMask{}; }
+
+ReliabilityProfile ReliabilityProfile::from_flip_counts(
+    const std::array<int, kBits>& flips, int num_reads,
+    const Seed256& stable_bits) {
+  RBC_CHECK_MSG(num_reads > 0, "reliability profile needs reads");
+  ReliabilityProfile profile;
+  for (int bit = 0; bit < kBits; ++bit) {
+    if (!stable_bits.bit(bit)) {
+      profile.weights_[static_cast<unsigned>(bit)] = kPinnedWeight;
+      continue;
+    }
+    // Laplace-smoothed flip-rate estimate: never exactly 0 or 1, so the
+    // log-odds stay finite even for cells that never flipped.
+    const double p = (flips[static_cast<unsigned>(bit)] + 0.5) /
+                     (static_cast<double>(num_reads) + 1.0);
+    const double log_odds = 16.0 * std::log((1.0 - p) / p);
+    const double clamped = std::clamp(std::round(log_odds), 0.0, 255.0);
+    profile.weights_[static_cast<unsigned>(bit)] = static_cast<u8>(clamped);
+  }
+  return profile;
+}
+
+ReliabilityProfile ReliabilityProfile::from_bytes(ByteSpan bytes) {
+  RBC_CHECK_MSG(bytes.size() == static_cast<std::size_t>(kBits),
+                "reliability profile needs one byte per bit");
+  ReliabilityProfile profile;
+  std::copy(bytes.begin(), bytes.end(), profile.weights_.begin());
+  return profile;
+}
+
+Calibration calibrate_cell_stats(const SramPufModel& device, u32 address,
+                                 int num_reads, double max_flip_rate,
+                                 Xoshiro256& rng) {
   RBC_CHECK_MSG(num_reads > 0, "TAPKI calibration needs reads");
   const Seed256& enrolled = device.enrolled_word(address);
   std::array<int, Seed256::kBits> flips{};
@@ -79,16 +118,17 @@ TapkiMask TapkiMask::calibrate(const SramPufModel& device, u32 address,
     for (int bit = 0; bit < Seed256::kBits; ++bit)
       flips[static_cast<unsigned>(bit)] += diff.bit(bit);
   }
-  TapkiMask mask;
+  Seed256 stable = Seed256::ones();
   for (int bit = 0; bit < Seed256::kBits; ++bit) {
     const double rate =
         static_cast<double>(flips[static_cast<unsigned>(bit)]) / num_reads;
-    if (rate > max_flip_rate) mask.stable_.clear_bit(bit);
+    if (rate > max_flip_rate) stable.clear_bit(bit);
   }
-  return mask;
+  Calibration cal;
+  cal.mask = TapkiMask::from_stable_bits(stable);
+  cal.profile = ReliabilityProfile::from_flip_counts(flips, num_reads, stable);
+  return cal;
 }
-
-TapkiMask TapkiMask::all_stable() { return TapkiMask{}; }
 
 Seed256 majority_read(const SramPufModel& device, u32 address, int num_reads,
                       Xoshiro256& rng) {

@@ -23,6 +23,7 @@
 // reproducible.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "bits/seed256.hpp"
@@ -131,6 +132,60 @@ class TapkiMask {
  private:
   Seed256 stable_ = Seed256::ones();
 };
+
+/// Quantized per-cell flip-rate estimate, measured from the SAME calibration
+/// reads that build the TAPKI mask (no extra PUF reads). Each bit stores a
+/// u8 log-odds weight: weight = clamp(round(16 * ln((1-p)/(p))), 0, 255)
+/// with the Laplace-smoothed estimate p = (flips + 0.5) / (reads + 1), so a
+/// LOW weight means the cell is LIKELY to flip. TAPKI-masked (pinned) cells
+/// get kPinnedWeight — they cannot differ between client and server, so they
+/// sort last in any likelihood-ordered enumeration. The profile is what the
+/// reliability-guided search order (combinatorics/likelihood.hpp) consumes.
+class ReliabilityProfile {
+ public:
+  static constexpr u8 kPinnedWeight = 255;
+  static constexpr int kBits = Seed256::kBits;
+
+  ReliabilityProfile() = default;
+
+  /// Builds the profile from per-bit flip counts over `num_reads` reads.
+  /// Bits NOT set in `stable_bits` (TAPKI-masked) are pinned to
+  /// kPinnedWeight regardless of their measured rate.
+  static ReliabilityProfile from_flip_counts(
+      const std::array<int, kBits>& flips, int num_reads,
+      const Seed256& stable_bits);
+
+  /// Database (de)serialization: one byte per bit, bit order.
+  static ReliabilityProfile from_bytes(ByteSpan bytes);
+
+  u8 weight(int bit) const noexcept {
+    return weights_[static_cast<unsigned>(bit)];
+  }
+  const std::array<u8, kBits>& weights() const noexcept { return weights_; }
+  std::array<u8, kBits>& weights() noexcept { return weights_; }
+
+  friend bool operator==(const ReliabilityProfile&,
+                         const ReliabilityProfile&) = default;
+
+ private:
+  std::array<u8, kBits> weights_{};
+};
+
+/// TAPKI mask and reliability profile measured together from one shared
+/// pass of calibration reads.
+struct Calibration {
+  TapkiMask mask;
+  ReliabilityProfile profile;
+};
+
+/// Single calibration pass: reads the device `num_reads` times at `address`
+/// and derives BOTH the TAPKI mask (rate > max_flip_rate => unstable) and
+/// the reliability profile from the same per-bit flip counts. Consumes the
+/// exact RNG stream TapkiMask::calibrate consumes (num_reads full reads), so
+/// profile-off callers see no stream change.
+Calibration calibrate_cell_stats(const SramPufModel& device, u32 address,
+                                 int num_reads, double max_flip_rate,
+                                 Xoshiro256& rng);
 
 /// Majority vote over `num_reads` reads at `address` — the client-side
 /// technique for estimating its own stable value without access to the

@@ -1,5 +1,7 @@
 #include "rbc/candidate_stream.hpp"
 
+#include <algorithm>
+#include <list>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -22,6 +24,39 @@ ShellMaskCache::Table walk_shell(Factory factory, int k) {
   return table;
 }
 
+using CacheKey = std::tuple<int, int, int>;  // (iterator, n_bits, k)
+
+struct CacheState {
+  struct Entry {
+    std::shared_ptr<const ShellMaskCache::Table> table;
+    std::list<CacheKey>::iterator lru_it;
+  };
+  std::mutex mutex;
+  std::map<CacheKey, Entry> entries;
+  std::list<CacheKey> lru;  // front = most recently fetched
+  u64 capacity = ShellMaskCache::kDefaultCapacityMasks;
+  ShellMaskCache::Stats stats;
+
+  /// Evicts least-recently-fetched tables until within capacity, but never
+  /// the front entry (the one the caller is about to use). Caller holds mutex.
+  void evict_to_capacity() {
+    while (stats.cached_masks > capacity && lru.size() > 1) {
+      const CacheKey victim = lru.back();
+      lru.pop_back();
+      auto it = entries.find(victim);
+      stats.cached_masks -= it->second.table->size();
+      entries.erase(it);
+      ++stats.evictions;
+    }
+    stats.cached_tables = entries.size();
+  }
+};
+
+CacheState& cache_state() {
+  static CacheState* state = new CacheState();
+  return *state;
+}
+
 }  // namespace
 
 std::shared_ptr<const ShellMaskCache::Table> ShellMaskCache::get(
@@ -31,16 +66,17 @@ std::shared_ptr<const ShellMaskCache::Table> ShellMaskCache::get(
   RBC_CHECK_MSG(masks <= kMaxTableMasks,
                 "shell too large for a cached mask table");
 
-  using Key = std::tuple<int, int, int>;  // (iterator, n_bits, k)
-  static std::mutex mutex;
-  static std::map<Key, std::shared_ptr<const Table>>* cache =
-      new std::map<Key, std::shared_ptr<const Table>>();
-
-  const Key key{static_cast<int>(iter), n_bits, k};
+  CacheState& state = cache_state();
+  const CacheKey key{static_cast<int>(iter), n_bits, k};
   {
-    std::lock_guard lock(mutex);
-    auto it = cache->find(key);
-    if (it != cache->end()) return it->second;
+    std::lock_guard lock(state.mutex);
+    auto it = state.entries.find(key);
+    if (it != state.entries.end()) {
+      ++state.stats.hits;
+      state.lru.splice(state.lru.begin(), state.lru, it->second.lru_it);
+      return it->second.table;
+    }
+    ++state.stats.misses;
   }
   // Build outside the lock: the walk is O(C(n, k)) and other shells should
   // not serialize behind it. A racing builder of the SAME shell produces an
@@ -60,9 +96,32 @@ std::shared_ptr<const ShellMaskCache::Table> ShellMaskCache::get(
   }
   RBC_CHECK(built.size() == static_cast<std::size_t>(masks));
   auto shared = std::make_shared<const Table>(std::move(built));
-  std::lock_guard lock(mutex);
-  auto [it, inserted] = cache->emplace(key, std::move(shared));
-  return it->second;
+  std::lock_guard lock(state.mutex);
+  auto it = state.entries.find(key);
+  if (it != state.entries.end()) {
+    // Lost the build race: adopt the winner and drop our copy.
+    state.lru.splice(state.lru.begin(), state.lru, it->second.lru_it);
+    return it->second.table;
+  }
+  state.lru.push_front(key);
+  state.entries.emplace(
+      key, CacheState::Entry{std::move(shared), state.lru.begin()});
+  state.stats.cached_masks += static_cast<u64>(masks);
+  state.evict_to_capacity();
+  return state.entries.find(key)->second.table;
+}
+
+ShellMaskCache::Stats ShellMaskCache::stats() {
+  CacheState& state = cache_state();
+  std::lock_guard lock(state.mutex);
+  return state.stats;
+}
+
+void ShellMaskCache::set_capacity(u64 max_masks) {
+  CacheState& state = cache_state();
+  std::lock_guard lock(state.mutex);
+  state.capacity = max_masks;
+  state.evict_to_capacity();
 }
 
 TableCandidateStream::TableCandidateStream(const Seed256& s_init,

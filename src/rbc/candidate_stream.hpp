@@ -33,12 +33,15 @@
 //     threshold (masks are 32 B each; a d<=2 ball over 256 bits is ~1 MiB).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "bits/seed256.hpp"
 #include "combinatorics/binomial.hpp"
+#include "combinatorics/gosper.hpp"
+#include "combinatorics/likelihood.hpp"
 #include "combinatorics/shell.hpp"
 #include "common/types.hpp"
 #include "sim/calibration.hpp"
@@ -151,9 +154,25 @@ class BallStream final : public CandidateStream {
 /// Built once per (iterator, n_bits, k) by walking the factory — every
 /// later stream steps through it at O(1) per candidate with no per-session
 /// prepare walk. Thread-safe; entries are immutable once published.
+///
+/// The cache is bounded: total retained masks are capped (LRU eviction,
+/// least-recently-fetched table first), so a long-lived server process that
+/// cycles through many (iterator, n_bits, k) keys holds bounded memory.
+/// The most recently fetched table is never evicted, so the cap is soft by
+/// at most one table. Outstanding shared_ptrs keep evicted tables alive
+/// until their streams drain.
 class ShellMaskCache {
  public:
   using Table = std::vector<Seed256>;
+
+  /// Process-wide counters, surfaced through ServerStats.
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;       // table built (or raced) on this fetch
+    u64 evictions = 0;    // tables dropped by the LRU cap
+    u64 cached_masks = 0; // masks currently retained
+    u64 cached_tables = 0;
+  };
 
   /// Fetches (building on first use) the mask table for shell k. CHECK-fails
   /// on shells too large to sensibly materialize (the fusion admission
@@ -161,10 +180,184 @@ class ShellMaskCache {
   static std::shared_ptr<const Table> get(sim::IterAlgo iter, int k,
                                           int n_bits = comb::kSeedBits);
 
+  static Stats stats();
+
+  /// Sets the LRU capacity in total masks (32 B each) and evicts down to it.
+  /// Process-wide; tests should restore kDefaultCapacityMasks afterwards.
+  static void set_capacity(u64 max_masks);
+
   /// Hard size cap per shell table, in masks (32 B each). Guards the cache
   /// against a misconfigured threshold; d<=3 over 256 bits fits.
   static constexpr u64 kMaxTableMasks = u64{1} << 22;
+
+  /// Default LRU capacity in total masks (64 MiB): the full d<=2 working set
+  /// of every iterator family plus slack for small-n_bits test tables.
+  static constexpr u64 kDefaultCapacityMasks = u64{1} << 21;
 };
+
+/// Streams a ball in maximum-likelihood-first order within each shell:
+/// distance 0 first, then shells 1..d (fills never cross shells), but each
+/// shell's masks come from a comb::WeightedShellEnumerator in non-decreasing
+/// weight-sum order instead of the canonical combinatorial order. The union
+/// of candidates per shell is identical to the canonical stream — only the
+/// order inside a shell changes — so exhaustive counts and verdicts match.
+///
+/// Memory bound: best-first enumeration of a huge shell would grow the
+/// successor frontier without limit on a miss, so each shell is hybrid —
+/// shells with C(n, k) <= ordered_budget are enumerated fully in likelihood
+/// order; larger shells emit the `ordered_budget` most likely masks first
+/// (recording them), then drop the enumerator and walk the canonical Gosper
+/// order from the shell's start, skipping the recorded head. The hit is in
+/// the ordered head in all but pathological sessions, so the tail is the
+/// rare worst case and the shell stays an exact permutation either way.
+class OrderedBallStream final : public CandidateStream {
+ public:
+  static constexpr u64 kDefaultOrderedBudget = u64{1} << 16;
+
+  /// `order` is shared with the session that fetched the enrollment record;
+  /// it must describe at least `n_bits` positions.
+  OrderedBallStream(const Seed256& s_init, int max_distance,
+                    std::shared_ptr<const comb::ReliabilityOrder> order,
+                    u64 ordered_budget = kDefaultOrderedBudget,
+                    int n_bits = comb::kSeedBits);
+
+  /// Starts the cursor after distance 0 — for callers (rbc_search) that
+  /// have already hashed S_init themselves.
+  void skip_base();
+
+  std::size_t fill(Seed256* seeds, std::size_t n) override;
+  int last_shell() const noexcept override { return last_shell_; }
+  u64 position() const noexcept override { return position_; }
+  bool exhausted() const noexcept override { return exhausted_; }
+
+ private:
+  void open_shell(int k);
+  bool next_mask(Seed256& mask);
+
+  Seed256 s_init_;
+  int d_;
+  int n_bits_;
+  u64 budget_;
+  std::shared_ptr<const comb::ReliabilityOrder> order_;
+  int shell_ = 0;       // shell the next candidate comes from
+  int last_shell_ = -1;
+  u64 position_ = 0;
+  bool exhausted_ = false;
+  // Per-shell state.
+  std::optional<comb::WeightedShellEnumerator> head_;
+  u64 shell_size_ = 0;
+  u64 head_emitted_ = 0;
+  bool record_head_ = false;     // shell larger than the budget => hybrid
+  bool in_tail_ = false;
+  std::vector<Seed256> emitted_; // sorted once the head completes
+  Seed256 tail_mask_;
+  u64 tail_remaining_ = 0;
+};
+
+// OrderedBallStream is header-inline (unlike TableCandidateStream) because
+// rbc_search instantiates it from search.hpp, which headers in libraries
+// that do not link rbc_core (rbc_gpu, rbc_dist) also include.
+
+inline OrderedBallStream::OrderedBallStream(
+    const Seed256& s_init, int max_distance,
+    std::shared_ptr<const comb::ReliabilityOrder> order, u64 ordered_budget,
+    int n_bits)
+    : s_init_(s_init),
+      d_(max_distance),
+      n_bits_(n_bits),
+      budget_(ordered_budget),
+      order_(std::move(order)) {
+  RBC_CHECK(max_distance >= 0 && max_distance <= comb::kMaxK);
+  RBC_CHECK_MSG(order_ != nullptr, "ordered stream needs a reliability order");
+  RBC_CHECK_MSG(order_->n_bits >= n_bits,
+                "reliability order covers too few bits");
+  RBC_CHECK(ordered_budget >= 1);
+}
+
+inline void OrderedBallStream::skip_base() {
+  RBC_CHECK(position_ == 0);
+  position_ = 1;
+  if (d_ == 0) {
+    exhausted_ = true;
+  } else {
+    shell_ = 1;
+    open_shell(1);
+  }
+}
+
+inline void OrderedBallStream::open_shell(int k) {
+  const u128 size = comb::binomial128(n_bits_, k);
+  // The canonical tail cursor counts in u64; every practical reliability
+  // session has d <= 5 over 256 bits, far inside this bound.
+  RBC_CHECK_MSG(size <= u128{~u64{0}}, "shell too large for ordered stream");
+  shell_size_ = static_cast<u64>(size);
+  head_.emplace(*order_, k);
+  head_emitted_ = 0;
+  record_head_ = shell_size_ > budget_;
+  in_tail_ = false;
+  emitted_.clear();
+}
+
+inline bool OrderedBallStream::next_mask(Seed256& mask) {
+  if (!in_tail_) {
+    if ((!record_head_ || head_emitted_ < budget_) && head_->next(mask)) {
+      ++head_emitted_;
+      if (record_head_) emitted_.push_back(mask);
+      return true;
+    }
+    if (!record_head_) return false;  // fully ordered shell, head drained it
+    // Budget reached: drop the frontier and fall back to the canonical
+    // Gosper walk of the whole shell, skipping the head's emissions so the
+    // shell remains an exact permutation.
+    std::sort(emitted_.begin(), emitted_.end());
+    head_.reset();
+    in_tail_ = true;
+    tail_mask_ = Seed256::low_bits(shell_);
+    tail_remaining_ = shell_size_;
+  }
+  while (tail_remaining_ > 0) {
+    const Seed256 m = tail_mask_;
+    if (tail_remaining_ > 1) tail_mask_ = comb::gosper_next(tail_mask_);
+    --tail_remaining_;
+    if (!std::binary_search(emitted_.begin(), emitted_.end(), m)) {
+      mask = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline std::size_t OrderedBallStream::fill(Seed256* seeds, std::size_t n) {
+  if (n == 0 || exhausted_) return 0;
+  while (true) {
+    if (shell_ == 0) {
+      seeds[0] = s_init_;
+      last_shell_ = 0;
+      position_ = 1;
+      if (d_ == 0) {
+        exhausted_ = true;
+      } else {
+        shell_ = 1;
+        open_shell(1);
+      }
+      return 1;
+    }
+    std::size_t produced = 0;
+    Seed256 mask;
+    while (produced < n && next_mask(mask)) seeds[produced++] = s_init_ ^ mask;
+    if (produced > 0) {
+      last_shell_ = shell_;
+      position_ += produced;
+      return produced;
+    }
+    if (shell_ >= d_) {
+      exhausted_ = true;
+      return 0;
+    }
+    ++shell_;
+    open_shell(shell_);
+  }
+}
 
 /// O(1)-resume candidate stream over cached shell tables. Construction
 /// fetches the tables for shells 1..max_distance (building any that are not

@@ -51,9 +51,14 @@ void EnrollmentDatabase::enroll(u64 device_id, const puf::SramPufModel& device,
   EnrollmentRecord record;
   record.image = puf::EnrollmentImage::capture(device);
   record.masks.reserve(device.num_addresses());
+  record.profiles.reserve(device.num_addresses());
   for (u32 a = 0; a < device.num_addresses(); ++a) {
-    record.masks.push_back(puf::TapkiMask::calibrate(
-        device, a, calibration_reads, max_flip_rate, rng));
+    // One shared read pass per address yields both the TAPKI mask and the
+    // reliability profile — same RNG stream as mask-only calibration.
+    puf::Calibration cal = puf::calibrate_cell_stats(
+        device, a, calibration_reads, max_flip_rate, rng);
+    record.masks.push_back(cal.mask);
+    record.profiles.push_back(cal.profile);
   }
   Bytes blob = encrypt_record(device_id, record);
 
@@ -173,9 +178,17 @@ Bytes EnrollmentDatabase::encrypt_record(u64 device_id,
   Bytes plain;
   const u32 n = record.image.num_addresses();
   RBC_CHECK(record.masks.size() == n);
+  RBC_CHECK(record.profiles.empty() || record.profiles.size() == n);
   for (int i = 0; i < 4; ++i) plain.push_back(static_cast<u8>(n >> (8 * i)));
   for (u32 a = 0; a < n; ++a) put_seed(plain, record.image.word(a));
   for (u32 a = 0; a < n; ++a) put_seed(plain, record.masks[a].stable_bits());
+  // Profiles go LAST: a CTR ciphertext truncated to the legacy length is
+  // exactly the legacy ciphertext, so old files stay readable and new blobs
+  // differ from old ones only by the appended profile bytes.
+  for (const puf::ReliabilityProfile& profile : record.profiles) {
+    const auto& w = profile.weights();
+    plain.insert(plain.end(), w.begin(), w.end());
+  }
   aes_ctr_xor(master_key_, device_id, plain);
   return plain;
 }
@@ -187,7 +200,12 @@ EnrollmentRecord EnrollmentDatabase::decrypt_record(u64 device_id,
   RBC_CHECK_MSG(plain.size() >= 4, "corrupt enrollment record");
   u32 n = 0;
   for (int i = 0; i < 4; ++i) n |= static_cast<u32>(plain[static_cast<unsigned>(i)]) << (8 * i);
-  RBC_CHECK_MSG(plain.size() == 4 + static_cast<std::size_t>(n) * 64,
+  const std::size_t legacy_size = 4 + static_cast<std::size_t>(n) * 64;
+  const std::size_t profiled_size =
+      legacy_size +
+      static_cast<std::size_t>(n) * puf::ReliabilityProfile::kBits;
+  const bool has_profiles = plain.size() == profiled_size;
+  RBC_CHECK_MSG(has_profiles || plain.size() == legacy_size,
                 "corrupt enrollment record");
 
   std::size_t pos = 4;
@@ -206,6 +224,14 @@ EnrollmentRecord EnrollmentDatabase::decrypt_record(u64 device_id,
   record.masks.reserve(n);
   for (u32 a = 0; a < n; ++a)
     record.masks.push_back(puf::TapkiMask::from_stable_bits(stables[a]));
+  if (has_profiles) {
+    record.profiles.reserve(n);
+    for (u32 a = 0; a < n; ++a) {
+      record.profiles.push_back(puf::ReliabilityProfile::from_bytes(
+          ByteSpan{plain.data() + pos, puf::ReliabilityProfile::kBits}));
+      pos += puf::ReliabilityProfile::kBits;
+    }
+  }
   return record;
 }
 

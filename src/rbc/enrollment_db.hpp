@@ -35,6 +35,11 @@ namespace rbc {
 struct EnrollmentRecord {
   puf::EnrollmentImage image;
   std::vector<puf::TapkiMask> masks;  // one per PUF address
+  /// Per-address quantized flip-rate profiles, measured from the SAME
+  /// calibration reads as the masks. Empty when the record was loaded from a
+  /// pre-profile database file; the server falls back to canonical search
+  /// order for such devices.
+  std::vector<puf::ReliabilityProfile> profiles;
 };
 
 class EnrollmentDatabase {

@@ -102,7 +102,8 @@ net::Challenge CertificateAuthority::issue_challenge(
 net::AuthResult CertificateAuthority::process_digest(
     const net::HandshakeRequest& handshake, const net::Challenge& challenge,
     const net::DigestSubmission& submission, EngineReport* report_out,
-    par::SearchContext* session, SearchOffload* offload) {
+    par::SearchContext* session, SearchOffload* offload,
+    std::optional<SearchOrder> search_order) {
   RBC_CHECK_MSG(db_.contains(handshake.device_id),
                 "digest from un-enrolled device");
   RBC_CHECK_MSG(submission.hash_algo == handshake.hash_algo,
@@ -117,6 +118,16 @@ net::AuthResult CertificateAuthority::process_digest(
   opts.max_distance = cfg_.max_distance;
   opts.early_exit = true;
   opts.timeout_s = cfg_.time_threshold_s;
+  // Reliability order needs the record's profile for this address; records
+  // enrolled before profiles existed fall back to canonical order.
+  const SearchOrder order = search_order.value_or(cfg_.search_order);
+  if (order == SearchOrder::kReliability &&
+      challenge.puf_address < record.profiles.size()) {
+    opts.order = SearchOrder::kReliability;
+    opts.reliability = std::make_shared<const comb::ReliabilityOrder>(
+        comb::ReliabilityOrder::from_weights(
+            record.profiles[challenge.puf_address].weights().data()));
+  }
   // Offer the search to the serving layer's fused engine first; a decline
   // (oversized ball, shutdown, no offload) runs the CA's own backend.
   std::optional<EngineReport> fused;
@@ -242,7 +253,8 @@ template <typename Ca, typename Ra>
 SessionReport run_exchange(Client& client, Ca&& ca, Ra&& ra,
                            net::LatencyModel latency,
                            par::SearchContext* session_ctx,
-                           const LinkOptions* link, SearchOffload* offload) {
+                           const LinkOptions* link, SearchOffload* offload,
+                           std::optional<SearchOrder> search_order) {
   const bool lossy = link != nullptr && link->faults.active();
   net::Channel client_end{latency, lossy ? link->faults.fork(kClientTxSalt)
                                          : net::FaultPlan()};
@@ -309,7 +321,7 @@ SessionReport run_exchange(Client& client, Ca&& ca, Ra&& ra,
   // 4-9. Search + key registration on the CA.
   session.result = ca.process_digest(
       handshake, challenge, std::get<net::DigestSubmission>(*submission_msg),
-      &session.engine, session_ctx, offload);
+      &session.engine, session_ctx, offload, search_order);
   const auto result_msg = deliver(ca_end, client_end,
                                   net::Message{session.result});
   if (!result_msg) return finish();
@@ -327,9 +339,10 @@ SessionReport run_authentication(Client& client, CertificateAuthority& ca,
                                  net::LatencyModel latency,
                                  par::SearchContext* session_ctx,
                                  const LinkOptions* link,
-                                 SearchOffload* offload) {
+                                 SearchOffload* offload,
+                                 std::optional<SearchOrder> search_order) {
   return run_exchange(client, ca, ra, std::move(latency), session_ctx, link,
-                      offload);
+                      offload, search_order);
 }
 
 SessionReport run_authentication(Client& client,
@@ -338,9 +351,10 @@ SessionReport run_authentication(Client& client,
                                  net::LatencyModel latency,
                                  par::SearchContext* session_ctx,
                                  const LinkOptions* link,
-                                 SearchOffload* offload) {
+                                 SearchOffload* offload,
+                                 std::optional<SearchOrder> search_order) {
   return run_exchange(client, ca, ra, std::move(latency), session_ctx, link,
-                      offload);
+                      offload, search_order);
 }
 
 }  // namespace rbc

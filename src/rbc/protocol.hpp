@@ -265,6 +265,10 @@ struct CaConfig {
   /// server has already sized that budget to fit T, so the extra noise can
   /// never cause a timeout while maximizing per-session seed freshness.
   bool request_noise_injection = false;
+  /// Within-shell candidate order for the RBC search. kReliability uses the
+  /// enrollment record's per-address reliability profile (maximum-likelihood-
+  /// first); records without profiles fall back to canonical per session.
+  SearchOrder search_order = SearchOrder::kCanonical;
 };
 
 class CertificateAuthority {
@@ -308,12 +312,17 @@ class CertificateAuthority {
   /// a serving shard passes its FusionEngine here so small searches join the
   /// shared cross-session hash batches; a decline falls through to the
   /// backend unchanged.
+  /// `search_order`, when set, overrides the configured search order for
+  /// this session (the serving layer threads ServerConfig::search_order
+  /// through here without mutating the shared CaConfig).
   net::AuthResult process_digest(const net::HandshakeRequest& handshake,
                                  const net::Challenge& challenge,
                                  const net::DigestSubmission& submission,
                                  EngineReport* report_out = nullptr,
                                  par::SearchContext* session = nullptr,
-                                 SearchOffload* offload = nullptr);
+                                 SearchOffload* offload = nullptr,
+                                 std::optional<SearchOrder> search_order =
+                                     std::nullopt);
 
   /// Shard-scoped handle mirroring RegistrationAuthority::ShardView: the
   /// serving shard drives its sessions through this so any cross-shard
@@ -329,10 +338,12 @@ class CertificateAuthority {
                                    const net::DigestSubmission& submission,
                                    EngineReport* report_out = nullptr,
                                    par::SearchContext* session = nullptr,
-                                   SearchOffload* offload = nullptr) {
+                                   SearchOffload* offload = nullptr,
+                                   std::optional<SearchOrder> search_order =
+                                       std::nullopt) {
       check_owned(handshake.device_id);
       return ca_->process_digest(handshake, challenge, submission, report_out,
-                                 session, offload);
+                                 session, offload, search_order);
     }
     const CaConfig& config() const noexcept { return ca_->config(); }
     u32 shard() const noexcept { return shard_; }
@@ -418,13 +429,17 @@ struct SessionReport {
 /// when non-null with an active fault plan, runs the exchange over a lossy
 /// channel with sequenced retransmit framing. `offload`, when non-null, is
 /// offered the CA search before the backend runs it (see SearchOffload).
+/// `search_order`, when set, overrides the CA's configured search order for
+/// this session.
 SessionReport run_authentication(Client& client, CertificateAuthority& ca,
                                  RegistrationAuthority& ra,
                                  net::LatencyModel latency =
                                      net::LatencyModel(0.15),
                                  par::SearchContext* session = nullptr,
                                  const LinkOptions* link = nullptr,
-                                 SearchOffload* offload = nullptr);
+                                 SearchOffload* offload = nullptr,
+                                 std::optional<SearchOrder> search_order =
+                                     std::nullopt);
 
 /// Shard-scoped overload used by the serving layer: identical exchange, but
 /// every authority access goes through the views' confinement checks.
@@ -435,6 +450,8 @@ SessionReport run_authentication(Client& client,
                                      net::LatencyModel(0.15),
                                  par::SearchContext* session = nullptr,
                                  const LinkOptions* link = nullptr,
-                                 SearchOffload* offload = nullptr);
+                                 SearchOffload* offload = nullptr,
+                                 std::optional<SearchOrder> search_order =
+                                     std::nullopt);
 
 }  // namespace rbc

@@ -67,6 +67,14 @@ namespace rbc {
 /// How work units consume the shells (see the header comment).
 enum class SearchSchedule { kTiled, kStatic };
 
+/// Within-shell candidate order. kCanonical is the iterator family's
+/// combinatorial order — the historical behavior, byte-for-byte. kReliability
+/// re-orders each shell by descending posterior likelihood using the
+/// device's enrollment-time reliability profile (candidate_stream.hpp's
+/// OrderedBallStream); it requires SearchOptions::reliability and falls back
+/// to canonical when no profile is available.
+enum class SearchOrder : u8 { kCanonical = 0, kReliability = 1 };
+
 struct SearchOptions {
   /// Maximum Hamming distance d to search (inclusive).
   int max_distance = 3;
@@ -102,6 +110,18 @@ struct SearchOptions {
   /// The skewed-workload bench injects a sleeping straggler through this.
   /// Leave empty in production; it runs on the hot path.
   std::function<void(int unit, u64 seeds)> quantum_hook;
+  /// Within-shell candidate order. kReliability is honored only when
+  /// `reliability` is set; the ordered walk is inherently sequential, so it
+  /// runs single-unit regardless of num_threads.
+  SearchOrder order = SearchOrder::kCanonical;
+  /// Per-bit reliability order for kReliability, built from the device's
+  /// enrollment profile. Shared with the session that fetched the record.
+  std::shared_ptr<const comb::ReliabilityOrder> reliability;
+  /// Likelihood-ordered head size per shell (masks). Shells no larger than
+  /// this are fully likelihood-ordered; bigger shells emit this many
+  /// most-likely masks first, then fall back to a canonical tail that skips
+  /// them (see OrderedBallStream). Bounds the enumerator frontier memory.
+  u64 ordered_budget = OrderedBallStream::kDefaultOrderedBudget;
 };
 
 struct SearchResult {
@@ -112,6 +132,11 @@ struct SearchResult {
   double host_seconds = 0.0; // wall-clock duration of the search
   bool timed_out = false;    // deadline hit before the ball was exhausted
   bool cancelled = false;    // externally cancelled before completion
+  /// 1-based position the match would have held in the canonical ball order
+  /// (S_init = 1, then shells in colex order). Only set when found; lets the
+  /// server report how much the reliability order saved — under kCanonical
+  /// with early exit it simply equals seeds_hashed.
+  u64 canonical_rank = 0;
 };
 
 namespace detail {
@@ -386,8 +411,24 @@ SearchResult rbc_search(const Seed256& s_init,
     result.found = true;
     result.seed = s_init;
     result.distance = 0;
+    result.canonical_rank = 1;
     result.host_seconds = timer.elapsed_s();
     return result;
+  }
+
+  // Reliability-ordered sessions drive the likelihood-first stream on the
+  // calling thread regardless of num_threads: the best-first enumeration is
+  // inherently sequential, and silently falling through to an order-ignoring
+  // parallel schedule would discard the requested order.
+  bool ran_ordered = false;
+  if (opts.order == SearchOrder::kReliability && opts.reliability != nullptr) {
+    OrderedBallStream stream(s_init, opts.max_distance, opts.reliability,
+                             opts.ordered_budget, factory.n_bits());
+    stream.skip_base();
+    detail::scan_stream<Hash>(stream, target, hash, opts, ctx, found,
+                              result.seeds_hashed);
+    ctx.check_deadline();
+    ran_ordered = true;
   }
 
   bool ran_tiled = false;
@@ -395,14 +436,15 @@ SearchResult rbc_search(const Seed256& s_init,
     // A single worker has nobody to steal from and nothing to pipeline into;
     // tiling would only add plan walks and a scheduler unit. Keep 1-thread
     // searches (e.g. per-session server searches) on the static walk.
-    if (opts.schedule == SearchSchedule::kTiled && opts.num_threads > 1) {
+    if (!ran_ordered && opts.schedule == SearchSchedule::kTiled &&
+        opts.num_threads > 1) {
       detail::rbc_search_tiled<Hash>(s_init, target, factory, workers, opts,
                                      hash, ctx, result, found);
       ran_tiled = true;
     }
   }
 
-  if (!ran_tiled && opts.num_threads == 1) {
+  if (!ran_ordered && !ran_tiled && opts.num_threads == 1) {
     // Single-unit searches (e.g. per-session server searches) drive the
     // resumable CandidateStream directly on the calling thread: same visit
     // order and accounting as the per-shell SPMD round below, minus the
@@ -413,7 +455,7 @@ SearchResult rbc_search(const Seed256& s_init,
     detail::scan_stream<Hash>(stream, target, hash, opts, ctx, found,
                               result.seeds_hashed);
     ctx.check_deadline();
-  } else if (!ran_tiled) {
+  } else if (!ran_ordered && !ran_tiled) {
     const int p = opts.num_threads;
     std::vector<u64> hashed_per_unit(static_cast<std::size_t>(p), 0);
 
@@ -498,6 +540,8 @@ SearchResult rbc_search(const Seed256& s_init,
     result.found = true;
     result.seed = found->first;
     result.distance = found->second;
+    result.canonical_rank =
+        comb::canonical_ball_rank(found->first ^ s_init, factory.n_bits());
   } else {
     result.timed_out = ctx.timed_out();
     result.cancelled = ctx.cancel_requested() && !ctx.timed_out();

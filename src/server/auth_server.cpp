@@ -1,6 +1,7 @@
 #include "server/auth_server.hpp"
 
 #include "common/shard_hash.hpp"
+#include "rbc/candidate_stream.hpp"
 
 namespace rbc::server {
 
@@ -64,6 +65,8 @@ ServerStats AuthServer::stats() const {
   ServerStats agg;
   agg.shards = static_cast<int>(shards_.size());
   double time_sum = 0.0;
+  u64 hit_rank_sum = 0;
+  u64 canonical_rank_sum = 0;
   std::vector<const ReservoirSample*> reservoirs;
   reservoirs.reserve(slices.size());
   for (const Shard::StatsSlice& s : slices) {
@@ -86,9 +89,25 @@ ServerStats AuthServer::stats() const {
     agg.fusion_batches += s.fusion_batches;
     agg.fusion_lanes_filled += s.fusion_lanes_filled;
     agg.fusion_lanes_issued += s.fusion_lanes_issued;
+    agg.ranked_sessions += s.ranked_sessions;
+    hit_rank_sum += s.hit_rank_sum;
+    canonical_rank_sum += s.canonical_rank_sum;
     time_sum += s.session_time_sum;
     if (!s.session_times.empty()) reservoirs.push_back(&s.session_times);
   }
+  if (agg.ranked_sessions > 0) {
+    agg.mean_hit_rank = static_cast<double>(hit_rank_sum) /
+                        static_cast<double>(agg.ranked_sessions);
+    agg.mean_canonical_rank = static_cast<double>(canonical_rank_sum) /
+                              static_cast<double>(agg.ranked_sessions);
+  }
+  // Process-wide shell-mask cache counters (shared across every server in
+  // the process, not a per-instance view).
+  const ShellMaskCache::Stats cache = ShellMaskCache::stats();
+  agg.shell_cache_hits = cache.hits;
+  agg.shell_cache_misses = cache.misses;
+  agg.shell_cache_evictions = cache.evictions;
+  agg.shell_cache_masks = cache.cached_masks;
   if (agg.fusion_lanes_issued > 0) {
     agg.lane_occupancy = static_cast<double>(agg.fusion_lanes_filled) /
                          static_cast<double>(agg.fusion_lanes_issued);

@@ -25,10 +25,24 @@ namespace {
 /// into own_ctx without move hazards.
 template <typename H>
 struct Job {
-  Job(const Seed256& s_init, int max_distance, sim::IterAlgo iter)
-      : stream(s_init, max_distance, iter) {}
+  Job(const Seed256& init, int max_distance, sim::IterAlgo iter,
+      const SearchOptions& opts)
+      : s_init(init) {
+    // Reliability-ordered sessions fuse through the same lane-dealing loop:
+    // only the stream's within-shell order differs, so the equivalence
+    // contract (verdicts + per-session seeds_hashed equal to the solo
+    // ordered run) holds unchanged.
+    if (opts.order == SearchOrder::kReliability &&
+        opts.reliability != nullptr) {
+      stream = std::make_unique<OrderedBallStream>(
+          init, max_distance, opts.reliability, opts.ordered_budget);
+    } else {
+      stream = std::make_unique<TableCandidateStream>(init, max_distance, iter);
+    }
+  }
 
-  TableCandidateStream stream;
+  Seed256 s_init;
+  std::unique_ptr<CandidateStream> stream;
   typename H::digest_type target;
   u32 head = 0;  // target digest's first 32 bits (prefilter word)
   std::optional<par::SearchContext> own_ctx;
@@ -62,6 +76,7 @@ SearchResult retire_result(Job<H>& j) {
     r.found = true;
     r.seed = j.match_seed;
     r.distance = j.match_shell;
+    r.canonical_rank = comb::canonical_ball_rank(j.match_seed ^ j.s_init);
   } else {
     if (j.drained) j.ctx->check_deadline();
     r.timed_out = j.ctx->timed_out();
@@ -187,7 +202,7 @@ struct FusionEngine::Impl {
           continue;
         }
         const std::size_t got =
-            j->stream.fill(&seeds[filled], std::min(share, L - filled));
+            j->stream->fill(&seeds[filled], std::min(share, L - filled));
         if (got == 0) {
           j->drained = true;
           continue;
@@ -198,7 +213,7 @@ struct FusionEngine::Impl {
           heads[num_tags] = j->head;
           ++num_tags;
         }
-        const int shell = j->stream.last_shell();
+        const int shell = j->stream->last_shell();
         for (std::size_t i = 0; i < got; ++i) {
           tags[filled + i] = static_cast<u16>(j->batch_tag);
           lane_shell[filled + i] = shell;
@@ -278,8 +293,8 @@ struct FusionEngine::Impl {
   std::optional<EngineReport> submit(Queue<H>& q, const Seed256& s_init,
                                      ByteSpan digest, const SearchOptions& opts,
                                      par::SearchContext* session) {
-    auto job =
-        std::make_unique<Job<H>>(s_init, opts.max_distance, cfg.iterator);
+    auto job = std::make_unique<Job<H>>(s_init, opts.max_distance,
+                                        cfg.iterator, opts);
     std::memcpy(job->target.bytes.data(), digest.data(),
                 job->target.bytes.size());
     std::memcpy(&job->head, digest.data(), sizeof(job->head));

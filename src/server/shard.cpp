@@ -189,7 +189,7 @@ void Shard::run_session(Session& session) {
     outcome.report =
         run_authentication(*session.client, ca_view_, ra_view_,
                            base_latency_.fork(session.seq), &session.ctx,
-                           link, fusion_.get());
+                           link, fusion_.get(), cfg_.search_order);
     outcome.authenticated = outcome.report.result.authenticated;
   }
   outcome.timed_out = session.ctx.timed_out() ||
@@ -211,7 +211,14 @@ void Shard::record_outcome(const SessionOutcome& outcome, bool on_driver) {
   std::lock_guard lock(stats_mutex_);
   if (on_driver) --in_flight_;
   ++completed_;
-  if (outcome.authenticated) ++authenticated_;
+  if (outcome.authenticated) {
+    ++authenticated_;
+    // Rank telemetry: where the hit actually landed (seeds hashed this
+    // session) versus where canonical enumeration would have placed it.
+    ++ranked_sessions_;
+    hit_rank_sum_ += outcome.report.engine.result.seeds_hashed;
+    canonical_rank_sum_ += outcome.report.engine.result.canonical_rank;
+  }
   if (outcome.timed_out) ++timed_out_;
   if (outcome.cancelled) ++cancelled_;
   if (outcome.transport_failed) ++transport_failed_;
@@ -242,6 +249,9 @@ Shard::StatsSlice Shard::stats_slice() const {
     slice.frames_dropped = frames_dropped_;
     slice.frames_corrupted = frames_corrupted_;
     slice.in_flight = in_flight_;
+    slice.ranked_sessions = ranked_sessions_;
+    slice.hit_rank_sum = hit_rank_sum_;
+    slice.canonical_rank_sum = canonical_rank_sum_;
     slice.session_time_sum = session_time_sum_;
     slice.session_times = session_times_;
   }

@@ -100,6 +100,11 @@ struct ServerConfig {
   u64 fusion_threshold = u64{1} << 16;
   /// Lane slots per fused batch (clamped to hash::kMaxTaggedLanes).
   int fusion_lanes = 32;
+  /// Within-shell search order for every session this server runs. Unset
+  /// defers to the CA's own CaConfig::search_order; kReliability turns on
+  /// maximum-likelihood-first enumeration for devices whose enrollment
+  /// records carry reliability profiles (others stay canonical).
+  std::optional<SearchOrder> search_order{};
 };
 
 /// Why a session failed (SessionOutcome::reject_reason). The first three
@@ -169,6 +174,20 @@ struct ServerStats {
   u64 fusion_lanes_filled = 0;
   u64 fusion_lanes_issued = 0;
   double lane_occupancy = 0.0;
+  /// Search-order observability: over authenticated sessions, the mean hit
+  /// rank (seeds_hashed — where the search actually stopped) vs the mean
+  /// canonical rank (where the canonical order would have stopped). Under
+  /// kCanonical the two coincide; under kReliability their ratio is the
+  /// realized expected-case saving.
+  u64 ranked_sessions = 0;     // authenticated sessions with rank data
+  double mean_hit_rank = 0.0;
+  double mean_canonical_rank = 0.0;
+  /// Process-wide ShellMaskCache counters (shared by ALL servers and solo
+  /// streams in the process, not just this server's sessions).
+  u64 shell_cache_hits = 0;
+  u64 shell_cache_misses = 0;
+  u64 shell_cache_evictions = 0;
+  u64 shell_cache_masks = 0;
 };
 
 class Shard {
@@ -212,6 +231,9 @@ class Shard {
     u64 fusion_batches = 0;
     u64 fusion_lanes_filled = 0;
     u64 fusion_lanes_issued = 0;
+    u64 ranked_sessions = 0;
+    u64 hit_rank_sum = 0;
+    u64 canonical_rank_sum = 0;
     ReservoirSample session_times{1};  // copy of the shard's reservoir
   };
   StatsSlice stats_slice() const;
@@ -304,6 +326,9 @@ class Shard {
   u64 frames_corrupted_ = 0;
   int in_flight_ = 0;
   double session_time_sum_ = 0.0;
+  u64 ranked_sessions_ = 0;
+  u64 hit_rank_sum_ = 0;
+  u64 canonical_rank_sum_ = 0;
   ReservoirSample session_times_;
 };
 

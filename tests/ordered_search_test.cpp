@@ -1,0 +1,801 @@
+// Reliability-guided search ordering: maximum-likelihood-first enumeration.
+//
+// The load-bearing property is the permutation contract: within every shell
+// the ordered stream visits EXACTLY the canonical shell's candidates — only
+// the order changes — so misses count identical seeds_hashed and verdicts
+// can never diverge from the canonical search. On top of that sit the
+// likelihood guarantees (weight sums non-decreasing, the cheapest subset
+// first), the solo-vs-fused equivalence for SearchOrder::kReliability, the
+// single-pass enrollment calibration (mask + profile from one read stream),
+// profile persistence (encrypted at rest, legacy records still load), and
+// the shell-mask cache LRU bound.
+//
+// OrderedFusion*/OrderedServer* run under TSan in CI alongside the fusion
+// suites: the ordered stream must ride the shared-batch pump unchanged.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "combinatorics/gosper.hpp"
+#include "combinatorics/likelihood.hpp"
+#include "puf/puf.hpp"
+#include "rbc/candidate_stream.hpp"
+#include "rbc/engines.hpp"
+#include "rbc/enrollment_db.hpp"
+#include "rbc/protocol.hpp"
+#include "rbc/search.hpp"
+#include "server/auth_server.hpp"
+#include "server/fusion_engine.hpp"
+
+namespace rbc {
+namespace {
+
+using server::FusionEngine;
+
+constexpr u64 kBallD2 = 1 + 256 + 32640;  // |ball(d<=2)| over 256 bits
+
+Seed256 random_seed(u64 salt) {
+  Xoshiro256 rng(salt);
+  return Seed256::random(rng);
+}
+
+/// A mask with exactly `k` distinct bits set, drawn from `salt`.
+Seed256 mask_of_weight(int k, u64 salt) {
+  Xoshiro256 rng(salt);
+  Seed256 mask;
+  while (mask.popcount() < k)
+    mask.set_bit(static_cast<int>(rng.next() % 256));
+  return mask;
+}
+
+/// A reliability order over 256 bits where `likely` bits carry low weight
+/// (likely to flip) and every other bit carries a high uniform weight.
+std::shared_ptr<const comb::ReliabilityOrder> order_with_likely_bits(
+    const std::vector<int>& likely, u8 low = 5, u8 high = 200) {
+  std::array<u8, 256> weights;
+  weights.fill(high);
+  for (int bit : likely) weights[static_cast<unsigned>(bit)] = low;
+  return std::make_shared<const comb::ReliabilityOrder>(
+      comb::ReliabilityOrder::from_weights(weights.data()));
+}
+
+std::vector<Seed256> drain(CandidateStream& stream) {
+  std::vector<Seed256> out;
+  std::array<Seed256, 64> buf;
+  std::size_t ask = 1;  // ragged asks wrap shell boundaries
+  while (std::size_t n = stream.fill(buf.data(), (ask % 63) + 1)) {
+    out.insert(out.end(), buf.begin(), buf.begin() + n);
+    ++ask;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WeightedShellEnumerator: permutation + likelihood order
+// ---------------------------------------------------------------------------
+
+/// All C(n_bits, k) masks of one canonical shell, via Gosper's hack.
+std::set<Seed256> canonical_shell(int n_bits, int k) {
+  comb::GosperFactory factory(n_bits);
+  factory.prepare(k, 1);
+  auto it = factory.make(0);
+  std::set<Seed256> shell;
+  Seed256 mask;
+  while (it.next(mask)) EXPECT_TRUE(shell.insert(mask).second);
+  return shell;
+}
+
+TEST(OrderedShell, SmallWidthShellIsExactPermutation) {
+  std::array<u8, 256> weights{};
+  Xoshiro256 rng(0x0de1);
+  for (auto& w : weights) w = static_cast<u8>(rng.next() % 251);
+  const auto order = comb::ReliabilityOrder::from_weights(weights.data(), 20);
+
+  comb::WeightedShellEnumerator enumerator(order, 3);
+  std::set<Seed256> got;
+  Seed256 mask;
+  u32 prev = 0;
+  while (enumerator.next(mask)) {
+    ASSERT_EQ(mask.popcount(), 3);
+    ASSERT_LE(mask.highest_set_bit(), 19);
+    ASSERT_TRUE(got.insert(mask).second) << "duplicate mask";
+    // Weight sums must be non-decreasing — this IS "descending product
+    // probability" under the log-odds encoding.
+    ASSERT_GE(enumerator.last_weight(), prev);
+    prev = enumerator.last_weight();
+  }
+  EXPECT_EQ(got.size(), 1140u);  // C(20, 3)
+  EXPECT_EQ(got, canonical_shell(20, 3));
+  EXPECT_EQ(enumerator.produced(), 1140u);
+}
+
+TEST(OrderedShell, FullWidthShellIsExactPermutation) {
+  std::array<u8, 256> weights{};
+  Xoshiro256 rng(0xF11);
+  for (auto& w : weights) w = static_cast<u8>(rng.next());
+  const auto order = comb::ReliabilityOrder::from_weights(weights.data());
+
+  comb::WeightedShellEnumerator enumerator(order, 2);
+  std::set<Seed256> got;
+  Seed256 mask;
+  u32 prev = 0;
+  while (enumerator.next(mask)) {
+    ASSERT_EQ(mask.popcount(), 2);
+    ASSERT_TRUE(got.insert(mask).second);
+    ASSERT_GE(enumerator.last_weight(), prev);
+    prev = enumerator.last_weight();
+  }
+  EXPECT_EQ(got.size(), 32640u);  // C(256, 2)
+  EXPECT_EQ(got, canonical_shell(256, 2));
+}
+
+TEST(OrderedShell, EmissionWeightMatchesMaskWeight) {
+  // last_weight() must equal the sum of the emitted mask's per-bit weights —
+  // the enumerator's internal g bookkeeping cannot drift from the masks.
+  std::array<u8, 256> weights{};
+  Xoshiro256 rng(0xABC);
+  for (auto& w : weights) w = static_cast<u8>(rng.next() % 97);
+  const auto order = comb::ReliabilityOrder::from_weights(weights.data(), 16);
+  comb::WeightedShellEnumerator enumerator(order, 4);
+  Seed256 mask;
+  while (enumerator.next(mask)) {
+    u32 sum = 0;
+    for (int b = 0; b < 16; ++b)
+      if (mask.bit(b)) sum += weights[static_cast<unsigned>(b)];
+    ASSERT_EQ(enumerator.last_weight(), sum);
+  }
+  EXPECT_EQ(enumerator.produced(), 1820u);  // C(16, 4)
+}
+
+TEST(OrderedShell, CheapestSubsetComesFirst) {
+  const auto order = order_with_likely_bits({3, 77, 200});
+  comb::WeightedShellEnumerator enumerator(*order, 3);
+  Seed256 first;
+  ASSERT_TRUE(enumerator.next(first));
+  Seed256 want;
+  want.set_bit(3);
+  want.set_bit(77);
+  want.set_bit(200);
+  EXPECT_EQ(first, want);
+  EXPECT_EQ(enumerator.last_weight(), 15u);
+}
+
+TEST(OrderedShell, UniformWeightsStillEnumerateWholeShell) {
+  std::array<u8, 256> weights;
+  weights.fill(42);  // all ties: order is arbitrary but must stay a bijection
+  const auto order = comb::ReliabilityOrder::from_weights(weights.data(), 12);
+  comb::WeightedShellEnumerator enumerator(order, 4);
+  std::set<Seed256> got;
+  Seed256 mask;
+  while (enumerator.next(mask)) ASSERT_TRUE(got.insert(mask).second);
+  EXPECT_EQ(got.size(), 495u);  // C(12, 4)
+  EXPECT_EQ(got, canonical_shell(12, 4));
+}
+
+TEST(OrderedShell, DeterministicAcrossRuns) {
+  std::array<u8, 256> weights{};
+  Xoshiro256 rng(0xD37);
+  for (auto& w : weights) w = static_cast<u8>(rng.next() % 7);  // heavy ties
+  const auto order = comb::ReliabilityOrder::from_weights(weights.data(), 14);
+  comb::WeightedShellEnumerator a(order, 3);
+  comb::WeightedShellEnumerator b(order, 3);
+  Seed256 ma, mb;
+  while (a.next(ma)) {
+    ASSERT_TRUE(b.next(mb));
+    ASSERT_EQ(ma, mb);
+  }
+  EXPECT_FALSE(b.next(mb));
+}
+
+TEST(OrderedShell, CanonicalBallRankMatchesCanonicalStreamPosition) {
+  // canonical_ball_rank must agree with the actual canonical enumeration:
+  // the i-th candidate of the Gosper-ordered ball has rank i+1.
+  const Seed256 s_init = random_seed(0x4A4A);
+  comb::GosperFactory factory;
+  BallStream<comb::GosperFactory> stream(s_init, 2, factory);
+  const std::vector<Seed256> ball = drain(stream);
+  ASSERT_EQ(ball.size(), kBallD2);
+  for (std::size_t i = 0; i < ball.size(); i += 17) {  // sampled, plus ends
+    EXPECT_EQ(comb::canonical_ball_rank(ball[i] ^ s_init),
+              static_cast<u64>(i) + 1)
+        << "candidate " << i;
+  }
+  EXPECT_EQ(comb::canonical_ball_rank(ball.back() ^ s_init), kBallD2);
+  EXPECT_EQ(comb::canonical_ball_rank(Seed256{}), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// OrderedBallStream: the CandidateStream contract
+// ---------------------------------------------------------------------------
+
+TEST(OrderedStream, FirstFillIsBaseAndFillsNeverCrossShells) {
+  const auto order = order_with_likely_bits({1, 2});
+  const Seed256 s_init = random_seed(0x0B51);
+  OrderedBallStream stream(s_init, 2, order);
+  std::array<Seed256, 48> buf;
+
+  ASSERT_EQ(stream.fill(buf.data(), buf.size()), 1u);
+  EXPECT_EQ(stream.last_shell(), 0);
+  EXPECT_EQ(buf[0], s_init);
+
+  u64 per_shell[3] = {1, 0, 0};
+  int prev_shell = 0;
+  while (std::size_t n = stream.fill(buf.data(), buf.size())) {
+    const int shell = stream.last_shell();
+    ASSERT_GE(shell, prev_shell);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ((buf[i] ^ s_init).popcount(), shell)
+          << "fill mixed candidates from different shells";
+    per_shell[shell] += n;
+    prev_shell = shell;
+  }
+  EXPECT_EQ(per_shell[1], 256u);
+  EXPECT_EQ(per_shell[2], 32640u);
+  EXPECT_TRUE(stream.exhausted());
+  EXPECT_EQ(stream.position(), kBallD2);
+}
+
+TEST(OrderedStream, HybridBudgetBallIsExactPermutation) {
+  // n_bits = 18, d = 3, budget = 100: shells 1 (18) and 2 (153) are fully
+  // ordered, shell 3 (C(18,3) = 816) overflows the budget and must finish
+  // through the canonical tail without duplicating or dropping a candidate.
+  std::array<u8, 256> weights{};
+  Xoshiro256 rng(0x18bd);
+  for (auto& w : weights) w = static_cast<u8>(rng.next() % 199);
+  const auto order = std::make_shared<const comb::ReliabilityOrder>(
+      comb::ReliabilityOrder::from_weights(weights.data(), 18));
+  const Seed256 s_init = random_seed(0x1818);
+
+  OrderedBallStream stream(s_init, 3, order, /*ordered_budget=*/100, 18);
+  const std::vector<Seed256> got = drain(stream);
+
+  comb::GosperFactory factory(18);
+  BallStream<comb::GosperFactory> reference(s_init, 3, factory);
+  const std::vector<Seed256> want = drain(reference);
+
+  ASSERT_EQ(want.size(), 988u);  // 1 + 18 + 153 + 816
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(std::set<Seed256>(got.begin(), got.end()),
+            std::set<Seed256>(want.begin(), want.end()));
+  EXPECT_EQ(stream.position(), 988u);
+}
+
+TEST(OrderedStream, BudgetOfOneStillCoversTheWholeBall) {
+  // Degenerate budget: every shell switches to the tail after one ordered
+  // emission — the worst case for the skip logic.
+  const auto order = order_with_likely_bits({9, 200});
+  const Seed256 s_init = random_seed(0xB1);
+  OrderedBallStream stream(s_init, 2, order, /*ordered_budget=*/1);
+  const std::vector<Seed256> got = drain(stream);
+  ASSERT_EQ(got.size(), kBallD2);
+  std::set<Seed256> unique(got.begin(), got.end());
+  EXPECT_EQ(unique.size(), kBallD2);
+}
+
+TEST(OrderedStream, SkipBaseStartsAtShellOne) {
+  const auto order = order_with_likely_bits({5});
+  const Seed256 s_init = random_seed(0x5B);
+  OrderedBallStream stream(s_init, 1, order);
+  stream.skip_base();
+  std::array<Seed256, 8> buf;
+  ASSERT_GT(stream.fill(buf.data(), buf.size()), 0u);
+  EXPECT_EQ(stream.last_shell(), 1);
+  // Likelihood order: the most erratic bit's flip is the first candidate.
+  EXPECT_EQ(buf[0], with_flipped_bit(s_init, 5));
+}
+
+// ---------------------------------------------------------------------------
+// rbc_search under SearchOrder::kReliability
+// ---------------------------------------------------------------------------
+
+template <typename Hash = hash::Sha3SeedHash>
+SearchResult ordered_search(const Seed256& base, const Seed256& truth,
+                            int max_distance,
+                            std::shared_ptr<const comb::ReliabilityOrder> rel,
+                            int threads = 1) {
+  comb::GosperFactory factory;
+  par::WorkerGroup pool(threads);
+  SearchOptions opts;
+  opts.max_distance = max_distance;
+  opts.num_threads = threads;
+  opts.timeout_s = 600.0;
+  opts.order = SearchOrder::kReliability;
+  opts.reliability = std::move(rel);
+  const Hash hash;
+  return rbc_search<Hash>(base, hash(truth), factory, pool, opts, hash);
+}
+
+TEST(OrderedSearch, LikelyFlipFoundNearlyFirst) {
+  const Seed256 base = random_seed(0x111);
+  const auto order = order_with_likely_bits({3, 77, 200});
+  // Truth flips the second-cheapest bit: rank 2 within shell 1, so exactly
+  // base + two shell-1 candidates are hashed.
+  const SearchResult r =
+      ordered_search(base, with_flipped_bit(base, 77), 2, order);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.distance, 1);
+  EXPECT_EQ(r.seed, with_flipped_bit(base, 77));
+  EXPECT_EQ(r.seeds_hashed, 3u);
+  // Canonical order would have walked to position 1 + 77 + 1 = 79.
+  EXPECT_EQ(r.canonical_rank, 79u);
+}
+
+TEST(OrderedSearch, CheapestTripleIsFirstShellThreeCandidate) {
+  const Seed256 base = random_seed(0x222);
+  const auto order = order_with_likely_bits({3, 77, 200});
+  Seed256 truth = base;
+  truth.flip_bit(3);
+  truth.flip_bit(77);
+  truth.flip_bit(200);
+  const SearchResult r = ordered_search(base, truth, 3, order);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.distance, 3);
+  EXPECT_EQ(r.seed, truth);
+  // Shells 0..2 exhaust (1 + 256 + 32640), then the likeliest triple leads
+  // shell 3.
+  EXPECT_EQ(r.seeds_hashed, kBallD2 + 1);
+  // The canonical order would have had to reach deep into shell 3.
+  EXPECT_GT(r.canonical_rank, r.seeds_hashed);
+}
+
+TEST(OrderedSearch, MissVisitsExactlyTheBall) {
+  const Seed256 base = random_seed(0x333);
+  const auto order = order_with_likely_bits({10, 20});
+  const Seed256 truth = base ^ mask_of_weight(9, 0x3155);
+  const SearchResult r = ordered_search(base, truth, 2, order);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.seeds_hashed, kBallD2);  // permutation => identical miss count
+  EXPECT_EQ(r.canonical_rank, 0u);
+}
+
+TEST(OrderedSearch, ThreadCountDoesNotPerturbOrderedResults) {
+  // The ordered walk is inherently sequential; num_threads > 1 must not
+  // silently fall back to an order-ignoring parallel schedule.
+  const Seed256 base = random_seed(0x444);
+  const auto order = order_with_likely_bits({3, 77, 200});
+  const SearchResult solo =
+      ordered_search(base, with_flipped_bit(base, 200), 2, order, 1);
+  const SearchResult wide =
+      ordered_search(base, with_flipped_bit(base, 200), 2, order, 4);
+  ASSERT_TRUE(solo.found);
+  ASSERT_TRUE(wide.found);
+  EXPECT_EQ(solo.seed, wide.seed);
+  EXPECT_EQ(solo.seeds_hashed, wide.seeds_hashed);
+  EXPECT_EQ(solo.canonical_rank, wide.canonical_rank);
+  EXPECT_EQ(solo.seeds_hashed, 4u);  // base + bits 3, 77, 200
+}
+
+TEST(OrderedSearch, ExplicitCanonicalMatchesDefault) {
+  const Seed256 base = random_seed(0x555);
+  const Seed256 truth = base ^ mask_of_weight(2, 0xCC);
+  comb::GosperFactory factory;
+  par::WorkerGroup pool(1);
+  SearchOptions opts;
+  opts.max_distance = 2;
+  opts.timeout_s = 600.0;
+  const hash::Sha3SeedHash hash;
+  const SearchResult dflt =
+      rbc_search<hash::Sha3SeedHash>(base, hash(truth), factory, pool, opts,
+                                     hash);
+  opts.order = SearchOrder::kCanonical;
+  const SearchResult expl =
+      rbc_search<hash::Sha3SeedHash>(base, hash(truth), factory, pool, opts,
+                                     hash);
+  ASSERT_TRUE(dflt.found);
+  EXPECT_EQ(dflt.seed, expl.seed);
+  EXPECT_EQ(dflt.seeds_hashed, expl.seeds_hashed);
+  EXPECT_EQ(dflt.canonical_rank, expl.canonical_rank);
+  // Under canonical order with early exit, the rank IS the visit count.
+  EXPECT_EQ(dflt.canonical_rank, dflt.seeds_hashed);
+}
+
+// ---------------------------------------------------------------------------
+// Solo vs fused equivalence for reliability-ordered sessions
+// ---------------------------------------------------------------------------
+
+Bytes digest_of(const Seed256& s, hash::HashAlgo algo) {
+  if (algo == hash::HashAlgo::kSha1) {
+    const hash::Digest160 d = hash::sha1_seed(s);
+    return Bytes(d.bytes.begin(), d.bytes.end());
+  }
+  const hash::Digest256 d = hash::sha3_256_seed(s);
+  return Bytes(d.bytes.begin(), d.bytes.end());
+}
+
+struct SoloBaseline {
+  std::unique_ptr<SearchBackend> backend;
+  SoloBaseline() {
+    EngineConfig cfg;
+    cfg.host_threads = 1;
+    backend = make_backend("cpu", cfg);
+  }
+  EngineReport run(const Seed256& s_init, const Bytes& digest,
+                   hash::HashAlgo algo, const SearchOptions& opts) {
+    return backend->search(s_init, ByteSpan(digest), algo, opts, nullptr);
+  }
+};
+
+void expect_equivalent(const EngineReport& solo, const EngineReport& fused,
+                       const char* what) {
+  EXPECT_EQ(solo.result.found, fused.result.found) << what;
+  EXPECT_EQ(solo.result.seeds_hashed, fused.result.seeds_hashed) << what;
+  EXPECT_EQ(solo.result.timed_out, fused.result.timed_out) << what;
+  if (solo.result.found) {
+    EXPECT_EQ(solo.result.seed, fused.result.seed) << what;
+    EXPECT_EQ(solo.result.distance, fused.result.distance) << what;
+    EXPECT_EQ(solo.result.canonical_rank, fused.result.canonical_rank) << what;
+  }
+}
+
+SearchOptions reliability_opts(
+    std::shared_ptr<const comb::ReliabilityOrder> order) {
+  SearchOptions opts;
+  opts.max_distance = 2;
+  opts.early_exit = true;
+  opts.timeout_s = 600.0;
+  opts.num_threads = 1;
+  opts.order = SearchOrder::kReliability;
+  opts.reliability = std::move(order);
+  return opts;
+}
+
+TEST(OrderedFusion, SoloAndFusedAgreeOnPlantedMatches) {
+  SoloBaseline solo;
+  FusionEngine engine;
+  const auto order = order_with_likely_bits({7, 42, 130, 222});
+  const SearchOptions opts = reliability_opts(order);
+  const hash::HashAlgo algos[] = {hash::HashAlgo::kSha1,
+                                  hash::HashAlgo::kSha3_256};
+  const Seed256 flips[] = {Seed256{}, with_flipped_bit(Seed256{}, 42),
+                           with_flipped_bit(with_flipped_bit(Seed256{}, 7),
+                                            222)};
+  for (hash::HashAlgo algo : algos) {
+    for (int d = 0; d <= 2; ++d) {
+      const Seed256 s_init = random_seed(0x0F0 + static_cast<u64>(d));
+      const Seed256 planted = s_init ^ flips[d];
+      const Bytes digest = digest_of(planted, algo);
+      const EngineReport want = solo.run(s_init, digest, algo, opts);
+      ASSERT_TRUE(want.result.found);
+      ASSERT_EQ(want.result.distance, d);
+      auto fused =
+          engine.try_search(s_init, ByteSpan(digest), algo, opts, nullptr);
+      ASSERT_TRUE(fused.has_value());
+      expect_equivalent(want, *fused, "ordered planted match");
+    }
+  }
+}
+
+TEST(OrderedFusion, SoloAndFusedAgreeOnMiss) {
+  SoloBaseline solo;
+  FusionEngine engine;
+  const SearchOptions opts =
+      reliability_opts(order_with_likely_bits({1, 2, 3}));
+  const Seed256 s_init = random_seed(0x0F5);
+  const Bytes digest =
+      digest_of(s_init ^ mask_of_weight(8, 0xFEED), hash::HashAlgo::kSha3_256);
+  const EngineReport want =
+      solo.run(s_init, digest, hash::HashAlgo::kSha3_256, opts);
+  ASSERT_FALSE(want.result.found);
+  ASSERT_EQ(want.result.seeds_hashed, kBallD2);
+  auto fused = engine.try_search(s_init, ByteSpan(digest),
+                                 hash::HashAlgo::kSha3_256, opts, nullptr);
+  ASSERT_TRUE(fused.has_value());
+  expect_equivalent(want, *fused, "ordered miss");
+}
+
+TEST(OrderedFusion, ConcurrentMixedOrdersMatchSoloExactly) {
+  // Canonical and reliability-ordered sessions sharing one engine (and thus
+  // the same batches) must each retire with their own solo-exact accounting.
+  constexpr int kSessions = 12;
+  SoloBaseline solo;
+  FusionEngine engine;
+  const auto order = order_with_likely_bits({11, 99, 180});
+
+  struct Case {
+    Seed256 s_init;
+    Bytes digest;
+    hash::HashAlgo algo;
+    SearchOptions opts;
+    EngineReport want;
+  };
+  std::vector<Case> cases;
+  for (int i = 0; i < kSessions; ++i) {
+    Case c;
+    c.s_init = random_seed(0x313A + static_cast<u64>(i));
+    c.algo = (i % 3 == 0) ? hash::HashAlgo::kSha1 : hash::HashAlgo::kSha3_256;
+    c.opts = (i % 2 == 0) ? reliability_opts(order)
+                          : SearchOptions{};
+    if (i % 2 != 0) {
+      c.opts.max_distance = 2;
+      c.opts.timeout_s = 600.0;
+      c.opts.num_threads = 1;
+    }
+    const int kind = i % 4;  // 0..2: planted at d=kind; 3: miss
+    const int weight = kind <= 2 ? kind : 9;
+    c.digest = digest_of(
+        c.s_init ^ mask_of_weight(weight, 0xDA7A + static_cast<u64>(i)),
+        c.algo);
+    c.want = solo.run(c.s_init, c.digest, c.algo, c.opts);
+    cases.push_back(std::move(c));
+  }
+
+  std::vector<std::optional<EngineReport>> fused(kSessions);
+  std::vector<std::thread> drivers;
+  for (int i = 0; i < kSessions; ++i) {
+    drivers.emplace_back([&, i] {
+      const Case& c = cases[static_cast<unsigned>(i)];
+      fused[static_cast<unsigned>(i)] = engine.try_search(
+          c.s_init, ByteSpan(c.digest), c.algo, c.opts, nullptr);
+    });
+  }
+  for (auto& t : drivers) t.join();
+
+  for (int i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(fused[static_cast<unsigned>(i)].has_value()) << "session " << i;
+    expect_equivalent(cases[static_cast<unsigned>(i)].want,
+                      *fused[static_cast<unsigned>(i)], "mixed orders");
+  }
+  EXPECT_EQ(engine.stats().fused_sessions, static_cast<u64>(kSessions));
+}
+
+// ---------------------------------------------------------------------------
+// Enrollment: single-pass calibration + profile persistence
+// ---------------------------------------------------------------------------
+
+crypto::Aes128::Key master_key() {
+  crypto::Aes128::Key k{};
+  k[0] = 0x42;
+  return k;
+}
+
+puf::SramPufModel::Params device_params() {
+  puf::SramPufModel::Params p;
+  p.num_addresses = 4;
+  p.erratic_cell_fraction = 0.04;
+  p.stable_flip_probability = 0.004;
+  p.erratic_flip_probability = 0.30;
+  return p;
+}
+
+TEST(ReliabilityProfile, SinglePassMatchesLegacyMaskAndRngStream) {
+  // calibrate_cell_stats must consume the EXACT read stream TapkiMask::
+  // calibrate consumed — enrolling with profiles cannot change the masks or
+  // shift the RNG for anything enrolled after this device.
+  const puf::SramPufModel device(device_params(), 901);
+  Xoshiro256 rng_legacy(0x5eed);
+  Xoshiro256 rng_joint(0x5eed);
+  const puf::TapkiMask legacy =
+      puf::TapkiMask::calibrate(device, 0, 100, 0.05, rng_legacy);
+  const puf::Calibration cal =
+      puf::calibrate_cell_stats(device, 0, 100, 0.05, rng_joint);
+  EXPECT_EQ(legacy.stable_bits(), cal.mask.stable_bits());
+  EXPECT_EQ(rng_legacy.next(), rng_joint.next());  // same stream position
+}
+
+TEST(ReliabilityProfile, WeightsEncodeQuantizedLogOdds) {
+  std::array<int, 256> flips{};
+  flips[5] = 25;   // erratic-looking cell
+  flips[17] = 3;   // mildly noisy cell
+  Seed256 stable = Seed256::ones();
+  stable.clear_bit(9);  // TAPKI-masked
+  const auto profile =
+      puf::ReliabilityProfile::from_flip_counts(flips, 100, stable);
+  // round(16 * ln((1-p)/p)) with p = (flips + 0.5) / 101:
+  EXPECT_EQ(profile.weight(0), 85);   // never flipped
+  EXPECT_EQ(profile.weight(5), 17);   // 25/100 flips
+  EXPECT_EQ(profile.weight(17), 53);  // 3/100 flips
+  EXPECT_EQ(profile.weight(9), puf::ReliabilityProfile::kPinnedWeight);
+  // Lower weight == likelier to flip: the ordering the enumerator consumes.
+  EXPECT_LT(profile.weight(5), profile.weight(17));
+  EXPECT_LT(profile.weight(17), profile.weight(0));
+}
+
+TEST(ReliabilityProfile, DatabaseRoundtripPreservesProfiles) {
+  EnrollmentDatabase db(master_key());
+  const puf::SramPufModel device(device_params(), 902);
+  Xoshiro256 enroll_rng(0xAB);
+  db.enroll(902, device, 100, 0.05, enroll_rng);
+
+  const EnrollmentRecord record = db.load(902);
+  ASSERT_EQ(record.profiles.size(), device.num_addresses());
+
+  Xoshiro256 replay_rng(0xAB);
+  for (u32 a = 0; a < device.num_addresses(); ++a) {
+    const puf::Calibration cal =
+        puf::calibrate_cell_stats(device, a, 100, 0.05, replay_rng);
+    EXPECT_EQ(record.profiles[a], cal.profile) << "address " << a;
+    EXPECT_EQ(record.masks[a].stable_bits(), cal.mask.stable_bits());
+    // Every TAPKI-masked bit must be pinned in the stored profile.
+    for (int b = 0; b < 256; ++b) {
+      if (!record.masks[a].stable_bits().bit(b))
+        ASSERT_EQ(record.profiles[a].weight(b),
+                  puf::ReliabilityProfile::kPinnedWeight);
+    }
+  }
+}
+
+TEST(ReliabilityProfile, ProfileIsEncryptedAtRest) {
+  EnrollmentDatabase db(master_key());
+  const puf::SramPufModel device(device_params(), 903);
+  Xoshiro256 enroll_rng(0xCD);
+  db.enroll(903, device, 100, 0.05, enroll_rng);
+
+  const Bytes blob = db.ciphertext(903);
+  const EnrollmentRecord record = db.load(903);
+  const std::size_t n = device.num_addresses();
+  const std::size_t legacy_size = 4 + n * 64;
+  ASSERT_EQ(blob.size(), legacy_size + n * 256);
+  // The appended ciphertext suffix must not equal the plaintext weights.
+  const auto& w0 = record.profiles[0].weights();
+  EXPECT_NE(0, std::memcmp(blob.data() + legacy_size, w0.data(), w0.size()));
+}
+
+TEST(ReliabilityProfile, LegacyRecordLoadsWithoutProfiles) {
+  // A pre-profile blob is byte-identical to the new blob truncated at the
+  // legacy length (CTR keystream prefix property). Loading one must yield
+  // the same image and masks with profiles empty — and a reliability-ordered
+  // CA must fall back to canonical and still authenticate.
+  EnrollmentDatabase db(master_key());
+  const puf::SramPufModel device(device_params(), 904);
+  Xoshiro256 enroll_rng(0xEF);
+  db.enroll(904, device, 100, 0.05, enroll_rng);
+  const EnrollmentRecord full = db.load(904);
+  Bytes blob = db.ciphertext(904);
+  blob.resize(4 + static_cast<std::size_t>(device.num_addresses()) * 64);
+
+  // Write a v01 database file holding only the truncated (legacy) blob.
+  const std::string path = "ordered_legacy_db.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("RBCDBv01", 8);
+    const u64 count = 1, id = 904, len = blob.size();
+    out.write(reinterpret_cast<const char*>(&count), 8);
+    out.write(reinterpret_cast<const char*>(&id), 8);
+    out.write(reinterpret_cast<const char*>(&len), 8);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+  }
+  EnrollmentDatabase legacy_db =
+      EnrollmentDatabase::load_from_file(path, master_key());
+  std::remove(path.c_str());
+
+  const EnrollmentRecord legacy = legacy_db.load(904);
+  EXPECT_TRUE(legacy.profiles.empty());
+  ASSERT_EQ(legacy.masks.size(), full.masks.size());
+  for (u32 a = 0; a < device.num_addresses(); ++a) {
+    EXPECT_EQ(legacy.image.word(a), full.image.word(a));
+    EXPECT_EQ(legacy.masks[a].stable_bits(), full.masks[a].stable_bits());
+  }
+
+  // Fallback: reliability order requested, no profile available.
+  RegistrationAuthority ra;
+  CaConfig ca_cfg;
+  ca_cfg.max_distance = 2;
+  ca_cfg.time_threshold_s = 600.0;
+  ca_cfg.search_order = SearchOrder::kReliability;
+  EngineConfig engine_cfg;
+  engine_cfg.host_threads = 1;
+  CertificateAuthority ca(ca_cfg, std::move(legacy_db),
+                          make_backend("cpu", engine_cfg), &ra);
+  ClientConfig client_cfg;
+  client_cfg.device_id = 904;
+  client_cfg.injected_distance = 1;
+  Client client(client_cfg, &device, 0x904C);
+  const auto session = run_authentication(client, ca, ra);
+  EXPECT_TRUE(session.result.authenticated);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: reliability-ordered serving
+// ---------------------------------------------------------------------------
+
+TEST(OrderedServer, ReliabilityOrderedBurstAuthenticatesAndRanks) {
+  constexpr int kSessions = 8;
+  std::vector<std::unique_ptr<puf::SramPufModel>> devices;
+  RegistrationAuthority ra;
+  EnrollmentDatabase db(master_key());
+  for (int i = 0; i < kSessions; ++i) {
+    const u64 id = 7700 + static_cast<u64>(i);
+    devices.push_back(std::make_unique<puf::SramPufModel>(device_params(), id));
+    Xoshiro256 enroll_rng(id ^ 0xE27011);
+    db.enroll(id, *devices.back(), 100, 0.05, enroll_rng);
+  }
+  CaConfig ca_cfg;
+  ca_cfg.max_distance = 2;
+  ca_cfg.time_threshold_s = 600.0;
+  EngineConfig engine_cfg;
+  engine_cfg.host_threads = 1;
+  CertificateAuthority ca(ca_cfg, std::move(db),
+                          make_backend("cpu", engine_cfg), &ra);
+
+  server::ServerConfig cfg;
+  cfg.max_queue_depth = kSessions;
+  cfg.max_in_flight = kSessions;
+  cfg.session_budget_s = 600.0;
+  cfg.fusion_enabled = true;  // ordered streams must ride the fused path too
+  cfg.search_order = SearchOrder::kReliability;
+  server::AuthServer server(cfg, &ca, &ra);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::future<server::SessionOutcome>> futures;
+  for (int i = 0; i < kSessions; ++i) {
+    ClientConfig ccfg;
+    ccfg.device_id = 7700 + static_cast<u64>(i);
+    ccfg.injected_distance = 2;
+    clients.push_back(std::make_unique<Client>(
+        ccfg, devices[static_cast<unsigned>(i)].get(), ccfg.device_id ^ 0xF0));
+    futures.push_back(server.submit(clients.back().get()));
+  }
+  for (int i = 0; i < kSessions; ++i) {
+    const server::SessionOutcome outcome =
+        futures[static_cast<unsigned>(i)].get();
+    ASSERT_TRUE(outcome.accepted) << "session " << i;
+    EXPECT_TRUE(outcome.authenticated) << "session " << i;
+    const auto registered = ra.lookup(outcome.device_id);
+    ASSERT_TRUE(registered.has_value());
+    EXPECT_EQ(*registered, clients[static_cast<unsigned>(i)]->derive_public_key(
+                               ca.config().salt));
+  }
+
+  const server::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.authenticated, static_cast<u64>(kSessions));
+  EXPECT_EQ(stats.ranked_sessions, static_cast<u64>(kSessions));
+  EXPECT_GT(stats.mean_hit_rank, 0.0);
+  EXPECT_GT(stats.mean_canonical_rank, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// ShellMaskCache LRU bound
+// ---------------------------------------------------------------------------
+
+TEST(ShellCacheLru, EvictsLeastRecentlyUsedAndCounts) {
+  // The cache is process-global: use odd n_bits no other suite touches and
+  // count by deltas. C(41,2) = 820 and C(43,2) = 903 never fit a 1000-mask
+  // cap together.
+  const auto before = ShellMaskCache::stats();
+  ShellMaskCache::set_capacity(1000);
+
+  auto t41 = ShellMaskCache::get(sim::IterAlgo::kGosper, 2, 41);
+  EXPECT_EQ(t41->size(), 820u);
+  auto t43 = ShellMaskCache::get(sim::IterAlgo::kGosper, 2, 43);
+  EXPECT_EQ(t43->size(), 903u);  // inserting this must evict the 41 table
+
+  auto after_build = ShellMaskCache::stats();
+  EXPECT_EQ(after_build.misses, before.misses + 2);
+  EXPECT_GE(after_build.evictions, before.evictions + 1);
+
+  // The survivor hits; the evicted table rebuilds (a fresh miss).
+  auto t43_again = ShellMaskCache::get(sim::IterAlgo::kGosper, 2, 43);
+  auto after_hit = ShellMaskCache::stats();
+  EXPECT_EQ(after_hit.hits, after_build.hits + 1);
+  auto t41_again = ShellMaskCache::get(sim::IterAlgo::kGosper, 2, 41);
+  auto after_rebuild = ShellMaskCache::stats();
+  EXPECT_EQ(after_rebuild.misses, after_hit.misses + 1);
+
+  // Evicted-but-referenced tables stay alive through their shared_ptr.
+  EXPECT_EQ(t41->size(), 820u);
+  EXPECT_EQ((*t41)[0], (*t41_again)[0]);
+
+  ShellMaskCache::set_capacity(ShellMaskCache::kDefaultCapacityMasks);
+}
+
+TEST(ShellCacheLru, StatsTrackRetainedMasks) {
+  ShellMaskCache::set_capacity(ShellMaskCache::kDefaultCapacityMasks);
+  auto t = ShellMaskCache::get(sim::IterAlgo::kGosper, 2, 37);  // C(37,2)=666
+  const auto stats = ShellMaskCache::stats();
+  EXPECT_GE(stats.cached_masks, 666u);
+  EXPECT_GE(stats.cached_tables, 1u);
+  EXPECT_LE(stats.cached_masks, ShellMaskCache::kDefaultCapacityMasks +
+                                    ShellMaskCache::kMaxTableMasks);
+}
+
+}  // namespace
+}  // namespace rbc
