@@ -16,14 +16,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== [1/13] configure + build (default) ==="
+echo "=== [1/14] configure + build (default) ==="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 
-echo "=== [2/13] ctest (default) ==="
+echo "=== [2/14] ctest (default) ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/13] batched-hash equivalence under forced dispatch levels ==="
+echo "=== [3/14] batched-hash equivalence under forced dispatch levels ==="
 # The auto run above already covered the host's best level; re-run the batch
 # suite with the RBC_HASH_SIMD knob capping dispatch so the scalar-tail and
 # SWAR code paths are exercised even on AVX2 hosts.
@@ -33,7 +33,7 @@ for level in scalar swar; do
     -j "$JOBS" -R 'HashBatch'
 done
 
-echo "=== [4/13] schedule equivalence: tiled results == static results ==="
+echo "=== [4/14] schedule equivalence: tiled results == static results ==="
 # The work-stealing tile scheduler (docs/scheduler.md) must be a pure
 # performance change: found/seed/distance and exhaustive seeds_hashed
 # identical to the static reference schedule for every iterator family, tile
@@ -43,7 +43,7 @@ echo "=== [4/13] schedule equivalence: tiled results == static results ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'ScheduleEquivalence|SeekEquivalence|HeteroCoSearch|ShellTiler|TileScheduler'
 
-echo "=== [5/13] chaos smoke: fault injection + fuzz regression corpus ==="
+echo "=== [5/14] chaos smoke: fault injection + fuzz regression corpus ==="
 # The deterministic chaos harness (docs/server.md "Fault model & retry
 # policy"): fixed-seed fault plans through every layer — FaultPlan contract,
 # channel fault semantics, ARQ survival/replay, and the 4-shard chaos run —
@@ -53,7 +53,7 @@ echo "=== [5/13] chaos smoke: fault injection + fuzz regression corpus ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'ChaosPlan|ChaosChannel|ChaosProtocol|ChaosServer|FuzzDeserialize|FuzzSeqFrame|WireGolden'
 
-echo "=== [6/13] bench smoke: batched hash throughput ==="
+echo "=== [6/14] bench smoke: batched hash throughput ==="
 # Release-configured bench build; one quick repetition proves the batched
 # kernels run at every advertised level (full numbers: docs/perf.md).
 if [[ "${RBC_CI_BENCH:-1}" == "1" ]]; then
@@ -65,7 +65,7 @@ else
   echo "(skipped: RBC_CI_BENCH=0)"
 fi
 
-echo "=== [7/13] bench smoke: server shard sweep -> BENCH_PR6.json ==="
+echo "=== [7/14] bench smoke: server shard sweep -> BENCH_PR6.json ==="
 # The sharded serving layer's acceptance run: 1/2/4/8 shards at equal total
 # resources. The binary exits nonzero if sharded p95 regresses >10% against
 # the single-queue baseline or any session registers a corrupt key.
@@ -77,7 +77,7 @@ else
   echo "(skipped: RBC_CI_BENCH=0)"
 fi
 
-echo "=== [8/13] bench smoke: chaos p95 degradation sweep ==="
+echo "=== [8/14] bench smoke: chaos p95 degradation sweep ==="
 # Fixed-seed chaos run at drop rates 0/2/5/10%: every session must resolve
 # (submitted == rejected + completed at each point) and no lossy session may
 # register a corrupt key. The binary exits nonzero otherwise.
@@ -87,7 +87,7 @@ else
   echo "(skipped: RBC_CI_BENCH=0)"
 fi
 
-echo "=== [9/13] bench smoke: lane fusion -> BENCH_PR8.json ==="
+echo "=== [9/14] bench smoke: lane fusion -> BENCH_PR8.json ==="
 # The fusion engine's acceptance run: the 4096-session SHA-3 d=2 burst solo
 # and fused. The binary exits nonzero unless fused throughput is >= 1.3x
 # solo with lane occupancy >= 0.9 and zero corrupt registrations.
@@ -98,7 +98,7 @@ else
   echo "(skipped: RBC_CI_BENCH=0)"
 fi
 
-echo "=== [10/13] bench smoke: reliability-ordered search -> BENCH_PR9.json ==="
+echo "=== [10/14] bench smoke: reliability-ordered search -> BENCH_PR9.json ==="
 # The reliability-guided ordering acceptance run: a 192-session injected-d=3
 # burst replayed under canonical and maximum-likelihood-first order. The
 # binary exits nonzero unless the ordered run hashes >= 5x fewer seeds per
@@ -111,7 +111,27 @@ else
   echo "(skipped: RBC_CI_BENCH=0)"
 fi
 
-echo "=== [11/13] bench trajectory: merge archived BENCH_*.json ==="
+echo "=== [11/14] bench smoke: observability -> BENCH_PR10.json + metrics export ==="
+# The observability layer's acceptance run: the dispatch-overhead burst
+# untraced vs traced (span tracer + flight recorder armed). The binary exits
+# nonzero unless traced p95 stays within the 5% overhead gate with zero
+# corruptions; the exported rbc.metrics.v1 JSON document and its Prometheus
+# sidecar are then validated structurally (and cross-checked against each
+# other) by scripts/check_metrics.py.
+if [[ "${RBC_CI_BENCH:-1}" == "1" ]]; then
+  ./build-release/bench/bench_server_throughput --obs-only \
+    --obs-sessions 1024 --json BENCH_PR10.json \
+    --metrics-out build-release/metrics.json
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/check_metrics.py build-release/metrics.json
+  else
+    echo "(metrics validation skipped: python3 not available)"
+  fi
+else
+  echo "(skipped: RBC_CI_BENCH=0)"
+fi
+
+echo "=== [12/14] bench trajectory: merge archived BENCH_*.json ==="
 # One table across every archived acceptance run; exits nonzero if any
 # archived acceptance_* gate reads false (stale or regressed archive).
 if command -v python3 >/dev/null 2>&1; then
@@ -120,11 +140,11 @@ else
   echo "(skipped: python3 not available)"
 fi
 
-echo "=== [12/13] configure + build (ThreadSanitizer) ==="
+echo "=== [13/14] configure + build (ThreadSanitizer) ==="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
 
-echo "=== [13/13] ctest (tsan: concurrency suites) ==="
+echo "=== [14/14] ctest (tsan: concurrency suites) ==="
 # TSan slows execution ~5-15x; run the suites that exercise cross-thread
 # seams rather than the whole (mostly single-threaded) matrix. ShardStress
 # runs the sharded server (shards > 1) through concurrent submit/stats/
@@ -133,10 +153,12 @@ echo "=== [13/13] ctest (tsan: concurrency suites) ==="
 # FusionEngine/FusionServer drive the fused batch pump from many drivers;
 # OrderedSearch/OrderedFusion/OrderedServer run the reliability-ordered
 # stream through multi-threaded solo scans, mixed-order fused batches and
-# a full server burst; ShellCacheLru hammers the shared shell-mask cache.
+# a full server burst; ShellCacheLru hammers the shared shell-mask cache;
+# Obs* covers the lock-free trace ring under concurrent writers/snapshots,
+# mid-traffic metrics export, and the shell-cache counter churn case.
 # (ctest registers gtest CASE names, so the filter matches suite prefixes.)
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
   --output-on-failure -j "$JOBS" \
-  -R 'WorkerGroup|SearchContext|ServerStress|ShardStress|ChaosProtocol|ChaosServer|EnrollmentDatabaseConcurrency|RbcSearch|Backend|Protocol|LaunchKernel|SaltedKernel|DistSearch|Communicator|HashBatch|TileScheduler|TileSchedulerStress|ScheduleEquivalence|HeteroCoSearch|SeekEquivalence|ShellTiler|FusionStream|FusionBatch|FusionEngine|FusionServer|OrderedSearch|OrderedFusion|OrderedServer|ShellCacheLru'
+  -R 'WorkerGroup|SearchContext|ServerStress|ShardStress|ChaosProtocol|ChaosServer|EnrollmentDatabaseConcurrency|RbcSearch|Backend|Protocol|LaunchKernel|SaltedKernel|DistSearch|Communicator|HashBatch|TileScheduler|TileSchedulerStress|ScheduleEquivalence|HeteroCoSearch|SeekEquivalence|ShellTiler|FusionStream|FusionBatch|FusionEngine|FusionServer|OrderedSearch|OrderedFusion|OrderedServer|ShellCacheLru|Obs'
 
 echo "CI: all gates green"

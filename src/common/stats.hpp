@@ -43,9 +43,18 @@ class RunningStats {
 
 /// Percentile with linear interpolation between order statistics
 /// (inclusive method). q in [0, 1]. The input need not be sorted.
-inline double percentile(std::vector<double> values, double q) {
-  RBC_CHECK_MSG(!values.empty(), "percentile of empty sample");
+///
+/// An EMPTY sample returns the 0.0 sentinel instead of aborting: stats
+/// snapshots are taken at arbitrary lifecycle points (before the first
+/// session completes, mid-chaos, post-shutdown) and a diagnostics read
+/// must never kill the process. Callers that need to distinguish "no
+/// samples" from "all samples were zero" check count()/empty() first —
+/// the convention every ServerStats consumer already follows (a zeroed
+/// percentile next to completed == 0 reads as "no data yet").
+inline double percentile(const std::vector<double>& sample, double q) {
   RBC_CHECK(q >= 0.0 && q <= 1.0);
+  if (sample.empty()) return 0.0;
+  std::vector<double> values = sample;
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values[0];
   const double pos = q * static_cast<double>(values.size() - 1);
@@ -99,6 +108,8 @@ class ReservoirSample {
   const std::vector<double>& samples() const noexcept { return samples_; }
 
   /// Percentile over the retained sample (exact while count <= capacity).
+  /// Empty reservoirs return the documented 0.0 sentinel (see
+  /// rbc::percentile) — check empty() when "no data" must be distinct.
   double percentile(double q) const { return rbc::percentile(samples_, q); }
 
  private:
@@ -122,6 +133,10 @@ class ReservoirSample {
 /// retained contributes weight n/k per sample. This is how the sharded
 /// server aggregates per-shard session-time reservoirs into one consistent
 /// p50/p95 without ever concatenating unbounded histories.
+///
+/// No reservoirs — or only empty ones — return the 0.0 sentinel for the
+/// same reason rbc::percentile does: a pre-traffic or mid-lifecycle stats
+/// snapshot must be safe, not fatal.
 inline double merged_percentile(
     const std::vector<const ReservoirSample*>& reservoirs, double q) {
   RBC_CHECK(q >= 0.0 && q <= 1.0);
@@ -137,7 +152,7 @@ inline double merged_percentile(
       total_weight += w;
     }
   }
-  RBC_CHECK_MSG(!weighted.empty(), "merged percentile of empty reservoirs");
+  if (weighted.empty()) return 0.0;
   std::sort(weighted.begin(), weighted.end());
   // Walk the cumulative weight to the q-th fraction (inclusive convention:
   // q=0 -> smallest, q=1 -> largest).

@@ -77,6 +77,13 @@ struct LinkStats {
     corrupt_discarded += o.corrupt_discarded;
     duplicates_suppressed += o.duplicates_suppressed;
   }
+
+  /// Total fault-plan firings across all categories — the headline "how
+  /// hostile was the link" number surfaced by the metrics export and the
+  /// flight recorder's per-failure summary line.
+  u64 injected_faults() const noexcept {
+    return dropped + corrupted + duplicated + reordered + stalled;
+  }
 };
 
 /// Seeded per-message fault schedule. next() consumes a FIXED number of RNG

@@ -1,0 +1,73 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace rbc::obs {
+
+FlightRecorder::FlightRecorder(std::size_t max_records)
+    : max_records_(max_records) {
+  RBC_CHECK_MSG(max_records >= 1, "flight recorder needs capacity");
+}
+
+void FlightRecorder::record(FlightRecord r) {
+  std::lock_guard lock(mutex_);
+  ++total_;
+  records_.push_back(std::move(r));
+  while (records_.size() > max_records_) records_.pop_front();
+}
+
+std::vector<FlightRecord> FlightRecorder::records() const {
+  std::lock_guard lock(mutex_);
+  return {records_.begin(), records_.end()};
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+u64 FlightRecorder::total() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+std::string FlightRecorder::format(const FlightRecord& r) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "flight record: device=%" PRIu64 " shard=%u reason=%s "
+                "net_salt=0x%016" PRIx64 " fault_seed=0x%016" PRIx64 "\n",
+                r.device_id, r.shard, r.reason.c_str(), r.net_salt,
+                r.fault_seed);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  budget_s=%.6f queue_wait_s=%.6f session_s=%.6f "
+                "retransmits=%" PRIu64 " frames_dropped=%" PRIu64
+                " injected_faults=%" PRIu64 "\n",
+                r.session_budget_s, r.queue_wait_s, r.session_s,
+                r.retransmits, r.frames_dropped, r.injected_faults);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  replay: submit(client, %.6f, /*net_salt=*/0x%016" PRIx64
+                ") under the same fault config\n",
+                r.session_budget_s, r.net_salt);
+  out += line;
+  std::snprintf(line, sizeof(line), "  timeline (%zu events):\n",
+                r.timeline.size());
+  out += line;
+  for (const TraceEvent& e : r.timeline) {
+    std::snprintf(line, sizeof(line),
+                  "    [%10.6f, %10.6f] %-12s detail=%u value=%" PRIu64
+                  " vclock=%.6f\n",
+                  e.wall_start_s, e.wall_end_s,
+                  std::string(kind_name(e.kind)).c_str(), e.detail, e.value,
+                  e.vclock_s);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rbc::obs

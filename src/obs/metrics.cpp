@@ -1,0 +1,123 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace rbc::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal: counters print as integers, gauges
+/// keep full double precision only when they need it.
+std::string format_value(double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  return buf;
+}
+
+/// Escape for both Prometheus label values and JSON strings (the shared
+/// subset: backslash and double quote; control characters do not appear in
+/// our label vocabulary and are rejected upstream by construction).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string label_block(const MetricsRegistry::Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                 const std::string& help,
+                                                 bool is_counter) {
+  for (Family& f : families_) {
+    if (f.name == name) {
+      RBC_CHECK_MSG(f.is_counter == is_counter,
+                    "metric family re-registered with a different type");
+      return f;
+    }
+  }
+  Family f;
+  f.name = name;
+  f.help = help;
+  f.is_counter = is_counter;
+  families_.push_back(std::move(f));
+  return families_.back();
+}
+
+void MetricsRegistry::counter(const std::string& name, const std::string& help,
+                              double value, const Labels& labels) {
+  family(name, help, /*is_counter=*/true).samples.push_back({labels, value});
+}
+
+void MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                            double value, const Labels& labels) {
+  family(name, help, /*is_counter=*/false).samples.push_back({labels, value});
+}
+
+std::size_t MetricsRegistry::series_count() const noexcept {
+  std::size_t n = 0;
+  for (const Family& f : families_) n += f.samples.size();
+  return n;
+}
+
+std::string MetricsRegistry::prometheus() const {
+  std::string out;
+  for (const Family& f : families_) {
+    out += "# HELP " + f.name + " " + f.help + "\n";
+    out += "# TYPE " + f.name + (f.is_counter ? " counter\n" : " gauge\n");
+    for (const Sample& s : f.samples) {
+      out += f.name + label_block(s.labels) + " " + format_value(s.value) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json() const {
+  std::string out = "{\n  \"schema\": \"";
+  out += kJsonSchema;
+  out += "\",\n  \"metrics\": {\n";
+  bool first = true;
+  for (const Family& f : families_) {
+    for (const Sample& s : f.samples) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "    \"" + escape(f.name + label_block(s.labels)) + "\": " +
+             format_value(s.value);
+    }
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::render(MetricsFormat format) const {
+  return format == MetricsFormat::kPrometheus ? prometheus() : json();
+}
+
+}  // namespace rbc::obs

@@ -31,6 +31,10 @@
 #include "common/types.hpp"
 #include "parallel/early_exit.hpp"
 
+namespace rbc::obs {
+class SessionTrace;
+}
+
 namespace rbc::par {
 
 class SearchContext {
@@ -66,6 +70,7 @@ class SearchContext {
                      std::memory_order_release);
     seeds_visited_.store(other.seeds_visited_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+    trace_ = other.trace_;
   }
 
   // --- cancellation -------------------------------------------------------
@@ -145,6 +150,18 @@ class SearchContext {
     return seeds_visited_.load(std::memory_order_relaxed);
   }
 
+  // --- observability (src/obs) --------------------------------------------
+
+  /// Optional per-session trace handle, armed by the serving shard when
+  /// ServerConfig::trace_enabled is set and null otherwise. SearchContext is
+  /// the one object already threaded through every search layer, so it
+  /// carries the trace the same way it carries the deadline; hooks test the
+  /// pointer once per COARSE event (shell boundary, retransmit, verdict) and
+  /// stay entirely off the per-candidate path. The pointee must outlive the
+  /// search (the shard owns both the Session and its trace handle).
+  void set_trace(obs::SessionTrace* trace) noexcept { trace_ = trace; }
+  obs::SessionTrace* trace() const noexcept { return trace_; }
+
  private:
   Clock::time_point start_;
   Clock::time_point deadline_;
@@ -152,6 +169,7 @@ class SearchContext {
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> timed_out_{false};
   std::atomic<u64> seeds_visited_{0};
+  obs::SessionTrace* trace_ = nullptr;
 };
 
 }  // namespace rbc::par

@@ -165,7 +165,11 @@ class ShellMaskCache {
  public:
   using Table = std::vector<Seed256>;
 
-  /// Process-wide counters, surfaced through ServerStats.
+  /// Process-wide counters, surfaced through ServerStats and the metrics
+  /// export. Counter updates and this snapshot share the cache mutex, so a
+  /// snapshot is internally consistent (never a torn hits/misses pair from
+  /// mid-update) and safe to call concurrently with get()/set_capacity()
+  /// from any thread — the ObsShellCacheTorn TSan stress pins this.
   struct Stats {
     u64 hits = 0;
     u64 misses = 0;       // table built (or raced) on this fetch

@@ -7,6 +7,7 @@
 
 #include "hash/keccak.hpp"
 #include "hash/sha1.hpp"
+#include "obs/trace.hpp"
 
 namespace rbc {
 
@@ -195,7 +196,18 @@ class ReliableLink {
       // schedule against a client that can no longer be answered in time.
       if (ctx_ != nullptr && ctx_->check_deadline())
         return unexpected(Error::kDeadline);
-      if (attempt > 0) ++stats_.retransmits;
+      if (attempt > 0) {
+        ++stats_.retransmits;
+        // Trace seam: each retransmission is a point event carrying the
+        // attempt number and the channel's LOGICAL clock, so a flight
+        // recording shows where the backoff schedule spent the budget.
+        if (ctx_ != nullptr) {
+          if (obs::SessionTrace* trace = ctx_->trace()) {
+            trace->event(obs::SpanKind::kRetransmit,
+                         static_cast<u32>(attempt), seq, src.elapsed_s());
+          }
+        }
+      }
       src.send_frame(net::seal_seq_frame(seq, payload));
       while (dst.has_message()) {
         const Bytes raw = dst.receive_raw();

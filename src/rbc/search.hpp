@@ -56,6 +56,7 @@
 #include "common/types.hpp"
 #include "hash/batch.hpp"
 #include "hash/traits.hpp"
+#include "obs/trace.hpp"
 #include "parallel/early_exit.hpp"
 #include "parallel/search_context.hpp"
 #include "parallel/tile_scheduler.hpp"
@@ -334,6 +335,18 @@ void scan_stream(CandidateStream& stream,
   u64 local_hashed = 0;
   u64 since_hook = 0;
   int last_shell = stream.last_shell();
+  // Per-shell trace spans (obs/trace.hpp): opened/closed only at shell
+  // transitions, so the hook cost is one null test per refill and nothing
+  // per candidate. Null trace (the untraced default) records nothing.
+  obs::SessionTrace* trace = ctx.trace();
+  int span_shell = -1;
+  u64 span_hashed = 0;
+  double span_open_s = 0.0;
+  const auto close_shell_span = [&] {
+    if (trace == nullptr || span_shell < 0) return;
+    trace->span(obs::SpanKind::kSearchShell, span_open_s, trace->now_s(),
+                static_cast<u32>(span_shell), span_hashed);
+  };
   bool running = true;
   while (running) {
     bool check_now = false;
@@ -349,6 +362,12 @@ void scan_stream(CandidateStream& stream,
     if (stream.last_shell() != last_shell) {
       last_shell = stream.last_shell();
       check_now = true;  // between-shell poll point of the per-shell loop
+      if (trace != nullptr) {
+        close_shell_span();
+        span_shell = last_shell;
+        span_open_s = trace->now_s();
+        span_hashed = 0;
+      }
     }
     if (check_now &&
         (ctx.check_deadline() || ctx.should_stop(opts.early_exit))) {
@@ -370,7 +389,9 @@ void scan_stream(CandidateStream& stream,
     }
     local_hashed += counted;
     since_hook += counted;
+    span_hashed += counted;
   }
+  close_shell_span();
   if (opts.quantum_hook && since_hook > 0) opts.quantum_hook(0, since_hook);
   ctx.add_progress(local_hashed);
   hashed_out += local_hashed;
@@ -438,8 +459,19 @@ SearchResult rbc_search(const Seed256& s_init,
     // searches (e.g. per-session server searches) on the static walk.
     if (!ran_ordered && opts.schedule == SearchSchedule::kTiled &&
         opts.num_threads > 1) {
+      // Tiled shells overlap in flight, so a per-shell span would lie about
+      // exclusivity; record one span over the whole tiled scan instead
+      // (detail = d, value = candidates hashed by it).
+      obs::SessionTrace* trace = ctx.trace();
+      const double tiled_open_s = trace != nullptr ? trace->now_s() : 0.0;
+      const u64 tiled_start_progress = ctx.progress();
       detail::rbc_search_tiled<Hash>(s_init, target, factory, workers, opts,
                                      hash, ctx, result, found);
+      if (trace != nullptr) {
+        trace->span(obs::SpanKind::kSearchShell, tiled_open_s, trace->now_s(),
+                    static_cast<u32>(opts.max_distance),
+                    ctx.progress() - tiled_start_progress);
+      }
       ran_tiled = true;
     }
   }
@@ -461,9 +493,12 @@ SearchResult rbc_search(const Seed256& s_init,
 
     // Line 9: loop over Hamming shells 1..d. The host checks the deadline
     // between shells; workers check it at a coarse cadence within one.
+    obs::SessionTrace* trace = ctx.trace();
     for (int k = 1; k <= opts.max_distance; ++k) {
       if (ctx.should_stop(opts.early_exit)) break;
       if (ctx.check_deadline()) break;
+      const double shell_open_s = trace != nullptr ? trace->now_s() : 0.0;
+      const u64 shell_start_progress = ctx.progress();
       factory.prepare(k, p);
 
       workers.parallel_workers(p, [&](int unit) {
@@ -530,6 +565,11 @@ SearchResult rbc_search(const Seed256& s_init,
         ctx.add_progress(local_hashed);
       });
 
+      if (trace != nullptr) {
+        trace->span(obs::SpanKind::kSearchShell, shell_open_s, trace->now_s(),
+                    static_cast<u32>(k),
+                    ctx.progress() - shell_start_progress);
+      }
       ctx.check_deadline();
     }
 

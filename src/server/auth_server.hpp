@@ -18,8 +18,10 @@
 
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "server/shard.hpp"
 
 namespace rbc::server {
@@ -60,8 +62,27 @@ class AuthServer {
   std::future<SessionOutcome> submit(Client* client, double budget_s,
                                      u64 net_salt);
 
-  /// Consistent aggregate snapshot across all shard stripes.
+  /// Consistent aggregate snapshot across all shard stripes. Safe at ANY
+  /// lifecycle point — before the first session, mid-chaos, after
+  /// shutdown() — empty reservoirs and zero denominators render as the
+  /// documented 0.0 sentinels, never an abort.
   ServerStats stats() const;
+
+  /// The stats snapshot flattened into a wire format: Prometheus text
+  /// exposition or the rbc.metrics.v1 JSON document (obs/metrics.hpp).
+  /// Includes per-shard queue/in-flight gauges as labeled series. Same
+  /// lifecycle guarantees as stats().
+  std::string export_metrics(
+      obs::MetricsFormat format = obs::MetricsFormat::kPrometheus) const;
+
+  /// Merged trace-ring snapshot across shards, ordered by wall start time
+  /// (empty unless cfg.trace_enabled). Lock-free with respect to serving.
+  std::vector<obs::TraceEvent> trace_events() const;
+
+  /// The server-wide flight recorder (nullptr unless cfg.flight_recorder).
+  const obs::FlightRecorder* flight_recorder() const noexcept {
+    return recorder_.get();
+  }
 
   /// Which shard serves this device (diagnostics / test support).
   int shard_of_device(u64 device_id) const;
@@ -73,7 +94,13 @@ class AuthServer {
   void shutdown();
 
  private:
+  std::vector<Shard::StatsSlice> collect_slices() const;
+  ServerStats aggregate(const std::vector<Shard::StatsSlice>& slices) const;
+
   ServerConfig cfg_;
+  /// Created before the shards (they hold raw pointers into it) and
+  /// destroyed after them.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -14,6 +14,7 @@
 
 #include "common/timer.hpp"
 #include "hash/batch.hpp"
+#include "obs/trace.hpp"
 #include "parallel/search_context.hpp"
 #include "rbc/candidate_stream.hpp"
 
@@ -69,6 +70,16 @@ SearchResult retire_result(Job<H>& j) {
   if (j.counted > j.reported) {
     j.ctx->add_progress(j.counted - j.reported);
     j.reported = j.counted;
+  }
+  // Lane-residency span: how long this session lived inside the fused
+  // engine (admission to retirement), how far its stream got and how many
+  // lane slots it consumed (dealt >= counted when lanes past a match were
+  // speculative). The pump thread writes it BEFORE set_value resolves the
+  // driver's future, so the span always precedes the session's verdict.
+  if (obs::SessionTrace* trace = j.ctx->trace()) {
+    const int shell = j.stream->last_shell();
+    trace->span_ending_now(obs::SpanKind::kFusionLane, j.timer.elapsed_s(),
+                           static_cast<u32>(shell < 0 ? 0 : shell), j.dealt);
   }
   SearchResult r;
   r.seeds_hashed = j.counted;

@@ -4,9 +4,22 @@
 
 namespace rbc::server {
 
+namespace {
+
+/// kVerdict span detail code from a completed outcome's classification.
+obs::Verdict verdict_of(const SessionOutcome& outcome) {
+  if (outcome.authenticated) return obs::Verdict::kAuthenticated;
+  if (outcome.timed_out) return obs::Verdict::kTimedOut;
+  if (outcome.transport_failed) return obs::Verdict::kTransportFailed;
+  if (outcome.cancelled) return obs::Verdict::kCancelled;
+  return obs::Verdict::kFailed;
+}
+
+}  // namespace
+
 Shard::Shard(const ServerConfig& cfg, int index, int num_shards,
              int queue_depth, int drivers, CertificateAuthority* ca,
-             RegistrationAuthority* ra)
+             RegistrationAuthority* ra, obs::FlightRecorder* recorder)
     : cfg_(cfg),
       index_(index),
       queue_depth_(queue_depth),
@@ -24,6 +37,11 @@ Shard::Shard(const ServerConfig& cfg, int index, int num_shards,
   RBC_CHECK_MSG(cfg_.max_device_states >= 1, "device table needs capacity");
   if (cfg_.fault.active()) cfg_.retry.validate();
   base_latency_.set_realtime(cfg.realtime_comm);
+  if (cfg_.trace_enabled) {
+    ring_ = std::make_unique<obs::TraceRing>(
+        static_cast<std::size_t>(std::max(cfg_.trace_ring_events, 1)));
+  }
+  recorder_ = recorder;
   if (cfg_.fusion_enabled) {
     FusionConfig fusion_cfg;
     fusion_cfg.threshold_seeds = cfg_.fusion_threshold;
@@ -96,10 +114,24 @@ std::future<SessionOutcome> Shard::submit(Client* client, double budget_s,
     if (reason != RejectReason::kNone) {
       ++rejected_;
       rejection.reject_reason = reason;
+      // Admission event even for refusals: a shed session's only trace IS
+      // this record (detail = RejectReason, value = queue depth at refusal).
+      if (ring_) {
+        obs::SessionTrace(ring_.get(), net_salt, rejection.device_id,
+                          static_cast<u32>(index_))
+            .event(obs::SpanKind::kAdmission, static_cast<u32>(reason),
+                   queue_.size());
+      }
       session->promise.set_value(rejection);
       return future;
     }
     session->seq = next_seq_++;
+    if (ring_) {
+      obs::SessionTrace(ring_.get(), net_salt, rejection.device_id,
+                        static_cast<u32>(index_))
+          .event(obs::SpanKind::kAdmission,
+                 static_cast<u32>(RejectReason::kNone), queue_.size());
+    }
     queue_.push_back(std::move(session));
     std::push_heap(queue_.begin(), queue_.end(), LaterDeadline{});
   }
@@ -166,6 +198,18 @@ void Shard::run_session(Session& session) {
   outcome.net_salt = session.net_salt;
   outcome.queue_wait_s = session.admitted.elapsed_s();
 
+  // Arm the session's trace: the handle lives in the Session (stable heap
+  // object) and rides the SearchContext through the protocol, search and
+  // fusion layers. Null ring = everything below stays a no-op.
+  if (ring_) {
+    session.trace = obs::SessionTrace(ring_.get(), session.net_salt,
+                                      outcome.device_id,
+                                      static_cast<u32>(index_));
+    session.trace.span_ending_now(obs::SpanKind::kQueueWait,
+                                  outcome.queue_wait_s, 0, session.seq);
+    session.ctx.set_trace(&session.trace);
+  }
+
   // The budget started at admission; a session that waited past its
   // threshold is reported timed out without spending search cycles.
   if (!session.ctx.check_deadline()) {
@@ -203,8 +247,51 @@ void Shard::run_session(Session& session) {
     outcome.reject_reason = RejectReason::kTransportFailure;
   outcome.session_s = session.admitted.elapsed_s();
 
+  if (ring_) {
+    // Verdict span covers driver pickup -> resolution; vclock is the
+    // simulated channel's logical seconds (the protocol-model bill).
+    session.trace.span_ending_now(
+        obs::SpanKind::kVerdict, outcome.session_s - outcome.queue_wait_s,
+        static_cast<u32>(verdict_of(outcome)),
+        outcome.report.engine.result.seeds_hashed, outcome.report.comm_time_s);
+    session.ctx.set_trace(nullptr);
+  }
+  maybe_flight_record(session, outcome);
+
   record_outcome(outcome, /*on_driver=*/true);
   session.promise.set_value(std::move(outcome));
+}
+
+void Shard::maybe_flight_record(const Session& session,
+                                const SessionOutcome& outcome) {
+  if (recorder_ == nullptr) return;
+  // Capture the failures worth replaying: a transport failure, a deadline
+  // expiry, an unauthenticated completion, or a shutdown cancellation.
+  // Authenticated sessions leave no record — the recorder is a black box
+  // for crashes, not an audit log.
+  if (outcome.authenticated) return;
+  obs::FlightRecord record;
+  record.device_id = outcome.device_id;
+  record.net_salt = outcome.net_salt;
+  record.fault_seed = cfg_.fault_seed;
+  record.shard = static_cast<u32>(index_);
+  if (outcome.transport_failed) {
+    record.reason = "transport_failure";
+  } else if (outcome.timed_out) {
+    record.reason = "deadline_expired";
+  } else if (outcome.cancelled) {
+    record.reason = "cancelled";
+  } else {
+    record.reason = "auth_failed";
+  }
+  record.session_budget_s = session.budget_s;
+  record.queue_wait_s = outcome.queue_wait_s;
+  record.session_s = outcome.session_s;
+  record.retransmits = outcome.report.link.retransmits;
+  record.frames_dropped = outcome.report.link.dropped;
+  record.injected_faults = outcome.report.link.injected_faults();
+  if (ring_) record.timeline = ring_->session_events(session.net_salt);
+  recorder_->record(std::move(record));
 }
 
 void Shard::record_outcome(const SessionOutcome& outcome, bool on_driver) {
@@ -225,6 +312,10 @@ void Shard::record_outcome(const SessionOutcome& outcome, bool on_driver) {
   retransmits_ += outcome.report.link.retransmits;
   frames_dropped_ += outcome.report.link.dropped;
   frames_corrupted_ += outcome.report.link.corrupted;
+  frames_duplicated_ += outcome.report.link.duplicated;
+  frames_reordered_ += outcome.report.link.reordered;
+  frames_stalled_ += outcome.report.link.stalled;
+  link_timeouts_ += outcome.report.link.timeouts;
   session_time_sum_ += outcome.session_s;
   session_times_.add(outcome.session_s);
 }
@@ -248,6 +339,10 @@ Shard::StatsSlice Shard::stats_slice() const {
     slice.retransmits = retransmits_;
     slice.frames_dropped = frames_dropped_;
     slice.frames_corrupted = frames_corrupted_;
+    slice.frames_duplicated = frames_duplicated_;
+    slice.frames_reordered = frames_reordered_;
+    slice.frames_stalled = frames_stalled_;
+    slice.link_timeouts = link_timeouts_;
     slice.in_flight = in_flight_;
     slice.ranked_sessions = ranked_sessions_;
     slice.hit_rank_sum = hit_rank_sum_;
@@ -266,6 +361,10 @@ Shard::StatsSlice Shard::stats_slice() const {
     slice.fusion_batches = fusion.batch_count;
     slice.fusion_lanes_filled = fusion.lanes_filled;
     slice.fusion_lanes_issued = fusion.lanes_issued;
+  }
+  if (ring_) {
+    slice.trace_events_recorded = ring_->recorded();
+    slice.trace_events_dropped = ring_->dropped();
   }
   return slice;
 }
@@ -289,6 +388,15 @@ void Shard::shutdown() {
     outcome.net_salt = session->net_salt;
     outcome.queue_wait_s = session->admitted.elapsed_s();
     outcome.session_s = session->admitted.elapsed_s();
+    if (ring_) {
+      // Queue-cancelled sessions never reach run_session; close their
+      // timeline here so every admitted session's trace ends in a verdict.
+      obs::SessionTrace(ring_.get(), session->net_salt, outcome.device_id,
+                        static_cast<u32>(index_))
+          .event(obs::SpanKind::kVerdict,
+                 static_cast<u32>(obs::Verdict::kCancelled));
+    }
+    maybe_flight_record(*session, outcome);
     // A cancelled-in-queue session still COMPLETES for accounting purposes:
     // submitted == rejected + completed must reconcile after shutdown (the
     // seed server resolved these futures without counting them anywhere).

@@ -35,6 +35,8 @@
 
 #include "common/stats.hpp"
 #include "common/timer.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "parallel/search_context.hpp"
 #include "rbc/protocol.hpp"
 #include "server/fusion_engine.hpp"
@@ -105,6 +107,23 @@ struct ServerConfig {
   /// maximum-likelihood-first enumeration for devices whose enrollment
   /// records carry reliability profiles (others stay canonical).
   std::optional<SearchOrder> search_order{};
+  /// Session tracing (docs/server.md "Observability"): each shard keeps a
+  /// lock-free ring of per-session span records — admission, queue wait,
+  /// search shells, retransmits, fusion residency, verdict. Off by default:
+  /// the untraced server is byte-identical to the traced one in verdicts
+  /// and accounting (tracing touches no RNG stream), but the knob keeps
+  /// the hot path down to one null-pointer test per coarse event.
+  bool trace_enabled = false;
+  /// Per-shard trace ring capacity in events (rounded up to a power of
+  /// two). A d<=2 solo session emits ~5 records; size for the window of
+  /// history flight recordings should be able to reconstruct.
+  int trace_ring_events = 4096;
+  /// Flight recorder (obs/flight_recorder.hpp): capture failed sessions —
+  /// transport failure, deadline expiry, unauthenticated completion — with
+  /// their net_salt replay key and (when tracing is on) span timeline.
+  bool flight_recorder = false;
+  /// Bound on retained flight records across the server (oldest evicted).
+  int max_flight_records = 64;
 };
 
 /// Why a session failed (SessionOutcome::reject_reason). The first three
@@ -157,6 +176,10 @@ struct ServerStats {
   u64 retransmits = 0;       // ARQ retransmissions across all sessions
   u64 frames_dropped = 0;    // frames the fault plans swallowed
   u64 frames_corrupted = 0;  // frames bit-flipped in flight
+  u64 frames_duplicated = 0; // extra copies the fault plans delivered
+  u64 frames_reordered = 0;  // frames that overtook queued ones
+  u64 frames_stalled = 0;    // frames that drew an extra stall
+  u64 link_timeouts = 0;     // ARQ response timeouts charged
   int queue_depth = 0;      // sessions admitted, not yet picked up
   int in_flight = 0;        // sessions currently on a driver
   int shards = 1;
@@ -188,13 +211,21 @@ struct ServerStats {
   u64 shell_cache_misses = 0;
   u64 shell_cache_evictions = 0;
   u64 shell_cache_masks = 0;
+  /// Observability subsystem counters (zero unless cfg.trace_enabled /
+  /// cfg.flight_recorder): ring records published and overwritten across
+  /// the shards' rings, and failures the flight recorder ever captured.
+  u64 trace_events_recorded = 0;
+  u64 trace_events_dropped = 0;
+  u64 flight_records = 0;
 };
 
 class Shard {
  public:
-  /// `queue_depth`/`drivers` are this shard's slice of the server totals.
+  /// `queue_depth`/`drivers` are this shard's slice of the server totals;
+  /// `recorder` is the server-wide flight recorder (nullptr when off).
   Shard(const ServerConfig& cfg, int index, int num_shards, int queue_depth,
-        int drivers, CertificateAuthority* ca, RegistrationAuthority* ra);
+        int drivers, CertificateAuthority* ca, RegistrationAuthority* ra,
+        obs::FlightRecorder* recorder = nullptr);
   ~Shard();
 
   Shard(const Shard&) = delete;
@@ -222,6 +253,12 @@ class Shard {
     u64 retransmits = 0;
     u64 frames_dropped = 0;
     u64 frames_corrupted = 0;
+    u64 frames_duplicated = 0;
+    u64 frames_reordered = 0;
+    u64 frames_stalled = 0;
+    u64 link_timeouts = 0;
+    u64 trace_events_recorded = 0;
+    u64 trace_events_dropped = 0;
     int queue_depth = 0;
     int in_flight = 0;
     std::size_t device_states = 0;
@@ -238,6 +275,10 @@ class Shard {
   };
   StatsSlice stats_slice() const;
 
+  /// This shard's trace ring (nullptr unless cfg.trace_enabled). Snapshots
+  /// are lock-free and safe at any lifecycle point.
+  const obs::TraceRing* trace_ring() const noexcept { return ring_.get(); }
+
   /// Stops accepting work, cancels queued sessions (completing them as
   /// cancelled so the counter invariant holds), joins the drivers.
   void shutdown();
@@ -249,12 +290,15 @@ class Shard {
     WallTimer admitted;  // wall clock since admission
     u64 seq = 0;         // admission order, the EDF tie-break
     u64 net_salt = 0;    // fault-stream fork salt (seed reproducibility)
+    double budget_s = 0.0;  // the threshold T this session was given
+    obs::SessionTrace trace;  // disabled unless the shard armed it
     std::promise<SessionOutcome> promise;
-    Session(Client* c, double budget_s, u64 sequence, u64 salt)
+    Session(Client* c, double budget, u64 sequence, u64 salt)
         : client(c),
-          ctx(par::SearchContext::with_budget(budget_s)),
+          ctx(par::SearchContext::with_budget(budget)),
           seq(sequence),
-          net_salt(salt) {}
+          net_salt(salt),
+          budget_s(budget) {}
   };
 
   /// Max-heap comparator for std::push_heap: true when `a` should be
@@ -270,6 +314,10 @@ class Shard {
 
   void driver_loop();
   void run_session(Session& session);
+  /// Captures a failed session into the server-wide flight recorder (no-op
+  /// when none is attached or the session authenticated).
+  void maybe_flight_record(const Session& session,
+                           const SessionOutcome& outcome);
   /// `on_driver` distinguishes outcomes completing on a driver thread
   /// (which decrement in_flight_) from queue-cancelled ones (which were
   /// never in flight).
@@ -290,6 +338,10 @@ class Shard {
   /// session's search to it through the SearchOffload seam. Shut down AFTER
   /// the drivers join — in-flight sessions block on its futures.
   std::unique_ptr<FusionEngine> fusion_;
+  /// Per-shard span ring (cfg.trace_enabled) and the server-wide flight
+  /// recorder (owned by AuthServer; nullptr when off).
+  std::unique_ptr<obs::TraceRing> ring_;
+  obs::FlightRecorder* recorder_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_queue_;
@@ -324,6 +376,10 @@ class Shard {
   u64 retransmits_ = 0;
   u64 frames_dropped_ = 0;
   u64 frames_corrupted_ = 0;
+  u64 frames_duplicated_ = 0;
+  u64 frames_reordered_ = 0;
+  u64 frames_stalled_ = 0;
+  u64 link_timeouts_ = 0;
   int in_flight_ = 0;
   double session_time_sum_ = 0.0;
   u64 ranked_sessions_ = 0;

@@ -1,0 +1,713 @@
+// The observability layer: trace ring, session timelines, metrics export,
+// flight recorder, and the serving-path stats hardening that rides with it.
+//
+// Suites, one per contract:
+//   ObsRing             — TraceRing publication protocol: capacity rounding,
+//                         wrap accounting, and snapshot consistency under
+//                         concurrent writers (a TSan target).
+//   ObsLifecycle        — stats()/export_metrics() are safe at ANY lifecycle
+//                         point: pre-traffic, mid-traffic, post-shutdown.
+//   ObsStatsConsistency — 1-shard and N-shard servers given identical
+//                         workloads agree EXACTLY on the rank means (slices
+//                         report integer sums; the aggregate divides once).
+//   ObsTrace            — trace-off runs are byte-identical to traced ones
+//                         in verdicts and seeds_hashed, and a traced d=2
+//                         session's timeline is complete (solo and fused).
+//   ObsFlightRecorder   — failed sessions are captured with their net_salt
+//                         and REPLAY to the same failure.
+//   ObsMetrics          — Prometheus/JSON golden output and the server's
+//                         exported series.
+//   ObsShellCacheTorn   — ShellMaskCache counters snapshot cleanly while
+//                         shards churn the cache (a TSan target).
+//
+// Obs* runs under TSan in CI (scripts/ci.sh adds it to the tsan filter).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "rbc/candidate_stream.hpp"
+#include "server/auth_server.hpp"
+
+namespace rbc::server {
+namespace {
+
+crypto::Aes128::Key master_key() {
+  crypto::Aes128::Key k{};
+  k[0] = 0x0B;
+  return k;
+}
+
+puf::SramPufModel::Params device_params() {
+  puf::SramPufModel::Params p;
+  p.num_addresses = 4;
+  p.erratic_cell_fraction = 0.04;
+  p.stable_flip_probability = 0.004;
+  p.erratic_flip_probability = 0.30;
+  return p;
+}
+
+/// Identically seeded CA+RA stacks: two ObsFixtures built with the same
+/// arguments run byte-identical protocol state, which is what the
+/// trace-off/trace-on and 1-vs-N-shard equivalence suites compare against.
+struct ObsFixture {
+  std::vector<std::unique_ptr<puf::SramPufModel>> devices;
+  std::vector<u64> device_ids;
+  RegistrationAuthority ra;
+  std::unique_ptr<CertificateAuthority> ca;
+
+  explicit ObsFixture(int num_devices, int max_distance = 2,
+                      u64 id_base = 41000) {
+    EnrollmentDatabase db(master_key());
+    for (int i = 0; i < num_devices; ++i) {
+      const u64 id = id_base + static_cast<u64>(i);
+      devices.push_back(
+          std::make_unique<puf::SramPufModel>(device_params(), id));
+      device_ids.push_back(id);
+      Xoshiro256 enroll_rng(id ^ 0x0B5E);
+      db.enroll(id, *devices.back(), 100, 0.05, enroll_rng);
+    }
+    CaConfig ca_cfg;
+    ca_cfg.max_distance = max_distance;
+    ca_cfg.time_threshold_s = 600.0;
+    EngineConfig engine_cfg;
+    engine_cfg.host_threads = 1;
+    ca = std::make_unique<CertificateAuthority>(
+        ca_cfg, std::move(db), make_backend("cpu", engine_cfg), &ra);
+  }
+
+  std::unique_ptr<Client> make_client(int device_index, int injected_distance,
+                                      u64 rng_salt) const {
+    const std::size_t index = static_cast<std::size_t>(device_index);
+    ClientConfig ccfg;
+    ccfg.device_id = device_ids[index];
+    ccfg.injected_distance = injected_distance;
+    return std::make_unique<Client>(ccfg, devices[index].get(),
+                                    ccfg.device_id ^ rng_salt);
+  }
+};
+
+ServerConfig quiet_config(int shards) {
+  ServerConfig cfg;
+  cfg.num_shards = shards;
+  cfg.max_queue_depth = 64;
+  cfg.max_in_flight = 4;
+  cfg.session_budget_s = 600.0;
+  cfg.per_message_latency_s = 0.01;
+  cfg.realtime_comm = false;
+  return cfg;
+}
+
+obs::TraceEvent make_event(u64 session, obs::SpanKind kind, u64 value) {
+  obs::TraceEvent e;
+  e.session = session;
+  e.device = session ^ 0xD0D0;
+  e.kind = kind;
+  e.detail = 7;
+  e.value = value;
+  e.wall_start_s = 1.0;
+  e.wall_end_s = 2.0;
+  e.vclock_s = 0.5;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// ObsRing: the publication protocol.
+
+TEST(ObsRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(obs::TraceRing(1).capacity(), 1u);
+  EXPECT_EQ(obs::TraceRing(5).capacity(), 8u);
+  EXPECT_EQ(obs::TraceRing(4096).capacity(), 4096u);
+  EXPECT_THROW(obs::TraceRing(0), CheckFailure);
+}
+
+TEST(ObsRing, PushSnapshotRoundTripsFields) {
+  obs::TraceRing ring(16);
+  ring.push(make_event(100, obs::SpanKind::kAdmission, 1));
+  ring.push(make_event(200, obs::SpanKind::kSearchShell, 2));
+  ring.push(make_event(100, obs::SpanKind::kVerdict, 3));
+
+  const std::vector<obs::TraceEvent> all = ring.snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].seq, 0u);
+  EXPECT_EQ(all[0].session, 100u);
+  EXPECT_EQ(all[0].device, 100u ^ 0xD0D0);
+  EXPECT_EQ(all[0].kind, obs::SpanKind::kAdmission);
+  EXPECT_EQ(all[0].detail, 7u);
+  EXPECT_EQ(all[0].value, 1u);
+  EXPECT_DOUBLE_EQ(all[0].wall_start_s, 1.0);
+  EXPECT_DOUBLE_EQ(all[0].wall_end_s, 2.0);
+  EXPECT_DOUBLE_EQ(all[0].vclock_s, 0.5);
+
+  const std::vector<obs::TraceEvent> s100 = ring.session_events(100);
+  ASSERT_EQ(s100.size(), 2u);
+  EXPECT_EQ(s100[0].kind, obs::SpanKind::kAdmission);
+  EXPECT_EQ(s100[1].kind, obs::SpanKind::kVerdict);
+  EXPECT_EQ(ring.recorded(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(ObsRing, WrapKeepsNewestAndCountsDrops) {
+  obs::TraceRing ring(8);
+  for (u64 i = 0; i < 20; ++i)
+    ring.push(make_event(i, obs::SpanKind::kQueueWait, i));
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  const std::vector<obs::TraceEvent> all = ring.snapshot();
+  ASSERT_EQ(all.size(), 8u);
+  // Oldest-first publication order, and only the newest 8 survive the wrap.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].seq, 12u + i);
+    EXPECT_EQ(all[i].session, 12u + i);
+  }
+}
+
+TEST(ObsRing, SnapshotsConsistentUnderConcurrentWriters) {
+  // The TSan case: four writers hammer one ring while a reader snapshots in
+  // a loop. Every accepted record must be internally consistent — its
+  // payload fields all come from the SAME push (value == session ^ tag),
+  // never a mix of two writers' stores.
+  obs::TraceRing ring(64);
+  constexpr u64 kTag = 0x5EEDF00Du;
+  constexpr int kWriters = 4;
+  constexpr u64 kPerWriter = 4000;
+  std::atomic<bool> stop{false};
+  std::atomic<u64> torn{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const obs::TraceEvent& e : ring.snapshot()) {
+        if (e.value != (e.session ^ kTag)) torn.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, w] {
+      for (u64 i = 0; i < kPerWriter; ++i) {
+        const u64 session = (static_cast<u64>(w) << 32) | i;
+        obs::TraceEvent e;
+        e.session = session;
+        e.kind = obs::SpanKind::kSearchShell;
+        e.value = session ^ kTag;
+        ring.push(e);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(ring.recorded(), kWriters * kPerWriter);
+  const std::vector<obs::TraceEvent> final_snap = ring.snapshot();
+  EXPECT_EQ(final_snap.size(), ring.capacity());
+  for (const obs::TraceEvent& e : final_snap)
+    EXPECT_EQ(e.value, e.session ^ kTag);
+}
+
+TEST(ObsRing, DisabledSessionTraceIsInertAndFree) {
+  obs::SessionTrace off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_DOUBLE_EQ(off.now_s(), 0.0);
+  // All hooks are no-ops with no ring to write to.
+  off.span(obs::SpanKind::kSearchShell, 0.0, 1.0, 2, 3);
+  off.span_ending_now(obs::SpanKind::kVerdict, 0.5);
+  off.event(obs::SpanKind::kRetransmit, 1, 2);
+
+  obs::TraceRing ring(4);
+  obs::SessionTrace on(&ring, /*session=*/9, /*device=*/8, /*shard=*/1);
+  EXPECT_TRUE(on.enabled());
+  on.event(obs::SpanKind::kAdmission);
+  ASSERT_EQ(ring.snapshot().size(), 1u);
+  EXPECT_EQ(ring.snapshot()[0].session, 9u);
+  EXPECT_EQ(ring.snapshot()[0].shard, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ObsLifecycle: snapshots never abort, whatever the server has(n't) done.
+
+TEST(ObsLifecycle, SnapshotsSafeBeforeAnyTraffic) {
+  ObsFixture f(1);
+  ServerConfig cfg = quiet_config(4);
+  cfg.fusion_enabled = true;
+  cfg.trace_enabled = true;
+  cfg.flight_recorder = true;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  // Empty reservoirs and zero denominators render the 0.0 sentinels.
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, 0u);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_session_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50_session_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95_session_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.lane_occupancy, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_hit_rank, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_canonical_rank, 0.0);
+
+  const std::string prom = server.export_metrics(obs::MetricsFormat::kPrometheus);
+  EXPECT_NE(prom.find("rbc_sessions_submitted_total 0"), std::string::npos);
+  const std::string json = server.export_metrics(obs::MetricsFormat::kJson);
+  EXPECT_NE(json.find("\"schema\": \"rbc.metrics.v1\""), std::string::npos);
+  EXPECT_TRUE(server.trace_events().empty());
+  ASSERT_NE(server.flight_recorder(), nullptr);
+  EXPECT_EQ(server.flight_recorder()->total(), 0u);
+}
+
+TEST(ObsLifecycle, SnapshotsSafeAfterShutdown) {
+  ObsFixture f(2);
+  ServerConfig cfg = quiet_config(2);
+  cfg.trace_enabled = true;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  auto client = f.make_client(0, 1, 0x11FE);
+  ASSERT_TRUE(server.submit(client.get()).get().authenticated);
+  server.shutdown();
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.authenticated, 1u);
+  const std::string prom = server.export_metrics();
+  EXPECT_NE(prom.find("rbc_sessions_authenticated_total 1"), std::string::npos);
+  EXPECT_FALSE(server.trace_events().empty());
+  // A post-shutdown submit is rejected but still snapshot-safe.
+  auto late = f.make_client(1, 1, 0x11FF);
+  EXPECT_FALSE(server.submit(late.get()).get().accepted);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(ObsLifecycle, SnapshotsSafeMidTraffic) {
+  // A poller thread scrapes stats/metrics/traces while sessions run — the
+  // exporter must never observe a state it cannot render.
+  ObsFixture f(8);
+  ServerConfig cfg = quiet_config(2);
+  cfg.trace_enabled = true;
+  cfg.flight_recorder = true;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)server.stats();
+      (void)server.export_metrics(obs::MetricsFormat::kPrometheus);
+      (void)server.export_metrics(obs::MetricsFormat::kJson);
+      (void)server.trace_events();
+    }
+  });
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::future<SessionOutcome>> futures;
+  for (int i = 0; i < 16; ++i) {
+    clients.push_back(f.make_client(i % 8, 1, 0xA0 + static_cast<u64>(i)));
+    futures.push_back(server.submit(clients.back().get()));
+  }
+  u64 authenticated = 0;
+  for (auto& fu : futures)
+    if (fu.get().authenticated) ++authenticated;
+  stop.store(true);
+  poller.join();
+
+  EXPECT_EQ(server.stats().completed, 16u);
+  EXPECT_EQ(server.stats().authenticated, authenticated);
+  EXPECT_GT(authenticated, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ObsStatsConsistency: sharding must not perturb the aggregate rank means.
+
+TEST(ObsStatsConsistency, RankMeansIdenticalAcrossShardCounts) {
+  // Slices report integer rank SUMS; the aggregate divides once by the
+  // total ranked count. A mean-of-per-shard-means would weight shards
+  // equally regardless of how many sessions each served — this pins the
+  // 1-shard and 4-shard servers to EXACT agreement on the same workload.
+  constexpr int kDevices = 8;
+  constexpr int kSessions = 16;
+  ServerStats stats_by_shards[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    ObsFixture f(kDevices);
+    AuthServer server(quiet_config(variant == 0 ? 1 : 4), f.ca.get(), &f.ra);
+    std::vector<std::unique_ptr<Client>> clients;
+    std::vector<std::future<SessionOutcome>> futures;
+    for (int i = 0; i < kSessions; ++i) {
+      clients.push_back(
+          f.make_client(i % kDevices, 1 + (i % 2), 0xBEE + static_cast<u64>(i)));
+      futures.push_back(server.submit(clients.back().get(), /*budget_s=*/600.0,
+                                      /*net_salt=*/0x5A17 + static_cast<u64>(i)));
+    }
+    for (auto& fu : futures) (void)fu.get();
+    stats_by_shards[variant] = server.stats();
+  }
+
+  const ServerStats& one = stats_by_shards[0];
+  const ServerStats& four = stats_by_shards[1];
+  ASSERT_EQ(one.completed, static_cast<u64>(kSessions));
+  ASSERT_EQ(four.completed, static_cast<u64>(kSessions));
+  EXPECT_EQ(one.authenticated, four.authenticated);
+  ASSERT_GT(one.ranked_sessions, 0u);
+  EXPECT_EQ(one.ranked_sessions, four.ranked_sessions);
+  EXPECT_DOUBLE_EQ(one.mean_hit_rank, four.mean_hit_rank);
+  EXPECT_DOUBLE_EQ(one.mean_canonical_rank, four.mean_canonical_rank);
+}
+
+// ---------------------------------------------------------------------------
+// ObsTrace: zero behavioral impact, complete timelines.
+
+TEST(ObsTrace, TraceOffIsByteIdenticalToTraceOn) {
+  // Identical fixtures, identical clients, identical per-session salts; the
+  // only difference is the observability config. Verdicts and seeds_hashed
+  // must match session for session, and the untraced server must have
+  // recorded nothing.
+  constexpr int kDevices = 6;
+  constexpr int kSessions = 12;
+  std::vector<SessionOutcome> outcomes[2];
+  std::unique_ptr<AuthServer> traced_server;
+  ObsFixture fixtures[2] = {ObsFixture(kDevices), ObsFixture(kDevices)};
+  u64 untraced_events = 0;
+  for (int variant = 0; variant < 2; ++variant) {
+    ObsFixture& f = fixtures[variant];
+    ServerConfig cfg = quiet_config(2);
+    if (variant == 1) {
+      cfg.trace_enabled = true;
+      cfg.flight_recorder = true;
+    }
+    AuthServer server(cfg, f.ca.get(), &f.ra);
+    std::vector<std::unique_ptr<Client>> clients;
+    std::vector<std::future<SessionOutcome>> futures;
+    for (int i = 0; i < kSessions; ++i) {
+      clients.push_back(
+          f.make_client(i % kDevices, 1 + (i % 2), 0xCAFE + static_cast<u64>(i)));
+      futures.push_back(server.submit(clients.back().get(), /*budget_s=*/600.0,
+                                      /*net_salt=*/0x900D + static_cast<u64>(i)));
+    }
+    for (auto& fu : futures) outcomes[variant].push_back(fu.get());
+    if (variant == 0) untraced_events = server.trace_events().size();
+  }
+
+  EXPECT_EQ(untraced_events, 0u);
+  ASSERT_EQ(outcomes[0].size(), outcomes[1].size());
+  for (std::size_t i = 0; i < outcomes[0].size(); ++i) {
+    const SessionOutcome& off = outcomes[0][i];
+    const SessionOutcome& on = outcomes[1][i];
+    EXPECT_EQ(off.authenticated, on.authenticated) << "session " << i;
+    EXPECT_EQ(off.timed_out, on.timed_out) << "session " << i;
+    EXPECT_EQ(off.transport_failed, on.transport_failed) << "session " << i;
+    EXPECT_EQ(off.report.engine.result.seeds_hashed,
+              on.report.engine.result.seeds_hashed)
+        << "session " << i;
+    EXPECT_EQ(off.report.engine.result.canonical_rank,
+              on.report.engine.result.canonical_rank)
+        << "session " << i;
+  }
+}
+
+TEST(ObsTrace, SoloSessionTimelineIsComplete) {
+  // One planted d=2 session on a 1-shard untraced-compute server: the
+  // timeline must carry admission, queue wait, one span per shell actually
+  // scanned (1 and 2 — d0 is hashed before the stream starts), and the
+  // verdict whose value is the session's total seeds_hashed.
+  ObsFixture f(1);
+  ServerConfig cfg = quiet_config(1);
+  cfg.trace_enabled = true;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  auto client = f.make_client(0, /*injected_distance=*/2, 0x7E57);
+  const u64 salt = 0xDA7A;
+  const SessionOutcome outcome =
+      server.submit(client.get(), /*budget_s=*/600.0, salt).get();
+  ASSERT_TRUE(outcome.authenticated);
+  const u64 seeds_hashed = outcome.report.engine.result.seeds_hashed;
+  ASSERT_GT(seeds_hashed, 1u);
+
+  std::vector<obs::TraceEvent> timeline;
+  for (const obs::TraceEvent& e : server.trace_events())
+    if (e.session == salt) timeline.push_back(e);
+
+  u64 admissions = 0, queue_waits = 0, verdicts = 0;
+  std::set<u32> shells;
+  u64 shell_hashed = 0;
+  for (const obs::TraceEvent& e : timeline) {
+    EXPECT_LE(e.wall_start_s, e.wall_end_s);
+    EXPECT_EQ(e.device, f.device_ids[0]);
+    EXPECT_EQ(e.shard, 0u);
+    switch (e.kind) {
+      case obs::SpanKind::kAdmission:
+        ++admissions;
+        EXPECT_EQ(e.detail, static_cast<u32>(RejectReason::kNone));
+        break;
+      case obs::SpanKind::kQueueWait:
+        ++queue_waits;
+        break;
+      case obs::SpanKind::kSearchShell:
+        shells.insert(e.detail);
+        shell_hashed += e.value;
+        break;
+      case obs::SpanKind::kVerdict:
+        ++verdicts;
+        EXPECT_EQ(e.detail, static_cast<u32>(obs::Verdict::kAuthenticated));
+        EXPECT_EQ(e.value, seeds_hashed);
+        EXPECT_DOUBLE_EQ(e.vclock_s, outcome.report.comm_time_s);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(admissions, 1u);
+  EXPECT_EQ(queue_waits, 1u);
+  EXPECT_EQ(verdicts, 1u);
+  EXPECT_EQ(shells, (std::set<u32>{1, 2}));
+  // The shell spans account for every candidate except the d0 probe.
+  EXPECT_EQ(shell_hashed, seeds_hashed - 1);
+}
+
+TEST(ObsTrace, FusedSessionTimelineCarriesLaneSpan) {
+  // Same planted session through the fusion engine: the search is executed
+  // by the shard's pump instead of the backend, so the timeline swaps the
+  // per-shell spans for a fused-lane residency span — and the verdict must
+  // be identical to the solo path's.
+  ObsFixture f(1);
+  ServerConfig cfg = quiet_config(1);
+  cfg.trace_enabled = true;
+  cfg.fusion_enabled = true;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  auto client = f.make_client(0, /*injected_distance=*/2, 0x7E57);
+  const u64 salt = 0xF00D;
+  const SessionOutcome outcome =
+      server.submit(client.get(), /*budget_s=*/600.0, salt).get();
+  ASSERT_TRUE(outcome.authenticated);
+  ASSERT_EQ(server.stats().fused_sessions, 1u);
+
+  u64 lane_spans = 0, verdicts = 0;
+  for (const obs::TraceEvent& e : server.trace_events()) {
+    if (e.session != salt) continue;
+    if (e.kind == obs::SpanKind::kFusionLane) {
+      ++lane_spans;
+      // `value` counts dealt lane slots: at least every candidate hashed.
+      EXPECT_GE(e.value, outcome.report.engine.result.seeds_hashed - 1);
+      EXPECT_LE(e.wall_start_s, e.wall_end_s);
+    }
+    if (e.kind == obs::SpanKind::kVerdict) {
+      ++verdicts;
+      EXPECT_EQ(e.detail, static_cast<u32>(obs::Verdict::kAuthenticated));
+      EXPECT_EQ(e.value, outcome.report.engine.result.seeds_hashed);
+    }
+  }
+  EXPECT_EQ(lane_spans, 1u);
+  EXPECT_EQ(verdicts, 1u);
+}
+
+TEST(ObsTrace, RejectedSubmissionLeavesAdmissionRecord) {
+  ObsFixture f(2);
+  ServerConfig cfg = quiet_config(1);
+  cfg.trace_enabled = true;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+  server.shutdown();
+
+  auto client = f.make_client(0, 1, 0x0FF);
+  const u64 salt = 0xBAD;
+  EXPECT_FALSE(server.submit(client.get(), 600.0, salt).get().accepted);
+  bool saw_reject = false;
+  for (const obs::TraceEvent& e : server.trace_events()) {
+    if (e.session == salt && e.kind == obs::SpanKind::kAdmission) {
+      saw_reject = true;
+      EXPECT_EQ(e.detail, static_cast<u32>(RejectReason::kShutdown));
+    }
+  }
+  EXPECT_TRUE(saw_reject);
+}
+
+// ---------------------------------------------------------------------------
+// ObsFlightRecorder: failures keep their black box and replay from it.
+
+TEST(ObsFlightRecorder, BoundedRetentionEvictsOldest) {
+  obs::FlightRecorder rec(/*max_records=*/2);
+  for (u64 i = 0; i < 5; ++i) {
+    obs::FlightRecord r;
+    r.net_salt = i;
+    r.reason = "auth_failed";
+    rec.record(std::move(r));
+  }
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.total(), 5u);
+  const std::vector<obs::FlightRecord> kept = rec.records();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].net_salt, 3u);
+  EXPECT_EQ(kept[1].net_salt, 4u);
+}
+
+TEST(ObsFlightRecorder, CapturesTransportFailureAndReplaysFromSalt) {
+  // A total-loss link: every frame dropped, retransmits exhausted, the
+  // session completes transport_failed. The recorder must hold its salt,
+  // and resubmitting with that salt must reproduce the same failure.
+  ObsFixture f(1);
+  ServerConfig cfg = quiet_config(1);
+  cfg.trace_enabled = true;
+  cfg.flight_recorder = true;
+  cfg.fault.drop_rate = 1.0;
+  cfg.fault_seed = 0xC4A05;
+  cfg.retry.max_attempts = 2;
+  cfg.retry.timeout_s = 0.01;
+  cfg.retry.max_timeout_s = 0.02;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+
+  auto client = f.make_client(0, 1, 0x1CE);
+  const u64 salt = 0xAB5A17;
+  const SessionOutcome outcome =
+      server.submit(client.get(), /*budget_s=*/600.0, salt).get();
+  ASSERT_TRUE(outcome.transport_failed);
+  EXPECT_EQ(outcome.net_salt, salt);
+
+  ASSERT_NE(server.flight_recorder(), nullptr);
+  const std::vector<obs::FlightRecord> records =
+      server.flight_recorder()->records();
+  ASSERT_EQ(records.size(), 1u);
+  const obs::FlightRecord& r = records[0];
+  EXPECT_EQ(r.net_salt, salt);
+  EXPECT_EQ(r.device_id, f.device_ids[0]);
+  EXPECT_EQ(r.fault_seed, cfg.fault_seed);
+  EXPECT_EQ(r.reason, "transport_failure");
+  EXPECT_GT(r.injected_faults, 0u);
+  EXPECT_FALSE(r.timeline.empty());  // tracing was on: spans came along
+
+  // The replay recipe from the record itself.
+  auto replay_client = f.make_client(0, 1, 0x1CE);
+  const SessionOutcome replay =
+      server.submit(replay_client.get(), r.session_budget_s, r.net_salt).get();
+  EXPECT_TRUE(replay.transport_failed);
+  EXPECT_EQ(server.flight_recorder()->total(), 2u);
+
+  const std::string dump = obs::FlightRecorder::format(r);
+  EXPECT_NE(dump.find("transport_failure"), std::string::npos);
+  EXPECT_NE(dump.find("net_salt"), std::string::npos);
+  EXPECT_NE(dump.find("ab5a17"), std::string::npos);  // the replay key, hex
+}
+
+// ---------------------------------------------------------------------------
+// ObsMetrics: golden output and the server's exported series.
+
+TEST(ObsMetrics, PrometheusGolden) {
+  obs::MetricsRegistry reg;
+  reg.counter("rbc_demo_total", "Demo counter.", 42);
+  reg.gauge("rbc_demo_depth", "Demo gauge.", 1.5);
+  reg.gauge("rbc_demo_depth", "Demo gauge.", 3, {{"shard", "1"}});
+  EXPECT_EQ(reg.series_count(), 3u);
+  EXPECT_EQ(reg.prometheus(),
+            "# HELP rbc_demo_total Demo counter.\n"
+            "# TYPE rbc_demo_total counter\n"
+            "rbc_demo_total 42\n"
+            "# HELP rbc_demo_depth Demo gauge.\n"
+            "# TYPE rbc_demo_depth gauge\n"
+            "rbc_demo_depth 1.5\n"
+            "rbc_demo_depth{shard=\"1\"} 3\n");
+}
+
+TEST(ObsMetrics, JsonGolden) {
+  obs::MetricsRegistry reg;
+  reg.counter("rbc_demo_total", "Demo counter.", 42);
+  reg.gauge("rbc_demo_depth", "Demo gauge.", 3, {{"shard", "1"}});
+  EXPECT_EQ(reg.json(),
+            "{\n"
+            "  \"schema\": \"rbc.metrics.v1\",\n"
+            "  \"metrics\": {\n"
+            "    \"rbc_demo_total\": 42,\n"
+            "    \"rbc_demo_depth{shard=\\\"1\\\"}\": 3\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(ObsMetrics, RejectsTypeConfusionAcrossRegistrations) {
+  obs::MetricsRegistry reg;
+  reg.counter("rbc_demo_total", "Demo counter.", 1);
+  EXPECT_THROW(reg.gauge("rbc_demo_total", "Demo counter.", 2), CheckFailure);
+}
+
+TEST(ObsMetrics, ServerExportMatchesStats) {
+  ObsFixture f(4);
+  ServerConfig cfg = quiet_config(2);
+  cfg.trace_enabled = true;
+  AuthServer server(cfg, f.ca.get(), &f.ra);
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::future<SessionOutcome>> futures;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(f.make_client(i % 4, 1, 0xE4 + static_cast<u64>(i)));
+    futures.push_back(server.submit(clients.back().get()));
+  }
+  for (auto& fu : futures) (void)fu.get();
+
+  const ServerStats s = server.stats();
+  const std::string prom = server.export_metrics(obs::MetricsFormat::kPrometheus);
+  EXPECT_NE(prom.find("# TYPE rbc_sessions_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("rbc_sessions_submitted_total 8"), std::string::npos);
+  EXPECT_NE(prom.find("rbc_sessions_completed_total 8"), std::string::npos);
+  EXPECT_NE(prom.find("rbc_sessions_authenticated_total " +
+                      std::to_string(s.authenticated)),
+            std::string::npos);
+  EXPECT_NE(prom.find("rbc_shards 2"), std::string::npos);
+  // Per-shard gauges appear as labeled series for each shard.
+  EXPECT_NE(prom.find("rbc_shard_queue_depth{shard=\"0\"}"), std::string::npos);
+  EXPECT_NE(prom.find("rbc_shard_queue_depth{shard=\"1\"}"), std::string::npos);
+  EXPECT_NE(prom.find("rbc_trace_events_recorded_total " +
+                      std::to_string(s.trace_events_recorded)),
+            std::string::npos);
+  EXPECT_GT(s.trace_events_recorded, 0u);
+
+  const std::string json = server.export_metrics(obs::MetricsFormat::kJson);
+  EXPECT_NE(json.find("\"schema\": \"rbc.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rbc_sessions_submitted_total\": 8"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rbc_shards\": 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ObsShellCacheTorn: counter snapshots race table churn (a TSan target).
+
+TEST(ObsShellCacheTorn, StatsSnapshotCleanDuringChurn) {
+  // Four "shards" churn small shell tables through the process-wide cache
+  // (tiny capacity forces constant eviction) while the main thread snapshots
+  // stats() in a loop. Everything is mutex-guarded by design — this pins
+  // that under TSan and checks the counters stay coherent.
+  ShellMaskCache::set_capacity(512);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 4; ++t) {
+    churners.emplace_back([&stop, t] {
+      const sim::IterAlgo algos[] = {sim::IterAlgo::kChase382,
+                                     sim::IterAlgo::kGosper,
+                                     sim::IterAlgo::kAlg515};
+      // do-while: at least one fetch per churner even if the snapshot loop
+      // finishes before this thread is first scheduled.
+      int i = 0;
+      do {
+        const sim::IterAlgo algo = algos[(t + i) % 3];
+        const int k = 1 + (i % 2);
+        const int n_bits = 16 + 8 * ((t + i) % 3);
+        auto table = ShellMaskCache::get(algo, k, n_bits);
+        ASSERT_NE(table, nullptr);
+        ++i;
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const ShellMaskCache::Stats s = ShellMaskCache::stats();
+    // Monotone counters and a bounded working set — a torn read of the
+    // internals would show up as wildly inconsistent values here.
+    EXPECT_LE(s.cached_masks, 512u + ShellMaskCache::kMaxTableMasks);
+    EXPECT_GE(s.hits + s.misses, s.evictions);
+  }
+  stop.store(true);
+  for (std::thread& t : churners) t.join();
+  ShellMaskCache::set_capacity(ShellMaskCache::kDefaultCapacityMasks);
+
+  const ShellMaskCache::Stats s = ShellMaskCache::stats();
+  EXPECT_GT(s.hits + s.misses, 0u);
+}
+
+}  // namespace
+}  // namespace rbc::server

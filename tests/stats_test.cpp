@@ -50,7 +50,11 @@ TEST(Percentile, UnsortedInputHandled) {
 }
 
 TEST(Percentile, Validation) {
-  EXPECT_THROW(percentile({}, 0.5), CheckFailure);
+  // Empty samples render the documented 0.0 sentinel — stats snapshots are
+  // taken at arbitrary lifecycle points and must never abort — while an
+  // out-of-range q is still a caller bug.
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.0), 0.0);
   EXPECT_THROW(percentile({1.0}, 1.5), CheckFailure);
   EXPECT_DOUBLE_EQ(percentile({3.0}, 0.99), 3.0);
 }
@@ -102,10 +106,15 @@ TEST(ReservoirSample, DeterministicForSeedAndStream) {
   EXPECT_EQ(a.samples(), b.samples());
 }
 
-TEST(ReservoirSample, PercentileOnEmptyThrows) {
+TEST(ReservoirSample, PercentileOnEmptyIsSentinel) {
   ReservoirSample r(8);
   EXPECT_TRUE(r.empty());
-  EXPECT_THROW(r.percentile(0.5), CheckFailure);
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), 0.0);
+  // Empty reservoirs also merge to the sentinel, so AuthServer::stats()
+  // before any completed session cannot abort on the percentile path.
+  const std::vector<const ReservoirSample*> rs = {&r};
+  EXPECT_DOUBLE_EQ(merged_percentile(rs, 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(merged_percentile({}, 0.5), 0.0);
 }
 
 TEST(MergedPercentile, WeightsByPopulationNotRetention) {
